@@ -1,0 +1,229 @@
+// Command figures regenerates the paper's evaluation artifacts as text
+// tables: the four panels of Figure 4 (link efficiency vs message size for
+// wormhole, circuit switching, dynamic TDM and preload TDM), Figure 5
+// (preload/dynamic slot splits vs traffic determinism), Table 3 (scheduler
+// latency vs system size), and the ablation studies.
+//
+// Usage:
+//
+//	figures            # everything
+//	figures -fig4      # only Figure 4 (all four panels)
+//	figures -fig5      # only Figure 5
+//	figures -table3    # only Table 3
+//	figures -ablations # only the ablations
+//	figures -quick     # reduced size sweep for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pmsnet/internal/experiments"
+	"pmsnet/internal/traffic"
+)
+
+func main() {
+	var (
+		fig4      = flag.Bool("fig4", false, "regenerate Figure 4")
+		fig5      = flag.Bool("fig5", false, "regenerate Figure 5")
+		table3    = flag.Bool("table3", false, "regenerate Table 3")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		quick     = flag.Bool("quick", false, "reduced sweeps for a fast look")
+		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		seed      = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+	all := !*fig4 && !*fig5 && !*table3 && !*ablations
+
+	if all || *table3 {
+		rows := experiments.Table3(0)
+		fmt.Println(experiments.Table3Table(rows))
+		if *csvDir != "" {
+			writeCSV(*csvDir, "table3.csv", func(f *os.File) error {
+				return experiments.Table3CSV(f, rows)
+			})
+		}
+	}
+	if all || *fig4 {
+		sizes := experiments.Fig4Sizes()
+		if *quick {
+			sizes = []int{8, 64, 512}
+		}
+		for _, panel := range experiments.Panels() {
+			rows, err := experiments.Fig4Panel(panel, experiments.N, sizes, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.Fig4Table(panel, rows))
+			if *csvDir != "" {
+				writeCSV(*csvDir, fmt.Sprintf("fig4_%s.csv", panel), func(f *os.File) error {
+					return experiments.Fig4CSV(f, rows)
+				})
+			}
+		}
+	}
+	if all || *fig5 {
+		dets := experiments.Fig5Determinism()
+		if *quick {
+			dets = []float64{0.5, 0.85, 1.0}
+		}
+		rows, err := experiments.Fig5(experiments.N, dets, 7)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.Fig5Table(rows))
+		if *csvDir != "" {
+			writeCSV(*csvDir, "fig5.csv", func(f *os.File) error {
+				return experiments.Fig5CSV(f, rows)
+			})
+		}
+	}
+	if all || *ablations {
+		runAblations(*seed)
+	}
+}
+
+func runAblations(seed int64) {
+	n := experiments.N
+	mesh := traffic.RandomMesh(n, 64, experiments.MeshMsgs, seed)
+
+	pred, err := experiments.PredictorAblation(n, mesh)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Ablation: eviction predictors (random mesh, 64B)", pred))
+
+	deg, err := experiments.DegreeSweep(n, []int{1, 2, 4, 8, 16}, mesh)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Ablation: multiplexing degree K (random mesh, 64B)", deg))
+
+	degSparse, err := experiments.DegreeSweep(n, []int{1, 2, 3, 4, 8},
+		traffic.Mix(n, 64, experiments.Fig5Msgs, 1.0, experiments.Fig5Think, 7))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Ablation: multiplexing degree K (sparse deterministic, degree-2 working set)", degSparse))
+
+	rot, err := experiments.RotationAblation(n, mesh)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Ablation: priority rotation (random mesh, 64B)", rot))
+
+	skip, err := experiments.SkipEmptyAblation(n, 8, traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Ablation: TDM-counter empty-slot skipping (ordered mesh, K=8)", skip))
+
+	sl, err := experiments.SLCopiesSweep(n, []int{1, 2, 4}, traffic.AllToAll(n, 64))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Ablation: scheduling-logic copies (all-to-all, 64B)", sl))
+
+	dec := experiments.DecomposerComparison([]*traffic.Workload{
+		traffic.OrderedMesh(n, 64, 1),
+		traffic.AllToAll(n, 64),
+		traffic.Mix(n, 64, 10, 0.8, 0, seed),
+	})
+	fmt.Println("== Ablation: preload decomposer (exact edge coloring vs greedy first-fit) ==")
+	fmt.Printf("%-22s %-8s %-14s %-14s\n", "workload", "degree", "exact configs", "greedy configs")
+	for _, d := range dec {
+		fmt.Printf("%-22s %-8d %-14d %-14d\n", d.Workload, d.Degree, d.ExactConfigs, d.GreedyConfigs)
+	}
+	fmt.Println()
+
+	amp, err := experiments.AmplifyAblation(n, traffic.Hotspot(n, 64, experiments.MeshMsgs, 2048, 50, seed))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Extension 2: bandwidth amplification (hotspot)", amp))
+
+	pre, err := experiments.PrefetchAblation(n, experiments.CyclicWorkload(n, 8, 8, 1200))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Prefetching predictor (cyclic traffic, 1.2us gaps)", pre))
+
+	pay, err := experiments.PayloadSweep(n, []int{32, 48, 64, 72, 80}, traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Slot payload (guard-band complement) sweep", pay))
+
+	fab, err := experiments.FabricComparison(n, []*traffic.Workload{
+		traffic.OrderedMesh(n, 64, 1),
+		traffic.AllToAll(n, 64),
+		traffic.RandomMesh(n, 64, 10, seed),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.FabricTable(fab))
+
+	omega, err := experiments.OmegaFabricStudy(n, []*traffic.Workload{
+		traffic.Shift(n, 64, experiments.MeshMsgs, 1),
+		traffic.BitReverse(n, 64, experiments.MeshMsgs),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Omega fabric vs crossbar (structured permutations)", omega))
+
+	for _, wl := range []*traffic.Workload{
+		traffic.RandomMesh(n, 64, experiments.MeshMsgs, seed),
+		traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4),
+	} {
+		mb, err := experiments.ModernBaseline(n, wl)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.AblationTable(
+			fmt.Sprintf("Beyond the paper: iSLIP VOQ switch vs PMS (%s)", wl.Name), mb))
+	}
+
+	// The transpose permutation needs a square grid; run it on 100 routers
+	// (10x10) next to the 128-processor ordered mesh.
+	mh, err := experiments.MultiHopStudy(n, []*traffic.Workload{
+		traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	transpose := traffic.Transpose(100, 64, experiments.MeshMsgs)
+	mh2, err := experiments.MultiHopStudy(100, []*traffic.Workload{
+		transpose,
+		experiments.SparsePermutation(transpose, 2000),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable(
+		"Multi-hop mesh: wormhole routers vs end-to-end TDM circuits", append(mh, mh2...)))
+}
+
+func writeCSV(dir, name string, write func(*os.File) error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

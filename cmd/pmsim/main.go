@@ -1,0 +1,145 @@
+// Command pmsim runs one switching-paradigm simulation over one workload
+// and prints its metrics.
+//
+// Usage:
+//
+//	pmsim -net tdm-dynamic -pattern random-mesh -n 128 -size 64 -k 4
+//	pmsim -net wormhole -trace workload.pms
+//
+// Networks: wormhole, circuit, tdm-dynamic, tdm-preload, tdm-hybrid.
+// Patterns: scatter, ordered-mesh, random-mesh, all-to-all, two-phase, mix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmsnet"
+)
+
+func main() {
+	var (
+		netName  = flag.String("net", "tdm-dynamic", "network: wormhole|circuit|voq-islip|tdm-dynamic|tdm-preload|tdm-hybrid|mesh-wormhole|mesh-tdm")
+		pattern  = flag.String("pattern", "random-mesh", "workload: scatter|ordered-mesh|random-mesh|all-to-all|two-phase|mix|transpose|bit-reverse|hotspot")
+		tracePth = flag.String("trace", "", "run a PMSTRACE command file instead of a built-in pattern")
+		n        = flag.Int("n", 128, "processor count")
+		size     = flag.Int("size", 64, "message size in bytes")
+		msgs     = flag.Int("msgs", 50, "messages per processor (random-mesh, mix)")
+		rounds   = flag.Int("rounds", 12, "rounds (ordered-mesh)")
+		k        = flag.Int("k", 4, "TDM multiplexing degree")
+		preload  = flag.Int("preload-slots", 1, "pinned slots (tdm-hybrid)")
+		det      = flag.Float64("determinism", 0.85, "statically-known traffic fraction (mix)")
+		think    = flag.Duration("think", 150*time.Nanosecond, "compute time between sends (mix)")
+		timeout  = flag.Duration("timeout", 500*time.Nanosecond, "eviction timeout (dynamic/hybrid TDM)")
+		eviction = flag.String("eviction", "timeout", "eviction policy: reactive|timeout|counter|never|markov")
+		amplify  = flag.Int("amplify", 0, "bandwidth-amplification threshold in bytes (0 = off)")
+		omega    = flag.Bool("omega", false, "run the TDM modes on a blocking omega fabric")
+		hist     = flag.Bool("hist", false, "print the latency histogram")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+
+	wl, err := buildWorkload(*pattern, *tracePth, *n, *size, *msgs, *rounds, *det, *think, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := buildConfig(*netName, *eviction, *n, *k, *preload, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.AmplifyBytes = *amplify
+	cfg.OmegaFabric = *omega
+
+	rep, err := pmsnet.Run(cfg, wl)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("network:     %s\n", rep.Network)
+	fmt.Printf("workload:    %s (%d processors, %d messages, %d bytes)\n",
+		rep.Workload, wl.Processors(), rep.Messages, rep.Bytes)
+	fmt.Printf("makespan:    %v\n", rep.Makespan)
+	fmt.Printf("efficiency:  %.3f\n", rep.Efficiency)
+	fmt.Printf("latency:     mean %v  p50 %v  p95 %v  max %v\n",
+		rep.LatencyMean, rep.LatencyP50, rep.LatencyP95, rep.LatencyMax)
+	if rep.SchedulerPasses > 0 || rep.Preloads > 0 {
+		fmt.Printf("scheduler:   %d passes, %d established, %d released, %d evicted, %d preloads\n",
+			rep.SchedulerPasses, rep.Established, rep.Released, rep.Evictions, rep.Preloads)
+		fmt.Printf("hit rate:    %.3f\n", rep.HitRate)
+	}
+	if *hist {
+		fmt.Printf("latency histogram:\n%s", rep.LatencyHistogram)
+	}
+}
+
+func buildWorkload(pattern, tracePath string, n, size, msgs, rounds int, det float64, think time.Duration, seed int64) (*pmsnet.Workload, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pmsnet.ReadTrace(f)
+	}
+	switch pattern {
+	case "scatter":
+		return pmsnet.ScatterWorkload(n, size), nil
+	case "ordered-mesh":
+		return pmsnet.OrderedMesh(n, size, rounds), nil
+	case "random-mesh":
+		return pmsnet.RandomMesh(n, size, msgs, seed), nil
+	case "all-to-all":
+		return pmsnet.AllToAll(n, size), nil
+	case "two-phase":
+		return pmsnet.TwoPhaseWorkload(n, size, seed), nil
+	case "mix":
+		return pmsnet.MixWorkload(n, size, msgs, det, think, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", pattern)
+	}
+}
+
+func buildConfig(netName, eviction string, n, k, preload int, timeout time.Duration) (pmsnet.Config, error) {
+	cfg := pmsnet.Config{N: n, K: k, PreloadSlots: preload, EvictionTimeout: timeout}
+	switch netName {
+	case "wormhole":
+		cfg.Switching = pmsnet.Wormhole
+	case "circuit":
+		cfg.Switching = pmsnet.CircuitSwitching
+	case "voq-islip":
+		cfg.Switching = pmsnet.VOQISLIP
+	case "mesh-wormhole":
+		cfg.Switching = pmsnet.MeshWormhole
+	case "mesh-tdm":
+		cfg.Switching = pmsnet.MeshTDM
+	case "tdm-dynamic":
+		cfg.Switching = pmsnet.DynamicTDM
+	case "tdm-preload":
+		cfg.Switching = pmsnet.PreloadTDM
+	case "tdm-hybrid":
+		cfg.Switching = pmsnet.HybridTDM
+	default:
+		return cfg, fmt.Errorf("unknown network %q", netName)
+	}
+	switch eviction {
+	case "reactive":
+		cfg.Eviction = pmsnet.ReleaseOnEmpty
+	case "timeout":
+		cfg.Eviction = pmsnet.TimeoutEviction
+	case "counter":
+		cfg.Eviction = pmsnet.CounterEviction
+	case "never":
+		cfg.Eviction = pmsnet.NeverEvict
+	case "markov":
+		cfg.Eviction = pmsnet.MarkovPrefetch
+	default:
+		return cfg, fmt.Errorf("unknown eviction policy %q", eviction)
+	}
+	return cfg, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command tracegen writes a built-in workload as a PMSTRACE command file —
+// the per-processor command-file format the paper's simulator is driven by
+// (§5). The output can be edited by hand and replayed with pmsim -trace.
+//
+// Usage:
+//
+//	tracegen -pattern two-phase -n 128 -size 64 > twophase.pms
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmsnet"
+)
+
+func main() {
+	var (
+		pattern = flag.String("pattern", "two-phase", "workload: scatter|ordered-mesh|random-mesh|all-to-all|two-phase|mix")
+		n       = flag.Int("n", 128, "processor count")
+		size    = flag.Int("size", 64, "message size in bytes")
+		msgs    = flag.Int("msgs", 50, "messages per processor (random-mesh, mix)")
+		rounds  = flag.Int("rounds", 12, "rounds (ordered-mesh)")
+		det     = flag.Float64("determinism", 0.85, "statically-known fraction (mix)")
+		think   = flag.Duration("think", 150*time.Nanosecond, "compute time between sends (mix)")
+		seed    = flag.Int64("seed", 1, "workload random seed")
+		out     = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	var wl *pmsnet.Workload
+	switch *pattern {
+	case "scatter":
+		wl = pmsnet.ScatterWorkload(*n, *size)
+	case "ordered-mesh":
+		wl = pmsnet.OrderedMesh(*n, *size, *rounds)
+	case "random-mesh":
+		wl = pmsnet.RandomMesh(*n, *size, *msgs, *seed)
+	case "all-to-all":
+		wl = pmsnet.AllToAll(*n, *size)
+	case "two-phase":
+		wl = pmsnet.TwoPhaseWorkload(*n, *size, *seed)
+	case "mix":
+		wl = pmsnet.MixWorkload(*n, *size, *msgs, *det, *think, *seed)
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := pmsnet.WriteTrace(bw, wl); err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// hybrid demonstrates predictive communication with partial compile-time
+// knowledge (paper §3.3 and Figure 5): a fraction of each processor's
+// messages goes to two fixed favored destinations a compiler can preload,
+// the rest is data-dependent.
+//
+// The switch runs with a multiplexing degree of three; k slots are pinned
+// with the favored permutations and 3−k slots schedule the random remainder
+// reactively. Sweeping the deterministic fraction shows where giving slots
+// to the preloaded pattern wins.
+//
+// Run with:
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pmsnet"
+)
+
+func main() {
+	const (
+		n    = 128
+		k    = 3
+		msgs = 40
+	)
+	fmt.Printf("hybrid preload+dynamic switch, %d processors, K=%d\n\n", n, k)
+	fmt.Printf("%-14s %-12s %-12s %-12s\n", "determinism", "0p+3d", "1p+2d", "2p+1d")
+
+	for _, det := range []float64{0.5, 0.7, 0.85, 0.95, 1.0} {
+		workload := pmsnet.MixWorkload(n, 64, msgs, det, 150*time.Nanosecond, 7)
+		fmt.Printf("%-14.0f", det*100)
+		for preloaded := 0; preloaded <= 2; preloaded++ {
+			report, err := pmsnet.Run(pmsnet.Config{
+				Switching:       pmsnet.HybridTDM,
+				N:               n,
+				K:               k,
+				PreloadSlots:    preloaded,
+				Eviction:        pmsnet.TimeoutEviction,
+				EvictionTimeout: 250 * time.Nanosecond,
+			}, workload)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %-12.3f", report.Efficiency)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nPreloading one favored permutation pays off even when only half the")
+	fmt.Println("traffic is predictable; pinning both only wins once ~85% of the traffic")
+	fmt.Println("follows the static pattern — the paper's argument for predictive")
+	fmt.Println("communication with a high-accuracy predictor.")
+}

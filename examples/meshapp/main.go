@@ -1,0 +1,55 @@
+// meshapp simulates the communication phase of an iterative 2-D stencil
+// solver (the workload class the paper's introduction motivates: NAS-style
+// codes with small, static communication working sets).
+//
+// Each iteration every processor exchanges halo regions with its four mesh
+// neighbors; the halo width — and therefore the message size — is swept to
+// show where each switching paradigm pays off. The stencil's communication
+// pattern is fully known at compile time, so the preloaded switch runs it
+// without any run-time scheduling at all.
+//
+// Run with:
+//
+//	go run ./examples/meshapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmsnet"
+)
+
+const (
+	processors = 128
+	iterations = 10
+)
+
+func main() {
+	fmt.Printf("2-D stencil halo exchange on %d processors, %d iterations\n\n", processors, iterations)
+	fmt.Printf("%-12s %-12s %-12s %-12s %-12s\n", "halo bytes", "wormhole", "circuit", "dynamic-tdm", "preload-tdm")
+
+	for _, halo := range []int{32, 64, 256, 1024} {
+		// One ordered neighbor round per iteration.
+		workload := pmsnet.OrderedMesh(processors, halo, iterations)
+		fmt.Printf("%-12d", halo)
+		for _, cfg := range []pmsnet.Config{
+			{Switching: pmsnet.Wormhole, N: processors},
+			{Switching: pmsnet.CircuitSwitching, N: processors},
+			{Switching: pmsnet.DynamicTDM, N: processors, K: 4, Eviction: pmsnet.TimeoutEviction},
+			{Switching: pmsnet.PreloadTDM, N: processors, K: 4},
+		} {
+			report, err := pmsnet.Run(cfg, workload)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %-12.3f", report.Efficiency)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe nearest-neighbor working set has degree 4, so a multiplexing")
+	fmt.Println("degree of 4 caches it completely: the TDM switch never tears a")
+	fmt.Println("stencil circuit down between iterations, while wormhole re-arbitrates")
+	fmt.Println("every worm and circuit switching rebuilds every circuit.")
+}

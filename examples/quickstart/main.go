@@ -1,0 +1,36 @@
+// Quickstart: simulate one workload on the predictive multiplexed switch
+// and on the wormhole baseline, and compare their link efficiency.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmsnet"
+)
+
+func main() {
+	// A 128-processor machine exchanging 64-byte messages with its 2-D mesh
+	// neighbors in a fixed, compiler-visible order — the paper's Ordered
+	// Mesh pattern.
+	workload := pmsnet.OrderedMesh(128, 64, 10)
+
+	for _, cfg := range []pmsnet.Config{
+		{Switching: pmsnet.Wormhole, N: 128},
+		{Switching: pmsnet.DynamicTDM, N: 128, K: 4, Eviction: pmsnet.TimeoutEviction},
+		{Switching: pmsnet.PreloadTDM, N: 128, K: 4},
+	} {
+		report, err := pmsnet.Run(cfg, workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s efficiency %.3f  makespan %-10v  p95 latency %v\n",
+			report.Network, report.Efficiency, report.Makespan, report.LatencyP95)
+	}
+	fmt.Println("\nThe preloaded switch caches the whole nearest-neighbor working set")
+	fmt.Println("in its four TDM slots, so every message finds its circuit established.")
+}

@@ -1,0 +1,60 @@
+// twophase demonstrates compiler-assisted reconfiguration (paper §3.3) on a
+// program with two communication phases: a global all-to-all (e.g. an FFT
+// transpose) followed by local nearest-neighbor exchanges.
+//
+// The compiler emits a FLUSH directive between the phases so the dynamic
+// scheduler does not mispredict the second phase from the first, and it
+// hands both phases' working sets to the preload controller. The example
+// compares the dynamic switch, the preloaded switch, and the baselines on
+// the same program, then saves the program as a PMSTRACE command file.
+//
+// Run with:
+//
+//	go run ./examples/twophase
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pmsnet"
+)
+
+func main() {
+	const n = 128
+	workload := pmsnet.TwoPhaseWorkload(n, 64, 42)
+	fmt.Printf("two-phase program: %d messages, %d bytes total\n\n",
+		workload.Messages(), workload.TotalBytes())
+
+	for _, cfg := range []pmsnet.Config{
+		{Switching: pmsnet.Wormhole, N: n},
+		{Switching: pmsnet.CircuitSwitching, N: n},
+		{Switching: pmsnet.DynamicTDM, N: n, K: 4, Eviction: pmsnet.TimeoutEviction},
+		{Switching: pmsnet.PreloadTDM, N: n, K: 4},
+	} {
+		report, err := pmsnet.Run(cfg, workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s efficiency %.3f  makespan %-10v  preloads %d\n",
+			report.Network, report.Efficiency, report.Makespan, report.Preloads)
+	}
+
+	// Persist the program as a command file for pmsim -trace.
+	f, err := os.CreateTemp("", "twophase-*.pms")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := pmsnet.WriteTrace(f, workload); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncommand file written to %s (replay with: go run ./cmd/pmsim -trace %s -net tdm-preload)\n",
+		f.Name(), f.Name())
+
+	fmt.Println("\nThe all-to-all working set (127 permutations) dwarfs the 4-slot cache,")
+	fmt.Println("so the dynamic scheduler thrashes; the preload controller instead sweeps")
+	fmt.Println("the compiler's decomposed configurations through the slots and swaps to")
+	fmt.Println("the nearest-neighbor set when the second phase's traffic takes over.")
+}

@@ -1,0 +1,3 @@
+module pmsnet
+
+go 1.22

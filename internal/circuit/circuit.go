@@ -1,0 +1,172 @@
+// Package circuit implements the paper's circuit-switching baseline: a
+// dedicated end-to-end pipe is established per message and torn down when
+// the message completes. In the framework of paper §3, this is TDM with a
+// multiplexing degree of one.
+//
+// Timing model (paper §5): "the delay to schedule a message includes the
+// cable delay of 80 ns to send the request, 80 ns to schedule the request,
+// and another 80 ns to send the grant back to the NIC. After that, the
+// point-to-point delay is 30+20+20+30 ns" — the data stays serial through
+// the LVDS/optical crossbar, so no serdes is needed at the switch and the
+// propagation through the fabric itself is negligible.
+package circuit
+
+import (
+	"fmt"
+
+	"pmsnet/internal/core"
+	"pmsnet/internal/fabric"
+	"pmsnet/internal/link"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/netmodel"
+	"pmsnet/internal/nic"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/traffic"
+)
+
+// Config parameterizes the circuit-switched network.
+type Config struct {
+	// N is the processor count.
+	N int
+	// Link is the serial-link model; zero value means link.Paper().
+	Link link.Model
+	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
+	Horizon sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Link.BitsPerSecond == 0 {
+		c.Link = link.Paper()
+	}
+	if c.Horizon == 0 {
+		c.Horizon = netmodel.DefaultHorizon
+	}
+	return c
+}
+
+// Network is the circuit-switching baseline.
+type Network struct {
+	cfg Config
+}
+
+// New builds a circuit-switched network.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N <= 1 {
+		return nil, fmt.Errorf("circuit: need at least 2 processors, got %d", cfg.N)
+	}
+	if err := cfg.Link.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{cfg: cfg}, nil
+}
+
+// Name implements netmodel.Network.
+func (n *Network) Name() string { return "circuit" }
+
+type request struct {
+	msg *nic.Message
+}
+
+type run struct {
+	cfg       Config
+	eng       *sim.Engine
+	driver    *netmodel.Driver
+	xbar      *fabric.Crossbar
+	schedNs   sim.Time
+	ctrlNs    sim.Time
+	dataPipe  sim.Time
+	outQueue  [][]*request
+	outBusy   []bool
+	srcActive []bool
+	stats     metrics.NetStats
+}
+
+// Run implements netmodel.Network.
+func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
+	eng := sim.NewEngine()
+	lm := n.cfg.Link
+	r := &run{
+		cfg:     n.cfg,
+		eng:     eng,
+		xbar:    fabric.NewCrossbar(n.cfg.N, fabric.LVDS, 0),
+		schedNs: core.ASICLatency(n.cfg.N),
+		ctrlNs:  lm.ControlDelay(),
+		// Source serdes + wire to switch + (LVDS switch: 0) + wire to
+		// destination + destination serdes: 30+20+20+30.
+		dataPipe:  lm.SerializeNs + lm.WireNs + n.xbarDelay() + lm.WireNs + lm.DeserializeNs,
+		outQueue:  make([][]*request, n.cfg.N),
+		outBusy:   make([]bool, n.cfg.N),
+		srcActive: make([]bool, n.cfg.N),
+	}
+	driver, err := netmodel.NewDriver(eng, lm, wl, netmodel.Hooks{
+		OnEnqueue: func(m *nic.Message) { r.kickSource(m.Src) },
+	})
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	r.driver = driver
+	driver.Start()
+	return driver.Finish(n.Name(), n.cfg.Horizon, r.stats)
+}
+
+func (n *Network) xbarDelay() sim.Time { return fabric.LVDS.TraversalDelay() }
+
+func (r *run) kickSource(s int) {
+	if r.srcActive[s] {
+		return
+	}
+	r.srcActive[s] = true
+	r.startMessage(s)
+}
+
+// startMessage raises a circuit request for the source's next message.
+func (r *run) startMessage(s int) {
+	m := r.driver.Buffers[s].PopFIFO()
+	if m == nil {
+		r.srcActive[s] = false
+		return
+	}
+	// The request token travels to the scheduler over a control line.
+	r.eng.After(r.ctrlNs, "request-at-scheduler", func() {
+		req := &request{msg: m}
+		r.outQueue[m.Dst] = append(r.outQueue[m.Dst], req)
+		r.kickOutput(m.Dst)
+	})
+}
+
+// kickOutput grants the circuit for the next queued request once the output
+// port is free.
+func (r *run) kickOutput(v int) {
+	if r.outBusy[v] || len(r.outQueue[v]) == 0 {
+		return
+	}
+	req := r.outQueue[v][0]
+	r.outQueue[v] = r.outQueue[v][1:]
+	r.outBusy[v] = true
+	m := req.msg
+	r.stats.SchedulerPasses++
+	r.stats.Established++
+	// 80 ns to schedule, 80 ns for the grant to reach the NIC.
+	r.eng.After(r.schedNs+r.ctrlNs, "grant-at-nic", func() {
+		ser := r.cfg.Link.SerializationTime(m.Bytes)
+		// The last byte leaves the source at +ser and reaches the
+		// destination NIC one data-pipe latency later.
+		r.eng.After(ser+r.dataPipe+nic.RecvOverhead, "deliver", func() {
+			r.driver.Deliver(m)
+		})
+		// The circuit (and its output port) is held until the tail has
+		// cleared the fabric; then it is torn down and the port can be
+		// granted again.
+		r.eng.After(ser+r.cfg.Link.SerializeNs+r.cfg.Link.WireNs, "teardown", func() {
+			r.stats.Released++
+			r.outBusy[v] = false
+			r.kickOutput(v)
+		})
+		// The source NIC is free to request its next circuit as soon as it
+		// has pushed the last byte into the serializer.
+		r.eng.After(ser+nic.SendOverhead, "source-next", func() {
+			r.startMessage(m.Src)
+		})
+	})
+}

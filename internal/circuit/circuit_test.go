@@ -1,0 +1,160 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmsnet/internal/traffic"
+)
+
+func mustNew(t *testing.T, n int) *Network {
+	t.Helper()
+	nw, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N: 0}); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+	if mustNew(t, 4).Name() != "circuit" {
+		t.Fatal("Name wrong")
+	}
+}
+
+// TestSingleMessageLatency pins the circuit-establishment cost on a 4-port
+// system: the request takes 80 ns to reach the scheduler, scheduling a 4x4
+// array takes 10 ns (Table 3 ASIC model; the paper's 80 ns figure is for
+// 128x128), the grant takes 80 ns back; then the 8-byte payload serializes
+// in 10 ns and crosses the 30+20+0+20+30 = 100 ns pipe, plus the 10 ns NIC
+// receive: 170 + 10 + 100 + 10 = 290 ns.
+func TestSingleMessageLatency(t *testing.T) {
+	nw := mustNew(t, 4)
+	wl := &traffic.Workload{Name: "one", N: 4,
+		Programs: []traffic.Program{{Ops: []traffic.Op{traffic.Send(1, 8)}}, {}, {}, {}}}
+	res, err := nw.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyMax != 290 {
+		t.Fatalf("latency = %v, want 290ns", res.LatencyMax)
+	}
+}
+
+// TestLargeMessageAmortizesSetup: a 2048-byte message pays the same 170 ns
+// setup but streams for 2560 ns, so its latency is 170+2560+100+10 = 2840 ns
+// and its efficiency (ideal 2560 / makespan 2840) is ~0.90 — the paper's
+// "performance of circuit switching improves when the message size is
+// large".
+func TestLargeMessageAmortizesSetup(t *testing.T) {
+	nw := mustNew(t, 4)
+	wl := &traffic.Workload{Name: "big", N: 4,
+		Programs: []traffic.Program{{Ops: []traffic.Op{traffic.Send(1, 2048)}}, {}, {}, {}}}
+	res, err := nw.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyMax != 2840 {
+		t.Fatalf("latency = %v, want 2840ns", res.LatencyMax)
+	}
+	if res.Efficiency < 0.87 || res.Efficiency > 0.93 {
+		t.Fatalf("efficiency = %v, want ~0.90", res.Efficiency)
+	}
+}
+
+func TestEfficiencyGrowsWithMessageSize(t *testing.T) {
+	nw := mustNew(t, 16)
+	var prev float64
+	for _, size := range []int{8, 64, 512, 2048} {
+		res, err := nw.Run(traffic.Scatter(16, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Efficiency <= prev {
+			t.Fatalf("efficiency at %dB = %v, not above %v: circuit switching must improve with size",
+				size, res.Efficiency, prev)
+		}
+		prev = res.Efficiency
+	}
+}
+
+func TestOutputContentionQueuesGrants(t *testing.T) {
+	nw := mustNew(t, 4)
+	wl := &traffic.Workload{Name: "incast", N: 4, Programs: []traffic.Program{
+		{Ops: []traffic.Op{traffic.Send(2, 800)}},
+		{Ops: []traffic.Op{traffic.Send(2, 800)}},
+		{}, {},
+	}}
+	res, err := nw.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First circuit: granted at 170 (request 80 + schedule 10 + grant 80),
+	// data 1000 ns, delivered 170+1000+100+10 = 1280. The output port frees
+	// at 170+1000+50 = 1220 (tail clears the fabric), then the second
+	// circuit is scheduled (10) and granted (80): data starts at 1310,
+	// delivered 1310+1000+110 = 2420.
+	if res.LatencyMax != 2420 {
+		t.Fatalf("second message latency = %v, want 2420ns", res.LatencyMax)
+	}
+}
+
+func TestAllWorkloadsComplete(t *testing.T) {
+	nw := mustNew(t, 16)
+	for _, wl := range []*traffic.Workload{
+		traffic.Scatter(16, 64),
+		traffic.OrderedMesh(16, 256, 3),
+		traffic.RandomMesh(16, 8, 5, 1),
+		traffic.TwoPhase(16, 64, 2),
+	} {
+		res, err := nw.Run(wl)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		if res.Messages != wl.MessageCount() || res.Bytes != wl.TotalBytes() {
+			t.Fatalf("%s: delivered %d/%dB of %d/%dB", wl.Name,
+				res.Messages, res.Bytes, wl.MessageCount(), wl.TotalBytes())
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	nw := mustNew(t, 16)
+	a, _ := nw.Run(traffic.RandomMesh(16, 128, 8, 42))
+	b, _ := nw.Run(traffic.RandomMesh(16, 128, 8, 42))
+	if a.Makespan != b.Makespan {
+		t.Fatalf("runs differ: %v vs %v", a.Makespan, b.Makespan)
+	}
+}
+
+func TestQuickCompletion(t *testing.T) {
+	nw := mustNew(t, 8)
+	f := func(seed int64) bool {
+		wl := traffic.RandomMesh(8, 32, 4, seed)
+		res, err := nw.Run(wl)
+		if err != nil {
+			return false
+		}
+		return res.Messages == wl.MessageCount() && res.LatencyMax >= 290
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCircuitRandomMesh128(b *testing.B) {
+	nw, err := New(Config{N: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := traffic.RandomMesh(128, 128, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.Run(wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

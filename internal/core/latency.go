@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"pmsnet/internal/sim"
+)
+
+// Table 3 of the paper: latency of the scheduling circuit synthesized on an
+// Altera Stratix FPGA (EP1S25F1020C-5), by system size. The delay grows
+// linearly with N because the A and D availability signals ripple through
+// the NxN SL array.
+var fpgaLatencyTable = []struct {
+	n  int
+	ns sim.Time
+}{
+	{4, 34},
+	{8, 49},
+	{16, 76},
+	{32, 120},
+	{64, 213},
+	{128, 385},
+}
+
+// FPGALatency returns the scheduling-pass latency for an NxN scheduler on
+// the paper's FPGA. Exact table sizes return the published value; other
+// sizes are linearly interpolated, and sizes beyond the table extrapolate
+// with the last segment's slope (the paper states the delay is linear in N).
+func FPGALatency(n int) sim.Time {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: invalid system size %d", n))
+	}
+	t := fpgaLatencyTable
+	if n <= t[0].n {
+		// Scale the smallest entry down proportionally to its per-port cost.
+		return sim.Time(int64(t[0].ns) * int64(n) / int64(t[0].n))
+	}
+	for i := 1; i < len(t); i++ {
+		if n <= t[i].n {
+			lo, hi := t[i-1], t[i]
+			span := int64(hi.n - lo.n)
+			return lo.ns + sim.Time(int64(hi.ns-lo.ns)*int64(n-lo.n)/span)
+		}
+	}
+	// Extrapolate beyond 128 ports with the 64→128 slope.
+	lo, hi := t[len(t)-2], t[len(t)-1]
+	slope := int64(hi.ns-lo.ns) / int64(hi.n-lo.n)
+	return hi.ns + sim.Time(slope*int64(n-hi.n))
+}
+
+// ASICLatency returns the conservative ASIC estimate the paper simulates
+// with: 5x faster than the FPGA, rounded up to the next 10 ns ("we
+// conservatively chose the ASIC performance to be 80 ns for a 128x128
+// scheduler").
+func ASICLatency(n int) sim.Time {
+	f := FPGALatency(n)
+	a := (f + 4) / 5 // ceil(f/5)
+	return (a + 9) / 10 * 10
+}
+
+// PassLatency returns the simulated cost of one scheduling pass for this
+// scheduler's port count, using the ASIC estimate. For the paper's 128-port
+// system this is exactly 80 ns.
+func (s *Scheduler) PassLatency() sim.Time {
+	return ASICLatency(s.p.N)
+}

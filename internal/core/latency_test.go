@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmsnet/internal/sim"
+)
+
+// TestTable3PublishedValues pins the FPGA latency model to the paper's
+// Table 3 exactly.
+func TestTable3PublishedValues(t *testing.T) {
+	want := map[int]sim.Time{4: 34, 8: 49, 16: 76, 32: 120, 64: 213, 128: 385}
+	for n, ns := range want {
+		if got := FPGALatency(n); got != ns {
+			t.Errorf("FPGALatency(%d) = %v, want %v", n, ns, got)
+		}
+	}
+}
+
+func TestASICLatency128Is80ns(t *testing.T) {
+	// "We conservatively chose the ASIC performance to be 80 ns for a
+	// 128x128 scheduler (about 5x better)."
+	if got := ASICLatency(128); got != 80 {
+		t.Fatalf("ASICLatency(128) = %v, want 80ns", got)
+	}
+	s := NewScheduler(Params{N: 128, K: 4})
+	if got := s.PassLatency(); got != 80 {
+		t.Fatalf("PassLatency = %v, want 80ns", got)
+	}
+}
+
+func TestLatencyInterpolation(t *testing.T) {
+	// Between table entries: linear.
+	mid := FPGALatency(48) // between 32 (120) and 64 (213)
+	if mid <= 120 || mid >= 213 {
+		t.Fatalf("FPGALatency(48) = %v, want strictly between 120 and 213", mid)
+	}
+	// Below the table: proportional scale-down.
+	if got := FPGALatency(2); got <= 0 || got >= 34 {
+		t.Fatalf("FPGALatency(2) = %v, want in (0, 34)", got)
+	}
+	// Beyond the table: linear extrapolation with the last slope.
+	if got := FPGALatency(256); got <= 385 {
+		t.Fatalf("FPGALatency(256) = %v, want above 385", got)
+	}
+}
+
+func TestLatencyPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FPGALatency(0)
+}
+
+func TestQuickLatencyMonotonic(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a)+1, int(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return FPGALatency(x) <= FPGALatency(y) && ASICLatency(x) <= ASICLatency(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickASICFasterThanFPGA(t *testing.T) {
+	f := func(a uint8) bool {
+		n := int(a) + 1
+		// ASIC is ~5x faster but rounded up to 10 ns; it can never exceed
+		// the FPGA figure once the FPGA figure itself is above 10 ns.
+		fp := FPGALatency(n)
+		as := ASICLatency(n)
+		return as <= fp || fp < 10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,588 @@
+// Package core implements the paper's primary contribution: the TDM
+// connection scheduler of the predictive multiplexed switch (paper §4).
+//
+// The scheduler owns K configuration matrices B(0) ... B(K-1), one per
+// multiplexed time slot. Each matrix is a partial permutation of the
+// crossbar. Two counters drive it:
+//
+//   - The TDM counter selects which configuration is copied into the fabric's
+//     configuration register at each slot boundary, skipping slots whose
+//     configuration is all zeros so that the effective multiplexing degree
+//     shrinks to the active working set.
+//   - The SL counter selects which slot the scheduling-logic array will try
+//     to insert pending requests into, round-robin over the dynamic slots.
+//
+// One scheduling pass is one SL clock cycle of the hardware: the
+// pre-scheduling logic (Table 1) compares the request matrix R against B*
+// (the OR of all configurations) and the selected slot's B(s) to produce the
+// change matrix L, and the NxN array of SL modules (Table 2, Figure 3)
+// resolves L against the propagating port-availability signals A (outputs)
+// and D (inputs), establishing and releasing connections. The pass is
+// modeled bit-exactly; its hardware cost is modeled by the Table 3 latency
+// figures (see latency.go).
+//
+// All five extensions listed in §4 are implemented: multiple SL copies
+// (Params.SLCopies), multi-slot connections (AddBandwidth), request latching
+// with explicit eviction (Params.LatchRequests, Evict), flush (Flush), and
+// preloaded pinned configurations with dynamic coexistence (LoadConfig,
+// PinSlot).
+package core
+
+import (
+	"fmt"
+
+	"pmsnet/internal/bitmat"
+)
+
+// Params configures a Scheduler.
+type Params struct {
+	// N is the crossbar port count.
+	N int
+	// K is the number of configuration registers (the maximum multiplexing
+	// degree).
+	K int
+	// RotatePriority enables the round-robin rotation of the scheduling
+	// array's priority origin (paper §4: "a more fair schedule can be
+	// obtained by rotating the priority"). Without it, low-numbered ports
+	// always win contention.
+	RotatePriority bool
+	// SkipEmptySlots enables the TDM counter feature that skips a count t
+	// whose configuration B(t) is all zeros, reducing the effective
+	// multiplexing degree.
+	SkipEmptySlots bool
+	// SLCopies is the number of scheduling-logic units working on different
+	// slots in the same pass (extension 1). Must be at least 1 and at most K.
+	SLCopies int
+	// LatchRequests keeps a connection established after the NIC drops its
+	// request (extension 3); connections are then released only by Evict or
+	// Flush. When false, a connection is released as soon as its request
+	// disappears.
+	LatchRequests bool
+	// CanEstablish, when non-nil, adds a fabric-realizability constraint to
+	// the scheduling logic: a connection u→v is only established in a slot
+	// whose configuration b (not yet containing u→v) satisfies
+	// CanEstablish(b, u, v). Crossbars need no constraint beyond free ports;
+	// fabrics with limited permutation capability — multistage networks —
+	// use this hook (paper §4: "more complicated constraints may be derived
+	// for fabrics that have limited permutation capabilities").
+	CanEstablish func(b *bitmat.Matrix, u, v int) bool
+}
+
+// withDefaults normalizes zero values.
+func (p Params) withDefaults() Params {
+	if p.SLCopies == 0 {
+		p.SLCopies = 1
+	}
+	return p
+}
+
+// Validate reports an error for inconsistent parameters.
+func (p Params) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("core: port count N=%d must be positive", p.N)
+	}
+	if p.K <= 0 {
+		return fmt.Errorf("core: multiplexing degree K=%d must be positive", p.K)
+	}
+	if p.SLCopies < 1 || p.SLCopies > p.K {
+		return fmt.Errorf("core: SLCopies=%d must be in [1,%d]", p.SLCopies, p.K)
+	}
+	return nil
+}
+
+// Change records one connection established or released by a pass.
+type Change struct {
+	Src, Dst int
+	Slot     int
+}
+
+// PassResult summarizes one scheduling pass.
+type PassResult struct {
+	// Slots lists the slot indices the pass scheduled into (SLCopies long,
+	// unless fewer dynamic slots exist).
+	Slots []int
+	// Established and Released list connection changes in scan order.
+	Established []Change
+	Released    []Change
+}
+
+// Stats counts scheduler activity since construction.
+type Stats struct {
+	Passes      uint64
+	Established uint64
+	Released    uint64
+	Flushes     uint64
+	Evictions   uint64
+}
+
+// Scheduler is the TDM connection scheduler. It is not safe for concurrent
+// use; the simulation engine is single-threaded by design.
+type Scheduler struct {
+	p       Params
+	configs []*bitmat.Matrix
+	pinned  []bool
+	latch   *bitmat.Matrix
+	bstar   *bitmat.Matrix
+	dirty   bool // bstar needs recomputation
+
+	slCursor  int
+	tdmCursor int
+	rot       int
+
+	stats Stats
+}
+
+// NewScheduler builds a scheduler; invalid Params panic (construction-time
+// programmer error).
+func NewScheduler(p Params) *Scheduler {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Scheduler{
+		p:       p,
+		configs: make([]*bitmat.Matrix, p.K),
+		pinned:  make([]bool, p.K),
+		latch:   bitmat.NewSquare(p.N),
+		bstar:   bitmat.NewSquare(p.N),
+	}
+	for i := range s.configs {
+		s.configs[i] = bitmat.NewSquare(p.N)
+	}
+	return s
+}
+
+// Params returns the scheduler's configuration.
+func (s *Scheduler) Params() Params { return s.p }
+
+// Stats returns activity counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Config returns a copy of configuration matrix B(slot).
+func (s *Scheduler) Config(slot int) *bitmat.Matrix {
+	s.checkSlot(slot)
+	return s.configs[slot].Clone()
+}
+
+// BStar returns a copy of B*, the OR of all configuration matrices: every
+// connection currently established in any slot.
+func (s *Scheduler) BStar() *bitmat.Matrix {
+	s.refreshBStar()
+	return s.bstar.Clone()
+}
+
+func (s *Scheduler) refreshBStar() {
+	if !s.dirty {
+		return
+	}
+	s.bstar.Reset()
+	for _, c := range s.configs {
+		s.bstar.Or(c)
+	}
+	s.dirty = false
+}
+
+// Connected reports whether the connection src→dst is established in any
+// slot (the B* bit).
+func (s *Scheduler) Connected(src, dst int) bool {
+	s.refreshBStar()
+	return s.bstar.Get(src, dst)
+}
+
+// SlotsOf returns the slots in which src→dst is established (more than one
+// under AddBandwidth).
+func (s *Scheduler) SlotsOf(src, dst int) []int {
+	var out []int
+	for i, c := range s.configs {
+		if c.Get(src, dst) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Connections returns the number of distinct established connections.
+func (s *Scheduler) Connections() int {
+	s.refreshBStar()
+	return s.bstar.Count()
+}
+
+// ActiveSlots returns the indices of slots with a non-empty configuration —
+// the effective multiplexing degree the TDM counter cycles through when
+// empty-slot skipping is on.
+func (s *Scheduler) ActiveSlots() []int {
+	var out []int
+	for i, c := range s.configs {
+		if !c.IsZero() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (s *Scheduler) checkSlot(slot int) {
+	if slot < 0 || slot >= s.p.K {
+		panic(fmt.Sprintf("core: slot %d outside [0,%d)", slot, s.p.K))
+	}
+}
+
+func (s *Scheduler) checkPort(u int) {
+	if u < 0 || u >= s.p.N {
+		panic(fmt.Sprintf("core: port %d outside [0,%d)", u, s.p.N))
+	}
+}
+
+// --- TDM counter (fabric side) ---
+
+// NextFabricSlot advances the TDM counter and returns the slot whose
+// configuration should be copied to the fabric for the next time slot. With
+// SkipEmptySlots it skips all-zero configurations (paper §4, Figure 2); if
+// every configuration is empty it reports ok=false and the fabric stays
+// idle.
+func (s *Scheduler) NextFabricSlot() (slot int, cfg *bitmat.Matrix, ok bool) {
+	for tried := 0; tried < s.p.K; tried++ {
+		t := s.tdmCursor
+		s.tdmCursor = (s.tdmCursor + 1) % s.p.K
+		if s.p.SkipEmptySlots && s.configs[t].IsZero() {
+			continue
+		}
+		return t, s.configs[t].Clone(), true
+	}
+	return -1, nil, false
+}
+
+// GrantRow returns the grant signal G_u for NIC u in the given slot: the
+// output port u may send to during that slot, or -1 when u has no grant.
+// At most one bit of a configuration row is set, so the grant is a single
+// port.
+func (s *Scheduler) GrantRow(slot, u int) int {
+	s.checkSlot(slot)
+	s.checkPort(u)
+	return s.configs[slot].FirstInRow(u)
+}
+
+// --- scheduling logic (SL side) ---
+
+// effectiveRequests returns R | latch when latching is on, otherwise R.
+// The latch matrix holds requests the scheduler has decided to remember
+// after the NIC dropped them (extension 3).
+func (s *Scheduler) effectiveRequests(r *bitmat.Matrix) *bitmat.Matrix {
+	if !s.p.LatchRequests {
+		return r
+	}
+	eff := r.Clone()
+	eff.Or(s.latch)
+	return eff
+}
+
+// PreSchedule computes the change matrix L of Table 1 for slot `slot` given
+// request matrix r: L(u,v)=1 when the connection should be released from the
+// slot (not requested but realized there) or established (requested and
+// realized nowhere).
+func (s *Scheduler) PreSchedule(r *bitmat.Matrix, slot int) *bitmat.Matrix {
+	s.checkSlot(slot)
+	s.checkShape(r)
+	s.refreshBStar()
+	eff := s.effectiveRequests(r)
+	b := s.configs[slot]
+
+	// Release term: not requested, realized in slot s -> B(s) &^ Reff.
+	l := b.Clone()
+	l.AndNot(eff)
+	// Establish term: requested, realized nowhere -> Reff &^ B*.
+	est := eff.Clone()
+	est.AndNot(s.bstar)
+	l.Or(est)
+	return l
+}
+
+func (s *Scheduler) checkShape(m *bitmat.Matrix) {
+	if m.Rows() != s.p.N || m.Cols() != s.p.N {
+		panic(fmt.Sprintf("core: matrix is %dx%d, scheduler is %dx%d", m.Rows(), m.Cols(), s.p.N, s.p.N))
+	}
+}
+
+// ScheduleSlot runs one SL-array evaluation (Table 2) against slot `slot`,
+// mutating B(slot). It returns the changes it made. The array is scanned in
+// the rotated priority order: rows from origin a, columns from origin b,
+// with the availability signals A (per output column) and D (per input row)
+// initialized from AO/AI and updated as connections are released and
+// established, exactly as the propagating hardware signals would be.
+func (s *Scheduler) ScheduleSlot(r *bitmat.Matrix, slot int) (established, released []Change) {
+	s.checkSlot(slot)
+	if s.pinned[slot] {
+		panic(fmt.Sprintf("core: ScheduleSlot on pinned slot %d", slot))
+	}
+	l := s.PreSchedule(r, slot)
+	if l.IsZero() {
+		return nil, nil
+	}
+	b := s.configs[slot]
+	n := s.p.N
+
+	// A[v]: output v occupied in this slot (paper's AO). D[u]: input u
+	// occupied (paper's AI).
+	occOut := make([]bool, n)
+	occIn := make([]bool, n)
+	for p := 0; p < n; p++ {
+		occOut[p] = b.ColAny(p)
+		occIn[p] = b.RowAny(p)
+	}
+
+	a, bo := 0, 0
+	if s.p.RotatePriority {
+		a, bo = s.rot%n, s.rot%n
+	}
+
+	for i := 0; i < n; i++ {
+		u := (a + i) % n
+		rowOnes := l.RowOnes(u)
+		if len(rowOnes) == 0 {
+			continue
+		}
+		// Visit this row's L=1 cells in rotated column order.
+		for j := 0; j < n; j++ {
+			v := (bo + j) % n
+			if !l.Get(u, v) {
+				continue
+			}
+			// Each SL cell holds its own register bit B(s)(u,v), so it can
+			// distinguish the release case (bit set, ports necessarily
+			// occupied by this very connection) from an establish request
+			// whose ports happen to be busy.
+			if b.Get(u, v) {
+				// Table 2 row (L=1, A=1, D=1): release, ports become free.
+				b.Clear(u, v)
+				occOut[v] = false
+				occIn[u] = false
+				released = append(released, Change{Src: u, Dst: v, Slot: slot})
+			} else if !occOut[v] && !occIn[u] {
+				if s.p.CanEstablish != nil && !s.p.CanEstablish(b, u, v) {
+					// Fabric constraint: the connection would make this
+					// slot's configuration unrealizable; treat it like a
+					// port conflict and leave it for another slot.
+					continue
+				}
+				// Table 2 row (L=1, A=0, D=0): establish, ports become busy.
+				b.Set(u, v)
+				occOut[v] = true
+				occIn[u] = true
+				established = append(established, Change{Src: u, Dst: v, Slot: slot})
+			}
+			// Mixed availability (Table 2 middle rows): no change; the
+			// signals pass through unchanged.
+		}
+	}
+
+	if len(established) > 0 || len(released) > 0 {
+		s.dirty = true
+	}
+	if s.p.LatchRequests {
+		for _, c := range established {
+			s.latch.Set(c.Src, c.Dst)
+		}
+		for _, c := range released {
+			// Released connections (evicted or flushed) lose their latch if
+			// they are gone from every slot.
+			if len(s.SlotsOf(c.Src, c.Dst)) == 0 {
+				s.latch.Clear(c.Src, c.Dst)
+			}
+		}
+	}
+	s.stats.Established += uint64(len(established))
+	s.stats.Released += uint64(len(released))
+	return established, released
+}
+
+// Pass runs one scheduler pass: SLCopies scheduling-logic evaluations on the
+// next dynamic (unpinned) slots in SL-counter order, then advances the
+// priority rotation. It is the unit of work that costs PassLatency() in
+// simulated time.
+func (s *Scheduler) Pass(r *bitmat.Matrix) PassResult {
+	s.stats.Passes++
+	res := PassResult{}
+	dyn := s.dynamicSlots()
+	if len(dyn) == 0 {
+		return res
+	}
+	copies := s.p.SLCopies
+	if copies > len(dyn) {
+		copies = len(dyn)
+	}
+	for c := 0; c < copies; c++ {
+		// Advance the SL cursor to the next dynamic slot.
+		var slot int
+		for {
+			slot = s.slCursor
+			s.slCursor = (s.slCursor + 1) % s.p.K
+			if !s.pinned[slot] {
+				break
+			}
+		}
+		est, rel := s.ScheduleSlot(r, slot)
+		res.Slots = append(res.Slots, slot)
+		res.Established = append(res.Established, est...)
+		res.Released = append(res.Released, rel...)
+	}
+	if s.p.RotatePriority {
+		s.rot = (s.rot + 1) % s.p.N
+	}
+	return res
+}
+
+func (s *Scheduler) dynamicSlots() []int {
+	var out []int
+	for i, p := range s.pinned {
+		if !p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DynamicSlotCount returns the number of slots available to reactive
+// scheduling (K minus pinned slots).
+func (s *Scheduler) DynamicSlotCount() int { return len(s.dynamicSlots()) }
+
+// --- extensions ---
+
+// LoadConfig loads a predefined configuration into a slot (extension 5,
+// compiled communication). The configuration must be a partial permutation.
+// If pin is true the slot is excluded from dynamic scheduling until
+// UnpinSlot or FlushAll.
+func (s *Scheduler) LoadConfig(slot int, cfg *bitmat.Matrix, pin bool) error {
+	s.checkSlot(slot)
+	if cfg.Rows() != s.p.N || cfg.Cols() != s.p.N {
+		return fmt.Errorf("core: configuration is %dx%d, want %dx%d", cfg.Rows(), cfg.Cols(), s.p.N, s.p.N)
+	}
+	if !cfg.IsPartialPermutation() {
+		return fmt.Errorf("core: configuration for slot %d is not a partial permutation", slot)
+	}
+	s.configs[slot].CopyFrom(cfg)
+	s.pinned[slot] = pin
+	s.dirty = true
+	return nil
+}
+
+// PinSlot marks a slot as preloaded so dynamic scheduling leaves it alone.
+func (s *Scheduler) PinSlot(slot int, pin bool) {
+	s.checkSlot(slot)
+	s.pinned[slot] = pin
+}
+
+// Pinned reports whether a slot is pinned.
+func (s *Scheduler) Pinned(slot int) bool {
+	s.checkSlot(slot)
+	return s.pinned[slot]
+}
+
+// AddBandwidth tries to insert the established connection src→dst into up to
+// `extra` additional dynamic slots (extension 2: a connection present in m
+// slots gets m/K of the link bandwidth). It returns the number of slots
+// actually added, limited by port availability. The connection must already
+// be established.
+func (s *Scheduler) AddBandwidth(src, dst, extra int) int {
+	s.checkPort(src)
+	s.checkPort(dst)
+	if extra < 0 {
+		panic(fmt.Sprintf("core: negative extra slot count %d", extra))
+	}
+	if !s.Connected(src, dst) {
+		return 0
+	}
+	added := 0
+	for slot := 0; slot < s.p.K && added < extra; slot++ {
+		if s.pinned[slot] || s.configs[slot].Get(src, dst) {
+			continue
+		}
+		if s.configs[slot].RowAny(src) || s.configs[slot].ColAny(dst) {
+			continue
+		}
+		if s.p.CanEstablish != nil && !s.p.CanEstablish(s.configs[slot], src, dst) {
+			continue
+		}
+		s.configs[slot].Set(src, dst)
+		added++
+	}
+	if added > 0 {
+		s.dirty = true
+	}
+	return added
+}
+
+// Evict releases a connection from every dynamic slot and clears its latch
+// (the predictor's interface, paper §3.2). It returns the number of slot
+// entries removed. Pinned slots are untouched: preloaded patterns are
+// evicted by unloading their configuration, not per-connection.
+func (s *Scheduler) Evict(src, dst int) int {
+	s.checkPort(src)
+	s.checkPort(dst)
+	removed := 0
+	for slot := 0; slot < s.p.K; slot++ {
+		if s.pinned[slot] {
+			continue
+		}
+		if s.configs[slot].Get(src, dst) {
+			s.configs[slot].Clear(src, dst)
+			removed++
+		}
+	}
+	s.latch.Clear(src, dst)
+	if removed > 0 {
+		s.dirty = true
+		s.stats.Evictions += uint64(removed)
+		s.stats.Released += uint64(removed)
+	}
+	return removed
+}
+
+// Flush clears every dynamic slot and all latches (extension 4: the
+// compiler-inserted "flush all current connections" directive between
+// program phases). Pinned preloaded slots survive.
+func (s *Scheduler) Flush() {
+	for slot := 0; slot < s.p.K; slot++ {
+		if !s.pinned[slot] {
+			s.configs[slot].Reset()
+		}
+	}
+	s.latch.Reset()
+	s.dirty = true
+	s.stats.Flushes++
+}
+
+// FlushAll clears everything, including pinned slots, and unpins them.
+func (s *Scheduler) FlushAll() {
+	for slot := 0; slot < s.p.K; slot++ {
+		s.configs[slot].Reset()
+		s.pinned[slot] = false
+	}
+	s.latch.Reset()
+	s.dirty = true
+	s.stats.Flushes++
+}
+
+// Latched reports whether a dropped request for src→dst is being held.
+func (s *Scheduler) Latched(src, dst int) bool {
+	return s.latch.Get(src, dst)
+}
+
+// CheckInvariants verifies the structural invariants of the scheduler state:
+// every configuration is a partial permutation and B* equals the OR of the
+// configurations. It returns an error describing the first violation. Tests
+// and the simulation's self-checks call this; it is cheap (O(K·N²/64)).
+func (s *Scheduler) CheckInvariants() error {
+	for i, c := range s.configs {
+		if !c.IsPartialPermutation() {
+			return fmt.Errorf("core: B(%d) is not a partial permutation", i)
+		}
+	}
+	want := bitmat.NewSquare(s.p.N)
+	for _, c := range s.configs {
+		want.Or(c)
+	}
+	s.refreshBStar()
+	if !s.bstar.Equal(want) {
+		return fmt.Errorf("core: B* out of sync with configurations")
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/predictor"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/tdm"
+	"pmsnet/internal/topology"
+	"pmsnet/internal/traffic"
+)
+
+// Ablation studies for the design choices the paper motivates but does not
+// quantify: the eviction predictor (§3.2), the multiplexing degree (§2),
+// priority rotation and empty-slot skipping (§4), multiple SL copies
+// (extension 1), and the preload decomposer (exact vs greedy coloring).
+
+// NamedResult pairs a configuration label with its run result.
+type NamedResult struct {
+	Label  string
+	Result metrics.Result
+}
+
+// PredictorAblation runs dynamic TDM over one workload under each eviction
+// policy: pure reactive release (no latching), the paper's timeout, the
+// counter predictor, never-evict, and the clairvoyant oracle.
+func PredictorAblation(n int, wl *traffic.Workload) ([]NamedResult, error) {
+	uses := connUses(wl)
+	cases := []struct {
+		label string
+		pred  func() predictor.Predictor
+	}{
+		{"reactive (release on empty)", nil},
+		{"timeout(500ns)", func() predictor.Predictor { return predictor.NewTimeout(500) }},
+		{"timeout(2us)", func() predictor.Predictor { return predictor.NewTimeout(2 * sim.Microsecond) }},
+		{"counter(8)", func() predictor.Predictor { return predictor.NewCounter(8) }},
+		{"oracle", func() predictor.Predictor { return predictor.NewOracle(uses) }},
+	}
+	var out []NamedResult
+	for _, c := range cases {
+		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, NewPredictor: c.pred})
+		if err != nil {
+			return nil, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: predictor %q: %w", c.label, err)
+		}
+		out = append(out, NamedResult{Label: c.label, Result: res})
+	}
+	return out, nil
+}
+
+// connUses counts messages per connection — the oracle's plan.
+func connUses(wl *traffic.Workload) map[topology.Conn]int {
+	uses := make(map[topology.Conn]int)
+	for p, prog := range wl.Programs {
+		for _, op := range prog.Ops {
+			if op.Kind == traffic.OpSend || op.Kind == traffic.OpSendWait {
+				uses[topology.Conn{Src: p, Dst: op.Dst}]++
+			}
+		}
+	}
+	return uses
+}
+
+// DegreeSweep runs dynamic TDM with multiplexing degrees ks over one
+// workload, using the paper's timeout-predictor configuration. K=1 is the
+// circuit-switching degenerate case of the framework (§3: "circuit switching
+// amounts to TDM with a multiplexing degree of one"): with only one
+// configuration register, a working set larger than one connection per port
+// thrashes, which is exactly the caching argument for multiplexing. Note the
+// trade-off the paper states in §2 — each connection gets 1/k of the link
+// bandwidth — so K far above the working-set degree wastes bandwidth too.
+func DegreeSweep(n int, ks []int, wl *traffic.Workload) ([]NamedResult, error) {
+	var out []NamedResult
+	for _, k := range ks {
+		nw, err := tdm.New(tdm.Config{N: n, K: k,
+			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) }})
+		if err != nil {
+			return nil, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: K=%d: %w", k, err)
+		}
+		out = append(out, NamedResult{Label: fmt.Sprintf("K=%d", k), Result: res})
+	}
+	return out, nil
+}
+
+// RotationAblation compares rotating vs fixed scheduling priority on a
+// hotspot workload where low-numbered ports would otherwise starve
+// high-numbered ones. It reports per-configuration results; the interesting
+// output is the p95 latency spread.
+func RotationAblation(n int, wl *traffic.Workload) ([]NamedResult, error) {
+	var out []NamedResult
+	for _, rot := range []bool{false, true} {
+		rot := rot
+		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, RotatePriority: &rot})
+		if err != nil {
+			return nil, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: rotate=%v: %w", rot, err)
+		}
+		out = append(out, NamedResult{Label: fmt.Sprintf("rotate=%v", rot), Result: res})
+	}
+	return out, nil
+}
+
+// SkipEmptyAblation compares the TDM counter with and without empty-slot
+// skipping on a workload whose active working set is far smaller than K —
+// the feature's motivating case (§4: the counter "skips over empty
+// configurations and allows the scheduler to reduce the multiplexing
+// degrees").
+func SkipEmptyAblation(n, k int, wl *traffic.Workload) ([]NamedResult, error) {
+	var out []NamedResult
+	for _, skip := range []bool{false, true} {
+		skip := skip
+		nw, err := tdm.New(tdm.Config{N: n, K: k, SkipEmptySlots: &skip})
+		if err != nil {
+			return nil, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: skip=%v: %w", skip, err)
+		}
+		out = append(out, NamedResult{Label: fmt.Sprintf("skip-empty=%v", skip), Result: res})
+	}
+	return out, nil
+}
+
+// SLCopiesSweep measures extension 1 (multiple scheduling-logic units) on a
+// scheduler-bound workload.
+func SLCopiesSweep(n int, copies []int, wl *traffic.Workload) ([]NamedResult, error) {
+	var out []NamedResult
+	for _, c := range copies {
+		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, SLCopies: c})
+		if err != nil {
+			return nil, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: SLCopies=%d: %w", c, err)
+		}
+		out = append(out, NamedResult{Label: fmt.Sprintf("sl-copies=%d", c), Result: res})
+	}
+	return out, nil
+}
+
+// DecomposerRow compares the exact edge-coloring decomposer against the
+// greedy first-fit decomposer on one working set.
+type DecomposerRow struct {
+	Workload      string
+	Degree        int
+	ExactConfigs  int
+	GreedyConfigs int
+}
+
+// DecomposerComparison decomposes each workload's union working set both
+// ways. The exact decomposer always achieves the degree lower bound; the
+// greedy one may exceed it, which translates into more preload groups.
+func DecomposerComparison(wls []*traffic.Workload) []DecomposerRow {
+	var out []DecomposerRow
+	for _, wl := range wls {
+		ws := wl.ConnSet()
+		out = append(out, DecomposerRow{
+			Workload:      wl.Name,
+			Degree:        ws.Degree(),
+			ExactConfigs:  len(topology.Decompose(ws)),
+			GreedyConfigs: len(topology.GreedyDecompose(ws)),
+		})
+	}
+	return out
+}
+
+// AblationTable renders named results with efficiency, latency and hit-rate
+// columns.
+func AblationTable(title string, rows []NamedResult) *metrics.Table {
+	t := metrics.NewTable(title, "config", "efficiency", "makespan", "p95 latency", "hit rate", "fairness", "evictions")
+	for _, r := range rows {
+		t.AddRowf(r.Label, r.Result.Efficiency, r.Result.Makespan.String(),
+			r.Result.LatencyP95.String(), r.Result.Stats.HitRate(), r.Result.FairnessJain,
+			r.Result.Stats.Evictions)
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters for the figure harnesses, so the regenerated series can be
+// plotted with any external tool (cmd/figures -csv).
+
+// Fig4CSV writes one Figure-4 panel as CSV: a header of network names and
+// one row per message size.
+func Fig4CSV(w io.Writer, rows []SizeRow) error {
+	cw := csv.NewWriter(w)
+	if len(rows) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	header := []string{"bytes"}
+	for _, r := range rows[0].Results {
+		header = append(header, r.Network)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		rec := []string{strconv.Itoa(row.Bytes)}
+		for _, r := range row.Results {
+			rec = append(rec, formatEff(r.Efficiency))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig5CSV writes Figure 5 as CSV: determinism against the k=0,1,2 schemes.
+func Fig5CSV(w io.Writer, rows []Fig5Row) error {
+	cw := csv.NewWriter(w)
+	if len(rows) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	header := []string{"determinism"}
+	for _, r := range rows[0].Results {
+		header = append(header, r.Network)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		rec := []string{fmt.Sprintf("%.2f", row.Determinism)}
+		for _, r := range row.Results {
+			rec = append(rec, formatEff(r.Efficiency))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table3CSV writes the scheduler-latency table as CSV.
+func Table3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"n", "fpga_ns", "asic_ns", "software_ns"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.N),
+			strconv.FormatInt(int64(r.FPGANs), 10),
+			strconv.FormatInt(int64(r.ASICNs), 10),
+			fmt.Sprintf("%.0f", r.SoftwareNs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatEff(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pmsnet/internal/meshnet"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/multistage"
+	"pmsnet/internal/netmodel"
+	"pmsnet/internal/predictor"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/tdm"
+	"pmsnet/internal/topology"
+	"pmsnet/internal/traffic"
+	"pmsnet/internal/voq"
+)
+
+// Extension studies: bandwidth amplification (core extension 2), predictive
+// pre-establishment (§3.2's forward-prediction direction), the slot-payload
+// (guard-band) fraction, multi-seed robustness, and multistage fabrics.
+
+// AmplifyAblation compares dynamic TDM with and without bandwidth
+// amplification on a hotspot workload whose hot stream outruns a single
+// slot's share.
+func AmplifyAblation(n int, wl *traffic.Workload) ([]NamedResult, error) {
+	var out []NamedResult
+	for _, amplify := range []int{0, 256} {
+		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, AmplifyBytes: amplify,
+			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) }})
+		if err != nil {
+			return nil, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: amplify=%d: %w", amplify, err)
+		}
+		label := "amplify=off"
+		if amplify > 0 {
+			label = fmt.Sprintf("amplify>%dB", amplify)
+		}
+		out = append(out, NamedResult{Label: label, Result: res})
+	}
+	return out, nil
+}
+
+// PrefetchAblation compares the plain timeout predictor against the Markov
+// prefetching predictor on a workload with a learnable destination cycle
+// and inter-send compute gaps.
+func PrefetchAblation(n int, wl *traffic.Workload) ([]NamedResult, error) {
+	cases := []struct {
+		label string
+		pred  func() predictor.Predictor
+	}{
+		{"timeout(2us)", func() predictor.Predictor { return predictor.NewTimeout(2000) }},
+		{"markov-prefetch(2us)", func() predictor.Predictor { return predictor.NewMarkov(2000, 1) }},
+	}
+	var out []NamedResult
+	for _, c := range cases {
+		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, NewPredictor: c.pred})
+		if err != nil {
+			return nil, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", c.label, err)
+		}
+		out = append(out, NamedResult{Label: c.label, Result: res})
+	}
+	return out, nil
+}
+
+// CyclicWorkload builds the prefetch ablation's traffic: every processor
+// cycles deterministically over three distant destinations with `gap` of
+// compute between sends — regular enough for a Markov predictor, too sparse
+// for a timeout latch to survive a full cycle.
+func CyclicWorkload(n, bytes, cycles int, gap sim.Time) *traffic.Workload {
+	if n < 8 {
+		panic(fmt.Sprintf("experiments: cyclic workload needs n >= 8, got %d", n))
+	}
+	w := &traffic.Workload{Name: fmt.Sprintf("cyclic/%dB", bytes), N: n, Programs: make([]traffic.Program, n)}
+	phase := topology.NewWorkingSet(n)
+	for p := 0; p < n; p++ {
+		dsts := []int{(p + 1) % n, (p + n/2) % n, (p + n - 3) % n}
+		var ops []traffic.Op
+		for c := 0; c < cycles; c++ {
+			for _, d := range dsts {
+				if d == p {
+					continue
+				}
+				ops = append(ops, traffic.Send(d, bytes), traffic.Delay(gap))
+			}
+		}
+		for _, d := range dsts {
+			if d != p {
+				phase.Add(topology.Conn{Src: p, Dst: d})
+			}
+		}
+		w.Programs[p] = traffic.Program{Ops: ops}
+	}
+	w.StaticPhases = []*topology.WorkingSet{phase}
+	return w
+}
+
+// PayloadSweep varies the usable payload per 100 ns slot — the complement of
+// the guard-band + framing fraction (DESIGN.md models 64 of 80 raw bytes).
+// A larger guard band wastes line rate; the sweep quantifies the
+// sensitivity.
+func PayloadSweep(n int, payloads []int, wl *traffic.Workload) ([]NamedResult, error) {
+	var out []NamedResult
+	for _, p := range payloads {
+		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, Mode: tdm.Preload, PayloadBytes: p})
+		if err != nil {
+			return nil, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: payload=%d: %w", p, err)
+		}
+		out = append(out, NamedResult{Label: fmt.Sprintf("payload=%dB", p), Result: res})
+	}
+	return out, nil
+}
+
+// SeedStats summarizes a metric across seeds.
+type SeedStats struct {
+	Mean, StdDev, Min, Max float64
+	Seeds                  int
+}
+
+// SeedSweep runs fn for every seed and aggregates the efficiencies —
+// the robustness check that single-seed figures are representative.
+func SeedSweep(seeds []int64, fn func(seed int64) (metrics.Result, error)) (SeedStats, error) {
+	if len(seeds) == 0 {
+		return SeedStats{}, fmt.Errorf("experiments: no seeds")
+	}
+	var values []float64
+	for _, s := range seeds {
+		res, err := fn(s)
+		if err != nil {
+			return SeedStats{}, fmt.Errorf("experiments: seed %d: %w", s, err)
+		}
+		values = append(values, res.Efficiency)
+	}
+	st := SeedStats{Seeds: len(values), Min: values[0], Max: values[0]}
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = sum / float64(len(values))
+	var sq float64
+	for _, v := range values {
+		sq += (v - st.Mean) * (v - st.Mean)
+	}
+	if len(values) > 1 {
+		st.StdDev = math.Sqrt(sq / float64(len(values)-1))
+	}
+	return st, nil
+}
+
+// ModernBaseline compares the paper's switch against an iSLIP VOQ cell
+// switch (the post-paper standard for crossbar routers) on one workload:
+// wormhole, iSLIP, dynamic TDM (paper config) and preload TDM. This
+// comparison goes beyond the paper's evaluation; see internal/voq.
+func ModernBaseline(n int, wl *traffic.Workload) ([]NamedResult, error) {
+	islip, err := voq.New(voq.Config{N: n})
+	if err != nil {
+		return nil, err
+	}
+	nets, err := Fig4Networks(n)
+	if err != nil {
+		return nil, err
+	}
+	// wormhole, islip, dynamic, preload (skip the circuit baseline: it is
+	// dominated everywhere except very large messages).
+	ordered := []netmodel.Network{nets[0], islip, nets[2], nets[3]}
+	var out []NamedResult
+	for _, nw := range ordered {
+		res, err := nw.Run(wl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", nw.Name(), err)
+		}
+		out = append(out, NamedResult{Label: nw.Name(), Result: res})
+	}
+	return out, nil
+}
+
+// OmegaFabricStudy runs dynamic TDM on the crossbar and on the blocking
+// Omega fabric over each workload. Structured permutations separate the
+// fabrics: a uniform shift routes through the Omega in one pass, while bit
+// reversal conflicts heavily and must spread across TDM slots — the
+// crossbar treats both identically. n must be a power of two.
+func OmegaFabricStudy(n int, wls []*traffic.Workload) ([]NamedResult, error) {
+	var out []NamedResult
+	for _, wl := range wls {
+		for _, fab := range []tdm.FabricKind{tdm.CrossbarFabric, tdm.OmegaFabric} {
+			nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, Fabric: fab})
+			if err != nil {
+				return nil, err
+			}
+			res, err := nw.Run(wl)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", fab, wl.Name, err)
+			}
+			out = append(out, NamedResult{
+				Label:  fmt.Sprintf("%s on %s", wl.Name, fab),
+				Result: res,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SparsePermutation builds a light-load permutation workload: every
+// processor sends `msgs` messages to its fixed permutation partner with
+// `gap` of compute between sends. Light load isolates the per-hop latency
+// difference between multi-hop paradigms from congestion effects.
+func SparsePermutation(base *traffic.Workload, gap sim.Time) *traffic.Workload {
+	out := &traffic.Workload{
+		Name:         base.Name + "/sparse",
+		N:            base.N,
+		Programs:     make([]traffic.Program, base.N),
+		StaticPhases: base.StaticPhases,
+	}
+	for p, prog := range base.Programs {
+		var ops []traffic.Op
+		for _, op := range prog.Ops {
+			if op.Kind == traffic.OpSend || op.Kind == traffic.OpSendWait {
+				ops = append(ops, traffic.Delay(gap), op)
+			}
+		}
+		out.Programs[p] = traffic.Program{Ops: ops}
+	}
+	return out
+}
+
+// MultiHopStudy tests the paper's concluding claim that the
+// connection-oriented approach is "amplified when multi-hop networks are
+// considered since it avoids buffering at intermediate switches": it runs
+// the multi-hop wormhole mesh and the multi-hop TDM-circuit mesh
+// (internal/meshnet) on each workload. Long-path traffic (e.g. Transpose)
+// maximizes the per-hop cost difference; run both a saturated workload (the
+// throughput view, where whole-path slot reservation costs the TDM mesh
+// capacity) and a SparsePermutation variant (the latency view, where the
+// end-to-end analog pipe pays ~20 ns per extra hop against wormhole's
+// ~100 ns of per-hop serdes + arbitration).
+func MultiHopStudy(n int, wls []*traffic.Workload) ([]NamedResult, error) {
+	wh, err := meshnet.NewWormhole(meshnet.WormholeConfig{N: n})
+	if err != nil {
+		return nil, err
+	}
+	td, err := meshnet.NewTDM(meshnet.TDMConfig{N: n, K: Fig4K})
+	if err != nil {
+		return nil, err
+	}
+	var out []NamedResult
+	for _, wl := range wls {
+		for _, nw := range []netmodel.Network{wh, td} {
+			res, err := nw.Run(wl)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", nw.Name(), wl.Name, err)
+			}
+			out = append(out, NamedResult{Label: fmt.Sprintf("%s on %s", wl.Name, nw.Name()), Result: res})
+		}
+	}
+	return out, nil
+}
+
+// FabricRow compares fabric families on one working set: the slots a
+// crossbar needs (the degree-optimal decomposition), the slots an Omega
+// network needs under its blocking constraints, and the Benes network's
+// stage cost for the same capability as the crossbar.
+type FabricRow struct {
+	Workload      string
+	Degree        int
+	CrossbarSlots int
+	OmegaSlots    int
+	OmegaStages   int
+	BenesStages   int
+}
+
+// FabricComparison quantifies paper §4's remark that "more complicated
+// constraints may be derived for fabrics that have limited permutation
+// capabilities": the extra multiplexing degree an Omega fabric pays, versus
+// the extra stages a non-blocking Benes fabric pays. n must be a power of
+// two.
+func FabricComparison(n int, wls []*traffic.Workload) ([]FabricRow, error) {
+	omega, err := multistage.NewOmega(n)
+	if err != nil {
+		return nil, err
+	}
+	benes, err := multistage.NewBenes(n)
+	if err != nil {
+		return nil, err
+	}
+	var out []FabricRow
+	for _, wl := range wls {
+		ws := wl.ConnSet()
+		oc, err := multistage.DecomposeOmega(ws, omega)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FabricRow{
+			Workload:      wl.Name,
+			Degree:        ws.Degree(),
+			CrossbarSlots: len(topology.Decompose(ws)),
+			OmegaSlots:    len(oc),
+			OmegaStages:   omega.Stages(),
+			BenesStages:   benes.Stages(),
+		})
+	}
+	return out, nil
+}
+
+// FabricTable renders fabric-comparison rows.
+func FabricTable(rows []FabricRow) *metrics.Table {
+	t := metrics.NewTable("Fabric comparison: TDM slots needed per working set",
+		"workload", "degree", "crossbar slots", "omega slots", "omega stages", "benes stages")
+	for _, r := range rows {
+		t.AddRowf(r.Workload, r.Degree, r.CrossbarSlots, r.OmegaSlots, r.OmegaStages, r.BenesStages)
+	}
+	return t
+}

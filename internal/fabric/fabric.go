@@ -1,0 +1,153 @@
+// Package fabric models the passive switching fabric of the interconnect.
+//
+// The fabric has no buffering and no control logic of its own (paper §4): it
+// realizes whatever input→output mapping is currently held in its
+// configuration register. The scheduler copies one of its K configuration
+// matrices into that register at every TDM slot boundary.
+//
+// Two fabric technologies from the paper are modeled:
+//
+//   - Digital: a conventional digital crossbar with serial→parallel
+//     conversion at the ports and a 10 ns traversal (used by the wormhole
+//     baseline).
+//   - LVDS/optical: a Low-Voltage Differential Signal (or optical) crosspoint
+//     where the signal stays in the analog domain; traversal is under 2 ns
+//     and is neglected, and no serdes is needed at the switch (used by the
+//     circuit-switched and TDM networks).
+package fabric
+
+import (
+	"fmt"
+
+	"pmsnet/internal/bitmat"
+	"pmsnet/internal/sim"
+)
+
+// Technology selects the crossbar implementation.
+type Technology int
+
+const (
+	// Digital is a conventional digital crossbar: 10 ns traversal, serdes at
+	// the switch ports.
+	Digital Technology = iota
+	// LVDS is an LVDS or optical crosspoint: negligible traversal, no serdes
+	// at the switch.
+	LVDS
+)
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	switch t {
+	case Digital:
+		return "digital"
+	case LVDS:
+		return "lvds"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// TraversalDelay returns the propagation delay through the crossbar for the
+// technology, per paper §5.
+func (t Technology) TraversalDelay() sim.Time {
+	switch t {
+	case Digital:
+		return 10
+	case LVDS:
+		return 0
+	default:
+		panic(fmt.Sprintf("fabric: unknown technology %d", int(t)))
+	}
+}
+
+// Crossbar is an NxN passive crossbar with a configuration register.
+type Crossbar struct {
+	n          int
+	tech       Technology
+	reconfigNs sim.Time
+	config     *bitmat.Matrix
+	applied    int // number of Apply calls, for stats/tests
+}
+
+// NewCrossbar builds an NxN crossbar. reconfigNs is the time needed to change
+// the setting of the fabric (the paper's example uses 50 ns for large optical
+// fabrics; the simulated 128-port LVDS system reconfigures within the slot's
+// guard band).
+func NewCrossbar(n int, tech Technology, reconfigNs sim.Time) *Crossbar {
+	if n <= 0 {
+		panic(fmt.Sprintf("fabric: invalid port count %d", n))
+	}
+	if reconfigNs < 0 {
+		panic(fmt.Sprintf("fabric: negative reconfiguration time %v", reconfigNs))
+	}
+	return &Crossbar{
+		n:          n,
+		tech:       tech,
+		reconfigNs: reconfigNs,
+		config:     bitmat.NewSquare(n),
+	}
+}
+
+// Ports returns N.
+func (c *Crossbar) Ports() int { return c.n }
+
+// Technology returns the fabric technology.
+func (c *Crossbar) Technology() Technology { return c.tech }
+
+// ReconfigTime returns the fabric's reconfiguration time.
+func (c *Crossbar) ReconfigTime() sim.Time { return c.reconfigNs }
+
+// TraversalDelay returns the propagation delay through the fabric.
+func (c *Crossbar) TraversalDelay() sim.Time { return c.tech.TraversalDelay() }
+
+// Applied returns how many configurations have been loaded so far.
+func (c *Crossbar) Applied() int { return c.applied }
+
+// Apply copies a configuration into the fabric's configuration register. The
+// configuration must be an NxN partial permutation; anything else is not
+// realizable on a crossbar and indicates a scheduler bug, so Apply returns an
+// error and leaves the register unchanged.
+func (c *Crossbar) Apply(cfg *bitmat.Matrix) error {
+	if cfg.Rows() != c.n || cfg.Cols() != c.n {
+		return fmt.Errorf("fabric: configuration is %dx%d, fabric is %dx%d",
+			cfg.Rows(), cfg.Cols(), c.n, c.n)
+	}
+	if !cfg.IsPartialPermutation() {
+		return fmt.Errorf("fabric: configuration is not a partial permutation (%d connections)", cfg.Count())
+	}
+	c.config.CopyFrom(cfg)
+	c.applied++
+	return nil
+}
+
+// OutputFor returns the output port currently connected to input u, or -1.
+func (c *Crossbar) OutputFor(u int) int {
+	return c.config.FirstInRow(u)
+}
+
+// Connected reports whether input u is currently connected to output v.
+func (c *Crossbar) Connected(u, v int) bool {
+	return c.config.Get(u, v)
+}
+
+// Connections returns the number of point-to-point connections currently
+// realized.
+func (c *Crossbar) Connections() int { return c.config.Count() }
+
+// Config returns a copy of the current configuration register.
+func (c *Crossbar) Config() *bitmat.Matrix { return c.config.Clone() }
+
+// GuardBand computes the slot guard band for the paper's formula: circuits
+// must stay idle while the fabric state is uncertain, which covers the
+// fabric reconfiguration time plus the worst-case skew of the grant lines
+// (paper §4: 50 ns reconfig + 50 ns grant propagation on a 50-foot line for a
+// 1 us slot gives a 50 ns guard band, i.e. max of the two overlapping terms).
+func GuardBand(reconfig, grantSkew sim.Time) sim.Time {
+	if reconfig < 0 || grantSkew < 0 {
+		panic(fmt.Sprintf("fabric: negative guard-band inputs %v, %v", reconfig, grantSkew))
+	}
+	if reconfig > grantSkew {
+		return reconfig
+	}
+	return grantSkew
+}

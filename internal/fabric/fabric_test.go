@@ -1,0 +1,151 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmsnet/internal/bitmat"
+)
+
+func TestTechnologyDelays(t *testing.T) {
+	if Digital.TraversalDelay() != 10 {
+		t.Fatalf("digital traversal = %v, want 10ns", Digital.TraversalDelay())
+	}
+	if LVDS.TraversalDelay() != 0 {
+		t.Fatalf("lvds traversal = %v, want 0ns", LVDS.TraversalDelay())
+	}
+	if Digital.String() != "digital" || LVDS.String() != "lvds" {
+		t.Fatal("Technology.String wrong")
+	}
+	if Technology(99).String() == "" {
+		t.Fatal("unknown technology should still render")
+	}
+}
+
+func TestUnknownTechnologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown technology delay")
+		}
+	}()
+	Technology(99).TraversalDelay()
+}
+
+func TestApplyAndQuery(t *testing.T) {
+	c := NewCrossbar(4, LVDS, 0)
+	if c.Ports() != 4 || c.Technology() != LVDS || c.ReconfigTime() != 0 {
+		t.Fatal("constructor fields wrong")
+	}
+	cfg := bitmat.FromPermutation([]int{2, -1, 0, 3})
+	if err := c.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if c.Applied() != 1 {
+		t.Fatalf("Applied = %d, want 1", c.Applied())
+	}
+	if c.OutputFor(0) != 2 || c.OutputFor(1) != -1 {
+		t.Fatal("OutputFor wrong")
+	}
+	if !c.Connected(3, 3) || c.Connected(3, 0) {
+		t.Fatal("Connected wrong")
+	}
+	if c.Connections() != 3 {
+		t.Fatalf("Connections = %d, want 3", c.Connections())
+	}
+	got := c.Config()
+	if !got.Equal(cfg) {
+		t.Fatal("Config copy should equal applied configuration")
+	}
+	// Returned config is a copy; mutating it must not affect the fabric.
+	got.Reset()
+	if c.Connections() != 3 {
+		t.Fatal("Config must return a copy, not an alias")
+	}
+}
+
+func TestApplyRejectsNonPermutation(t *testing.T) {
+	c := NewCrossbar(3, Digital, 10)
+	bad := bitmat.NewSquare(3)
+	bad.Set(0, 1)
+	bad.Set(2, 1) // two inputs to one output
+	if err := c.Apply(bad); err == nil {
+		t.Fatal("expected error for conflicting configuration")
+	}
+	if c.Connections() != 0 {
+		t.Fatal("failed Apply must leave register unchanged")
+	}
+}
+
+func TestApplyRejectsWrongShape(t *testing.T) {
+	c := NewCrossbar(3, Digital, 10)
+	if err := c.Apply(bitmat.NewSquare(4)); err == nil {
+		t.Fatal("expected error for wrong-shaped configuration")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewCrossbar(0, LVDS, 0) },
+		func() { NewCrossbar(4, LVDS, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGuardBand(t *testing.T) {
+	// Paper example: 50 ns reconfig, 50 ns grant skew -> 50 ns guard band.
+	if got := GuardBand(50, 50); got != 50 {
+		t.Fatalf("GuardBand(50,50) = %v, want 50", got)
+	}
+	if got := GuardBand(10, 30); got != 30 {
+		t.Fatalf("GuardBand(10,30) = %v, want 30", got)
+	}
+	if got := GuardBand(40, 5); got != 40 {
+		t.Fatalf("GuardBand(40,5) = %v, want 40", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative inputs")
+		}
+	}()
+	GuardBand(-1, 0)
+}
+
+func TestQuickApplyPermutationsAlwaysSucceed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(32)
+		c := NewCrossbar(n, LVDS, 0)
+		perm := rng.Perm(n)
+		for i := range perm {
+			if rng.Float64() < 0.25 {
+				perm[i] = -1
+			}
+		}
+		cfg := bitmat.FromPermutation(perm)
+		if err := c.Apply(cfg); err != nil {
+			return false
+		}
+		// Every connection in the permutation must be realized.
+		for u, v := range perm {
+			if v >= 0 && c.OutputFor(u) != v {
+				return false
+			}
+			if v < 0 && c.OutputFor(u) != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

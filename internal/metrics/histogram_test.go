@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"pmsnet/internal/sim"
+)
+
+func TestHistogramBucketsAndExtremes(t *testing.T) {
+	h := NewHistogram()
+	if h.String() != "(no samples)\n" {
+		t.Fatal("empty rendering wrong")
+	}
+	for _, v := range []int64{1, 2, 3, 100, 100, 5000} {
+		h.Add(sim.Time(v))
+	}
+	if h.Count() != 6 || h.Min() != 1 || h.Max() != 5000 {
+		t.Fatalf("count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+	out := h.String()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars rendered:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) < 3 {
+		t.Fatalf("expected several buckets:\n%s", out)
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	h := NewHistogram()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Add(-1)
+}
+
+func TestLatencyHistogramFromRecords(t *testing.T) {
+	recs := []Record{
+		{Src: 0, Dst: 1, Bytes: 8, Created: 0, Delivered: 100},
+		{Src: 0, Dst: 1, Bytes: 8, Created: 50, Delivered: 250},
+	}
+	h := LatencyHistogram(recs)
+	if h.Count() != 2 || h.Min() != 100 || h.Max() != 200 {
+		t.Fatalf("histogram = count %d min %v max %v", h.Count(), h.Min(), h.Max())
+	}
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pmsnet/internal/link"
+	"pmsnet/internal/sim"
+)
+
+func TestComputeEmpty(t *testing.T) {
+	r := Compute("net", "wl", 4, link.Paper(), nil, NetStats{})
+	if r.Messages != 0 || r.Efficiency != 0 || r.Makespan != 0 {
+		t.Fatalf("empty result = %+v", r)
+	}
+}
+
+func TestComputeSingleMessage(t *testing.T) {
+	lm := link.Paper()
+	recs := []Record{{Src: 0, Dst: 1, Bytes: 800, Created: 0, Delivered: 2000}}
+	r := Compute("net", "wl", 4, lm, recs, NetStats{})
+	// 800 B at 6.4 Gb/s = 1000 ns ideal; makespan 2000 -> efficiency 0.5.
+	if r.Ideal != 1000 {
+		t.Fatalf("Ideal = %v, want 1000ns", r.Ideal)
+	}
+	if r.Efficiency != 0.5 {
+		t.Fatalf("Efficiency = %v, want 0.5", r.Efficiency)
+	}
+	if r.Bytes != 800 || r.Messages != 1 {
+		t.Fatal("counters wrong")
+	}
+	if r.LatencyMean != 2000 || r.LatencyMax != 2000 || r.LatencyP50 != 2000 {
+		t.Fatalf("latencies = %v/%v/%v", r.LatencyMean, r.LatencyP50, r.LatencyMax)
+	}
+}
+
+func TestBottleneckIsBusiestPort(t *testing.T) {
+	lm := link.Paper()
+	// Port 0 sends 2x800B; port 1 and 2 each receive 800B. Bottleneck is
+	// port 0's output: 1600 B -> 2000 ns ideal.
+	recs := []Record{
+		{Src: 0, Dst: 1, Bytes: 800, Delivered: 4000},
+		{Src: 0, Dst: 2, Bytes: 800, Delivered: 4000},
+	}
+	r := Compute("n", "w", 4, lm, recs, NetStats{})
+	if r.Ideal != 2000 {
+		t.Fatalf("Ideal = %v, want 2000ns", r.Ideal)
+	}
+	if r.Efficiency != 0.5 {
+		t.Fatalf("Efficiency = %v, want 0.5", r.Efficiency)
+	}
+	// Incast: two senders to one destination — bottleneck is the input port.
+	recs = []Record{
+		{Src: 0, Dst: 2, Bytes: 800, Delivered: 4000},
+		{Src: 1, Dst: 2, Bytes: 800, Delivered: 4000},
+	}
+	r = Compute("n", "w", 4, lm, recs, NetStats{})
+	if r.Ideal != 2000 {
+		t.Fatalf("incast Ideal = %v, want 2000ns", r.Ideal)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	var recs []Record
+	for i := 1; i <= 100; i++ {
+		recs = append(recs, Record{Src: 0, Dst: 1, Bytes: 8, Created: 0, Delivered: sim.Time(i)})
+	}
+	r := Compute("n", "w", 2, link.Paper(), recs, NetStats{})
+	if r.LatencyP50 != 50 || r.LatencyP95 != 95 || r.LatencyMax != 100 {
+		t.Fatalf("p50=%v p95=%v max=%v", r.LatencyP50, r.LatencyP95, r.LatencyMax)
+	}
+	if r.LatencyMean != 50 { // (1+...+100)/100 = 50.5 truncated
+		t.Fatalf("mean = %v, want 50", r.LatencyMean)
+	}
+}
+
+func TestComputePanicsOnCorruptRecords(t *testing.T) {
+	for i, recs := range [][]Record{
+		{{Src: 0, Dst: 1, Bytes: 8, Created: 10, Delivered: 5}},
+		{{Src: 9, Dst: 1, Bytes: 8}},
+		{{Src: 0, Dst: -1, Bytes: 8}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			Compute("n", "w", 4, link.Paper(), recs, NetStats{})
+		}()
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if (NetStats{}).HitRate() != 0 {
+		t.Fatal("empty stats hit rate should be 0")
+	}
+	s := NetStats{Hits: 3, Misses: 1}
+	if s.HitRate() != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", s.HitRate())
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Compute("tdm", "scatter", 4, link.Paper(),
+		[]Record{{Src: 0, Dst: 1, Bytes: 8, Delivered: 100}}, NetStats{Hits: 1})
+	s := r.String()
+	if !strings.Contains(s, "tdm") || !strings.Contains(s, "scatter") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestQuickEfficiencyBounded(t *testing.T) {
+	// Efficiency can never exceed 1 when the makespan covers at least the
+	// bottleneck serialization time (which any causal model guarantees);
+	// here we synthesize records whose makespan is >= ideal by construction.
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		lm := link.Paper()
+		var recs []Record
+		var total int
+		for _, s := range sizes {
+			b := int(s)%2000 + 1
+			total += b
+			recs = append(recs, Record{Src: 0, Dst: 1, Bytes: b})
+		}
+		mk := lm.SerializationTime(total)
+		for i := range recs {
+			recs[i].Delivered = mk
+		}
+		r := Compute("n", "w", 2, lm, recs, NetStats{})
+		return r.Efficiency > 0 && r.Efficiency <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "size", "wormhole", "tdm")
+	tb.AddRowf(8, 0.5, 0.25)
+	tb.AddRow("2048", "0.9", "0.8")
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	out := tb.String()
+	for _, want := range []string{"Figure X", "size", "wormhole", "0.500", "2048"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewTable("t") },
+		func() { NewTable("t", "a", "b").AddRow("only-one") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

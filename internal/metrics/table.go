@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned text tables for the figure/table harnesses: the
+// same rows the paper's plots are drawn from, printable from benchmarks and
+// the cmd/figures tool.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	if len(headers) == 0 {
+		panic("metrics: table needs at least one column")
+	}
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; the cell count must match the headers.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.headers) {
+		panic(fmt.Sprintf("metrics: row has %d cells, table has %d columns", len(cells), len(t.headers)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with %v,
+// floats with three decimals.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			out[i] = fmt.Sprintf("%.3f", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString("== " + t.title + " ==\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,256 @@
+package multistage
+
+import (
+	"fmt"
+
+	"pmsnet/internal/bitmat"
+)
+
+// Clos is a three-stage Clos network — the building block of fat-tree
+// organizations (the third fabric family paper §4 names). r ingress leaf
+// switches of n ports each feed m middle (spine) switches; every leaf has
+// exactly one link to every spine in each direction, so a spine can carry at
+// most one connection from each input leaf and at most one to each output
+// leaf.
+//
+// Routing a configuration is therefore an edge coloring of the leaf-to-leaf
+// demand multigraph with m colors (the spine indices). By the bipartite
+// multigraph edge-coloring theorem the chromatic index equals the maximum
+// leaf degree, which is at most n — so the network is rearrangeably
+// non-blocking exactly when m >= n (Clos's theorem), and Route never fails
+// in that regime.
+type Clos struct {
+	n, m, r int
+}
+
+// NewClos builds a Clos network with r leaves of n ports and m spines.
+func NewClos(n, m, r int) (*Clos, error) {
+	if n < 1 || m < 1 || r < 1 {
+		return nil, fmt.Errorf("multistage: invalid clos(n=%d, m=%d, r=%d)", n, m, r)
+	}
+	return &Clos{n: n, m: m, r: r}, nil
+}
+
+// Ports returns the total port count n*r.
+func (c *Clos) Ports() int { return c.n * c.r }
+
+// Leaves returns r.
+func (c *Clos) Leaves() int { return c.r }
+
+// Spines returns m.
+func (c *Clos) Spines() int { return c.m }
+
+// PortsPerLeaf returns n.
+func (c *Clos) PortsPerLeaf() int { return c.n }
+
+// Rearrangeable reports whether the network can realize every permutation
+// (m >= n).
+func (c *Clos) Rearrangeable() bool { return c.m >= c.n }
+
+// leafOf returns the leaf switch of a port.
+func (c *Clos) leafOf(port int) int { return port / c.n }
+
+// ClosRoute assigns each connection of a configuration to a spine.
+type ClosRoute struct {
+	clos *Clos
+	// spineOf[u] is the spine carrying input port u's connection, or -1.
+	spineOf []int
+	// dstOf[u] is input port u's output port, or -1.
+	dstOf []int
+}
+
+// Route assigns spines to every connection of the configuration (a partial
+// permutation matrix over n*r ports). It fails when the demand's maximum
+// leaf degree exceeds the spine count — the configuration then needs TDM
+// slots, exactly like an over-degree working set on the crossbar.
+func (c *Clos) Route(cfg *bitmat.Matrix) (*ClosRoute, error) {
+	total := c.Ports()
+	if cfg.Rows() != total || cfg.Cols() != total {
+		return nil, fmt.Errorf("multistage: configuration is %dx%d, clos has %d ports", cfg.Rows(), cfg.Cols(), total)
+	}
+	if !cfg.IsPartialPermutation() {
+		return nil, fmt.Errorf("multistage: configuration is not a partial permutation")
+	}
+
+	// Demand multigraph edges between input leaves and output leaves.
+	type edge struct{ u, v int } // ports
+	var edges []edge
+	inDeg := make([]int, c.r)
+	outDeg := make([]int, c.r)
+	for u := 0; u < total; u++ {
+		v := cfg.FirstInRow(u)
+		if v < 0 {
+			continue
+		}
+		edges = append(edges, edge{u, v})
+		inDeg[c.leafOf(u)]++
+		outDeg[c.leafOf(v)]++
+	}
+	delta := 0
+	for l := 0; l < c.r; l++ {
+		if inDeg[l] > delta {
+			delta = inDeg[l]
+		}
+		if outDeg[l] > delta {
+			delta = outDeg[l]
+		}
+	}
+	if delta > c.m {
+		return nil, fmt.Errorf("multistage: demand needs %d spines, clos has %d", delta, c.m)
+	}
+
+	// Kempe-chain edge coloring of the leaf multigraph with m colors.
+	// colorAtIn[l][s] / colorAtOut[l][s] hold the edge index using spine s
+	// at input/output leaf l, or -1.
+	colorAtIn := make([][]int, c.r)
+	colorAtOut := make([][]int, c.r)
+	for l := 0; l < c.r; l++ {
+		colorAtIn[l] = newFilled(c.m, -1)
+		colorAtOut[l] = newFilled(c.m, -1)
+	}
+	spineOfEdge := newFilled(len(edges), -1)
+
+	for ei, e := range edges {
+		il, ol := c.leafOf(e.u), c.leafOf(e.v)
+		a := firstFree(colorAtIn[il])
+		b := firstFree(colorAtOut[ol])
+		if a == -1 || b == -1 {
+			// Impossible: degrees are bounded by delta <= m.
+			panic(fmt.Sprintf("multistage: no free spine for %d->%d", e.u, e.v))
+		}
+		if colorAtOut[ol][a] == -1 {
+			colorAtIn[il][a] = ei
+			colorAtOut[ol][a] = ei
+			spineOfEdge[ei] = a
+			continue
+		}
+		// Swap spines a and b along the alternating chain from ol.
+		leaves := func(ei int) (int, int) {
+			return c.leafOf(edges[ei].u), c.leafOf(edges[ei].v)
+		}
+		flipClosChain(colorAtIn, colorAtOut, spineOfEdge, leaves, ol, a, b)
+		if colorAtOut[ol][a] != -1 || colorAtIn[il][a] != -1 {
+			panic(fmt.Sprintf("multistage: chain flip failed to free spine %d", a))
+		}
+		colorAtIn[il][a] = ei
+		colorAtOut[ol][a] = ei
+		spineOfEdge[ei] = a
+	}
+
+	route := &ClosRoute{
+		clos:    c,
+		spineOf: newFilled(total, -1),
+		dstOf:   newFilled(total, -1),
+	}
+	for ei, e := range edges {
+		route.spineOf[e.u] = spineOfEdge[ei]
+		route.dstOf[e.u] = e.v
+	}
+	return route, nil
+}
+
+// flipClosChain swaps spines a and b along the maximal alternating chain of
+// edges starting at output leaf start's a-colored edge. Mirrors
+// flipAlternatingPath, but on the multigraph (edges identified by index).
+func flipClosChain(colorAtIn, colorAtOut [][]int, spineOfEdge []int, leaves func(int) (int, int), start, a, b int) {
+	type step struct{ ei, color int }
+	var chain []step
+	other := func(c int) int {
+		if c == a {
+			return b
+		}
+		return a
+	}
+	ol, color := start, a
+	for {
+		ei := colorAtOut[ol][color]
+		if ei == -1 {
+			break
+		}
+		chain = append(chain, step{ei, color})
+		il, _ := leaves(ei)
+		color = other(color)
+		ei2 := colorAtIn[il][color]
+		if ei2 == -1 {
+			break
+		}
+		chain = append(chain, step{ei2, color})
+		_, ol = leaves(ei2)
+		color = other(color)
+	}
+	for _, s := range chain {
+		il, olx := leaves(s.ei)
+		colorAtIn[il][s.color] = -1
+		colorAtOut[olx][s.color] = -1
+	}
+	for _, s := range chain {
+		il, olx := leaves(s.ei)
+		nc := other(s.color)
+		colorAtIn[il][nc] = s.ei
+		colorAtOut[olx][nc] = s.ei
+		spineOfEdge[s.ei] = nc
+	}
+}
+
+// Spine returns the spine carrying input port u's connection, or -1.
+func (r *ClosRoute) Spine(u int) int {
+	if u < 0 || u >= len(r.spineOf) {
+		panic(fmt.Sprintf("multistage: port %d outside [0,%d)", u, len(r.spineOf)))
+	}
+	return r.spineOf[u]
+}
+
+// Eval returns the output port input u reaches, or -1 if unconnected.
+func (r *ClosRoute) Eval(u int) int {
+	if u < 0 || u >= len(r.dstOf) {
+		panic(fmt.Sprintf("multistage: port %d outside [0,%d)", u, len(r.dstOf)))
+	}
+	return r.dstOf[u]
+}
+
+// Validate checks the structural constraints of the routing: every spine
+// carries at most one connection per input leaf and one per output leaf.
+func (r *ClosRoute) Validate() error {
+	c := r.clos
+	inUse := make(map[[2]int]int)  // (in-leaf, spine) -> port
+	outUse := make(map[[2]int]int) // (out-leaf, spine) -> port
+	for u, s := range r.spineOf {
+		if s < 0 {
+			continue
+		}
+		if s >= c.m {
+			return fmt.Errorf("multistage: port %d assigned nonexistent spine %d", u, s)
+		}
+		v := r.dstOf[u]
+		ik := [2]int{c.leafOf(u), s}
+		if prev, ok := inUse[ik]; ok {
+			return fmt.Errorf("multistage: ports %d and %d share the leaf %d -> spine %d link", prev, u, ik[0], s)
+		}
+		inUse[ik] = u
+		ok2 := [2]int{c.leafOf(v), s}
+		if prev, ok := outUse[ok2]; ok {
+			return fmt.Errorf("multistage: outputs of ports %d and %d share the spine %d -> leaf %d link", prev, u, s, ok2[0])
+		}
+		outUse[ok2] = u
+	}
+	return nil
+}
+
+// newFilled returns an n-slot int slice filled with v.
+func newFilled(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// firstFree returns the first index holding -1, or -1.
+func firstFree(slots []int) int {
+	for i, occ := range slots {
+		if occ == -1 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,197 @@
+package multistage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmsnet/internal/bitmat"
+)
+
+func TestNewClosValidation(t *testing.T) {
+	for _, bad := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if _, err := NewClos(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("NewClos%v should fail", bad)
+		}
+	}
+	c, err := NewClos(4, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ports() != 32 || c.Leaves() != 8 || c.Spines() != 4 || c.PortsPerLeaf() != 4 {
+		t.Fatalf("geometry wrong: %+v", c)
+	}
+	if !c.Rearrangeable() {
+		t.Fatal("m=n clos is rearrangeable")
+	}
+	under, _ := NewClos(4, 3, 8)
+	if under.Rearrangeable() {
+		t.Fatal("m<n clos is not rearrangeable")
+	}
+}
+
+func TestClosRoutesIdentity(t *testing.T) {
+	c, _ := NewClos(4, 4, 4)
+	cfg := bitmat.Identity(16)
+	r, err := c.Route(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 16; u++ {
+		if r.Eval(u) != u {
+			t.Fatalf("Eval(%d) = %d", u, r.Eval(u))
+		}
+		if r.Spine(u) < 0 {
+			t.Fatalf("port %d unassigned", u)
+		}
+	}
+}
+
+func TestClosRejectsOverDegreeDemand(t *testing.T) {
+	// 2 spines but a leaf sending on 3 ports: needs 3 spines.
+	c, _ := NewClos(4, 2, 4)
+	cfg := bitmat.NewSquare(16)
+	cfg.Set(0, 4)
+	cfg.Set(1, 8)
+	cfg.Set(2, 12)
+	if _, err := c.Route(cfg); err == nil {
+		t.Fatal("over-degree demand should fail with too few spines")
+	}
+	// The same demand fits when spread across leaves.
+	spread := bitmat.NewSquare(16)
+	spread.Set(0, 4)
+	spread.Set(5, 8)
+	spread.Set(10, 12)
+	if _, err := c.Route(spread); err != nil {
+		t.Fatalf("degree-1 demand should route: %v", err)
+	}
+}
+
+func TestClosRejectsBadConfigs(t *testing.T) {
+	c, _ := NewClos(4, 4, 4)
+	if _, err := c.Route(bitmat.NewSquare(8)); err == nil {
+		t.Error("wrong shape should fail")
+	}
+	bad := bitmat.NewSquare(16)
+	bad.Set(0, 1)
+	bad.Set(2, 1)
+	if _, err := c.Route(bad); err == nil {
+		t.Error("non-permutation should fail")
+	}
+}
+
+func TestClosEvalPanics(t *testing.T) {
+	c, _ := NewClos(2, 2, 2)
+	r, _ := c.Route(bitmat.Identity(4))
+	for i, fn := range []func(){
+		func() { r.Eval(-1) },
+		func() { r.Spine(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestQuickClosTheorem: with m >= n every permutation routes and validates —
+// Clos's rearrangeability theorem, exercised over random geometries and
+// permutations.
+func TestQuickClosTheorem(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		r := 1 + rng.Intn(8)
+		m := n + rng.Intn(3) // m >= n
+		c, err := NewClos(n, m, r)
+		if err != nil {
+			return false
+		}
+		total := c.Ports()
+		perm := rng.Perm(total)
+		for i := range perm {
+			if rng.Float64() < 0.3 {
+				perm[i] = -1
+			}
+		}
+		cfg := bitmat.FromPermutation(perm)
+		route, err := c.Route(cfg)
+		if err != nil {
+			return false
+		}
+		if route.Validate() != nil {
+			return false
+		}
+		for u, v := range perm {
+			if route.Eval(u) != v && !(v == -1 && route.Eval(u) == -1) {
+				return false
+			}
+			if v >= 0 && route.Spine(u) < 0 {
+				return false
+			}
+			if v == -1 && route.Spine(u) != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickClosUsesMinimalSpines: the edge coloring never uses more colors
+// than the demand's maximum leaf degree.
+func TestQuickClosUsesMinimalSpines(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := NewClos(4, 4, 4)
+		perm := rng.Perm(16)
+		for i := range perm {
+			if rng.Float64() < 0.5 {
+				perm[i] = -1
+			}
+		}
+		cfg := bitmat.FromPermutation(perm)
+		route, err := c.Route(cfg)
+		if err != nil {
+			return false
+		}
+		// Demand degree.
+		inDeg := make([]int, 4)
+		outDeg := make([]int, 4)
+		delta := 0
+		for u, v := range perm {
+			if v < 0 {
+				continue
+			}
+			inDeg[u/4]++
+			outDeg[v/4]++
+		}
+		for l := 0; l < 4; l++ {
+			if inDeg[l] > delta {
+				delta = inDeg[l]
+			}
+			if outDeg[l] > delta {
+				delta = outDeg[l]
+			}
+		}
+		maxSpine := -1
+		for u := range perm {
+			if s := route.Spine(u); s > maxSpine {
+				maxSpine = s
+			}
+		}
+		return maxSpine+1 <= delta || (delta == 0 && maxSpine == -1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package multistage models multistage interconnection fabrics — the
+// "fabrics with limited permutation capabilities" of paper §4, and the
+// extension direction named in its conclusions ("we are also working on
+// extending the design to switching fabrics other than crossbars").
+//
+// Two classic fabrics are implemented:
+//
+//   - Omega: log2(N) stages of 2x2 switches behind perfect-shuffle wiring.
+//     Self-routing and cheap, but blocking: only a fraction of the partial
+//     permutations a crossbar realizes are Omega-realizable. Configurations
+//     destined for an Omega fabric must respect these constraints — which is
+//     exactly where TDM helps: a working set that does not fit one Omega
+//     pass decomposes into several Omega-realizable configurations
+//     multiplexed over time (DecomposeOmega).
+//
+//   - Benes: the 2·log2(N)−1-stage rearrangeably non-blocking network. The
+//     looping algorithm routes any full or partial permutation, so a Benes
+//     fabric accepts every crossbar configuration at about twice the stage
+//     count.
+package multistage
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pmsnet/internal/bitmat"
+	"pmsnet/internal/topology"
+)
+
+// Omega is an N-port Omega network: k = log2(N) identical stages, each a
+// perfect shuffle followed by N/2 two-by-two switches.
+type Omega struct {
+	n      int
+	stages int
+}
+
+// NewOmega builds an Omega network; n must be a power of two, at least 2.
+func NewOmega(n int) (*Omega, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("multistage: omega size %d must be a power of two >= 2", n)
+	}
+	return &Omega{n: n, stages: bits.Len(uint(n)) - 1}, nil
+}
+
+// Ports returns N.
+func (o *Omega) Ports() int { return o.n }
+
+// Stages returns log2(N).
+func (o *Omega) Stages() int { return o.stages }
+
+// SwitchesPerStage returns N/2.
+func (o *Omega) SwitchesPerStage() int { return o.n / 2 }
+
+// Settings holds one switch state per stage and switch: false = through,
+// true = cross. Only switches on active paths are meaningful; the Route
+// simulation treats unconstrained switches as through.
+type Settings [][]bool
+
+// shuffle is the perfect-shuffle permutation: rotate the log2(N)-bit address
+// left by one.
+func (o *Omega) shuffle(pos int) int {
+	return ((pos << 1) | (pos >> (o.stages - 1))) & (o.n - 1)
+}
+
+// Route computes switch settings realizing the configuration (a partial
+// permutation matrix) and the blocked connections, if any. Omega networks
+// are self-routing: input i's path to output j is unique, so Route fails
+// exactly when two paths need the same switch output line or force one
+// switch into both states at once. Connections are admitted in ascending
+// input order; on conflict the later connection is reported blocked and the
+// routing fails.
+func (o *Omega) Route(cfg *bitmat.Matrix) (Settings, error) {
+	if cfg.Rows() != o.n || cfg.Cols() != o.n {
+		return nil, fmt.Errorf("multistage: configuration is %dx%d, omega has %d ports", cfg.Rows(), cfg.Cols(), o.n)
+	}
+	if !cfg.IsPartialPermutation() {
+		return nil, fmt.Errorf("multistage: configuration is not a partial permutation")
+	}
+	settings := make(Settings, o.stages)
+	constrained := make([][]bool, o.stages)
+	for s := range settings {
+		settings[s] = make([]bool, o.n/2)
+		constrained[s] = make([]bool, o.n/2)
+	}
+	for u := 0; u < o.n; u++ {
+		v := cfg.FirstInRow(u)
+		if v < 0 {
+			continue
+		}
+		if err := o.routeOne(settings, constrained, u, v); err != nil {
+			return nil, err
+		}
+	}
+	return settings, nil
+}
+
+// routeOne threads the unique path from input u to output v, fixing switch
+// states along it.
+func (o *Omega) routeOne(settings, constrained [][]bool, u, v int) error {
+	pos := u
+	for s := 0; s < o.stages; s++ {
+		pos = o.shuffle(pos)
+		sw := pos / 2
+		inLine := pos & 1
+		// Destination-tag routing: stage s consumes the destination's bit
+		// (stages-1-s); the path must exit the switch on that line.
+		outLine := (v >> (o.stages - 1 - s)) & 1
+		cross := inLine != outLine
+		if constrained[s][sw] && settings[s][sw] != cross {
+			return fmt.Errorf("multistage: connection %d->%d blocked at stage %d switch %d", u, v, s, sw)
+		}
+		settings[s][sw] = cross
+		constrained[s][sw] = true
+		pos = sw*2 + outLine
+	}
+	if pos != v {
+		// The destination-tag construction lands on v by construction; a
+		// mismatch means the wiring model is broken.
+		panic(fmt.Sprintf("multistage: path from %d ended at %d, want %d", u, pos, v))
+	}
+	return nil
+}
+
+// CanRealize reports whether the configuration is Omega-realizable.
+func (o *Omega) CanRealize(cfg *bitmat.Matrix) bool {
+	_, err := o.Route(cfg)
+	return err == nil
+}
+
+// Eval traces input u through the settings and returns the output it
+// reaches. Unconstrained switches behave as through. It panics on
+// out-of-range inputs or malformed settings; it is the verification path
+// for Route.
+func (o *Omega) Eval(settings Settings, u int) int {
+	if u < 0 || u >= o.n {
+		panic(fmt.Sprintf("multistage: input %d outside [0,%d)", u, o.n))
+	}
+	if len(settings) != o.stages {
+		panic(fmt.Sprintf("multistage: settings have %d stages, want %d", len(settings), o.stages))
+	}
+	pos := u
+	for s := 0; s < o.stages; s++ {
+		pos = o.shuffle(pos)
+		sw := pos / 2
+		if len(settings[s]) != o.n/2 {
+			panic(fmt.Sprintf("multistage: stage %d has %d switches, want %d", s, len(settings[s]), o.n/2))
+		}
+		line := pos & 1
+		if settings[s][sw] {
+			line ^= 1
+		}
+		pos = sw*2 + line
+	}
+	return pos
+}
+
+// DecomposeOmega splits a working set into Omega-realizable configurations
+// by first-fit: each connection joins the first configuration that stays
+// realizable with it, opening a new configuration otherwise. The union of
+// the result equals the working set. Because the Omega network realizes
+// fewer permutations than a crossbar, the result can need more
+// configurations than the crossbar's optimal (the working set's degree) —
+// quantifying the extra multiplexing degree an Omega-based predictive
+// multiplexed switch pays.
+func DecomposeOmega(ws *topology.WorkingSet, o *Omega) ([]*bitmat.Matrix, error) {
+	if ws.Ports() != o.n {
+		return nil, fmt.Errorf("multistage: working set spans %d ports, omega has %d", ws.Ports(), o.n)
+	}
+	var configs []*bitmat.Matrix
+	for _, c := range ws.Conns() {
+		placed := false
+		for _, cfg := range configs {
+			if cfg.RowAny(c.Src) || cfg.ColAny(c.Dst) {
+				continue
+			}
+			cfg.Set(c.Src, c.Dst)
+			if o.CanRealize(cfg) {
+				placed = true
+				break
+			}
+			cfg.Clear(c.Src, c.Dst)
+		}
+		if !placed {
+			cfg := bitmat.NewSquare(o.n)
+			cfg.Set(c.Src, c.Dst)
+			if !o.CanRealize(cfg) {
+				// A single connection is always realizable; anything else
+				// is a wiring-model bug.
+				panic(fmt.Sprintf("multistage: single connection %v unroutable", c))
+			}
+			configs = append(configs, cfg)
+		}
+	}
+	return configs, nil
+}

@@ -1,0 +1,217 @@
+// Package netmodel defines the common contract of the switching-paradigm
+// simulators (wormhole, circuit switching, TDM) and the shared
+// program-execution driver that feeds them.
+//
+// Every model simulates the same physical system from paper §5: 128
+// processors (N configurable), one central crossbar, one scheduler, 6.4 Gb/s
+// serial links. The driver executes each processor's command file — a 10 ns
+// NIC operation per send, explicit compute delays, flush/phase directives —
+// and hands enqueued messages to the model; the model decides when bytes
+// move and reports deliveries back.
+package netmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"pmsnet/internal/link"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/nic"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/traffic"
+)
+
+// Network is a switching-paradigm simulator.
+type Network interface {
+	// Name identifies the paradigm in results ("wormhole", "circuit",
+	// "tdm-dynamic", "tdm-preload", "tdm-hybrid/k=1", ...).
+	Name() string
+	// Run simulates the workload to completion and returns its metrics.
+	Run(wl *traffic.Workload) (metrics.Result, error)
+}
+
+// ErrStalled is returned when a model stops making progress before
+// delivering every message — a deadlock or a starved connection.
+var ErrStalled = errors.New("netmodel: simulation stalled with undelivered messages")
+
+// DefaultHorizon bounds simulated time; a run that needs more than this is
+// treated as stalled. 10 s of simulated time is ~7 orders of magnitude above
+// any workload in the benchmark suite.
+const DefaultHorizon = 10 * sim.Second
+
+// Hooks are the model callbacks the driver invokes as programs execute.
+type Hooks struct {
+	// OnEnqueue fires after a message enters its source NIC's output buffer.
+	OnEnqueue func(m *nic.Message)
+	// OnFlush fires when a program executes FLUSH (nil = ignore).
+	OnFlush func(proc int)
+	// OnPhase fires when a program executes a phase hint (nil = ignore).
+	OnPhase func(proc, phase int)
+	// OnIdle fires once when the last message has been delivered; models
+	// stop their tickers here so the event queue can drain.
+	OnIdle func()
+}
+
+// Driver executes workload programs against NIC output buffers and collects
+// delivery records.
+type Driver struct {
+	Engine  *sim.Engine
+	Link    link.Model
+	Buffers []*nic.OutBuffer
+
+	wl        *traffic.Workload
+	hooks     Hooks
+	nextID    int
+	remaining int
+	records   []metrics.Record
+	// resume maps a blocking message's ID to the program continuation that
+	// runs when it is delivered.
+	resume map[int]func()
+}
+
+// NewDriver builds a driver for a validated workload.
+func NewDriver(engine *sim.Engine, lm link.Model, wl *traffic.Workload, hooks Hooks) (*Driver, error) {
+	if err := wl.Validate(); err != nil {
+		return nil, fmt.Errorf("netmodel: %w", err)
+	}
+	if err := lm.Validate(); err != nil {
+		return nil, fmt.Errorf("netmodel: %w", err)
+	}
+	d := &Driver{
+		Engine:    engine,
+		Link:      lm,
+		Buffers:   make([]*nic.OutBuffer, wl.N),
+		wl:        wl,
+		hooks:     hooks,
+		remaining: wl.MessageCount(),
+		resume:    make(map[int]func()),
+	}
+	for p := 0; p < wl.N; p++ {
+		d.Buffers[p] = nic.NewOutBuffer(p, wl.N)
+	}
+	return d, nil
+}
+
+// Start schedules every processor's program from time zero.
+func (d *Driver) Start() {
+	for p := range d.wl.Programs {
+		p := p
+		if len(d.wl.Programs[p].Ops) > 0 {
+			d.Engine.At(0, "program-start", func() { d.step(p, 0) })
+		}
+	}
+}
+
+// step executes op idx of processor p's program and schedules the next one.
+func (d *Driver) step(p, idx int) {
+	ops := d.wl.Programs[p].Ops
+	if idx >= len(ops) {
+		return
+	}
+	op := ops[idx]
+	next := func(after sim.Time) {
+		d.Engine.After(after, "program-step", func() { d.step(p, idx+1) })
+	}
+	switch op.Kind {
+	case traffic.OpSend, traffic.OpSendWait:
+		m := &nic.Message{
+			ID:      d.nextID,
+			Src:     p,
+			Dst:     op.Dst,
+			Bytes:   op.Bytes,
+			Created: d.Engine.Now(),
+		}
+		d.nextID++
+		d.Buffers[p].Enqueue(m)
+		if op.Kind == traffic.OpSendWait {
+			// Block: the continuation runs when the message is delivered.
+			d.resume[m.ID] = func() { next(nic.SendOverhead) }
+		}
+		if d.hooks.OnEnqueue != nil {
+			d.hooks.OnEnqueue(m)
+		}
+		if op.Kind == traffic.OpSend {
+			next(nic.SendOverhead)
+		}
+	case traffic.OpDelay:
+		next(op.Delay)
+	case traffic.OpFlush:
+		if d.hooks.OnFlush != nil {
+			d.hooks.OnFlush(p)
+		}
+		next(0)
+	case traffic.OpPhase:
+		if d.hooks.OnPhase != nil {
+			d.hooks.OnPhase(p, op.Arg)
+		}
+		next(0)
+	default:
+		panic(fmt.Sprintf("netmodel: unknown op kind %d", int(op.Kind)))
+	}
+}
+
+// Deliver records a completed message. Models call it exactly once per
+// message, at the simulated instant the last byte enters the destination
+// NIC.
+func (d *Driver) Deliver(m *nic.Message) {
+	if m.Delivered != 0 {
+		panic(fmt.Sprintf("netmodel: message %d delivered twice", m.ID))
+	}
+	m.Delivered = d.Engine.Now()
+	d.records = append(d.records, metrics.Record{
+		Src: m.Src, Dst: m.Dst, Bytes: m.Bytes,
+		Created: m.Created, Delivered: m.Delivered,
+	})
+	d.remaining--
+	if cont, ok := d.resume[m.ID]; ok {
+		delete(d.resume, m.ID)
+		cont()
+	}
+	if d.remaining == 0 && d.hooks.OnIdle != nil {
+		d.hooks.OnIdle()
+	}
+}
+
+// Remaining returns the number of undelivered messages.
+func (d *Driver) Remaining() int { return d.remaining }
+
+// Records returns the delivery records collected so far.
+func (d *Driver) Records() []metrics.Record { return d.records }
+
+// ProgressWindow is the stall-detection granularity: if a full window of
+// simulated time passes without a single delivery while messages remain,
+// the run is declared stalled. One millisecond of simulated time is four
+// orders of magnitude above any legitimate inter-delivery gap in the
+// benchmark suite (preload group sweeps, think times), and it keeps a
+// stalled model from grinding through the full horizon at 100 ns ticker
+// granularity.
+const ProgressWindow = sim.Millisecond
+
+// Finish runs the engine to the horizon and assembles the result. It
+// returns ErrStalled if messages remain undelivered when the event queue
+// drains, a progress window elapses without any delivery, or the horizon
+// passes.
+func (d *Driver) Finish(name string, horizon sim.Time, stats metrics.NetStats) (metrics.Result, error) {
+	for d.remaining > 0 && d.Engine.Now() < horizon {
+		before := d.remaining
+		beforeTime := d.Engine.Now()
+		next := beforeTime + ProgressWindow
+		if next > horizon {
+			next = horizon
+		}
+		d.Engine.Run(next)
+		if d.Engine.Now() == beforeTime && d.remaining == before {
+			// The event queue drained with nothing left to do.
+			break
+		}
+		if d.remaining == before && d.Engine.Now() >= next {
+			// A whole progress window without a single delivery: stalled.
+			break
+		}
+	}
+	if d.remaining > 0 {
+		return metrics.Result{}, fmt.Errorf("%w: %d of %d messages undelivered at %v (network %s, workload %s)",
+			ErrStalled, d.remaining, d.wl.MessageCount(), d.Engine.Now(), name, d.wl.Name)
+	}
+	return metrics.Compute(name, d.wl.Name, d.wl.N, d.Link, d.records, stats), nil
+}

@@ -1,0 +1,179 @@
+package netmodel
+
+import (
+	"errors"
+	"testing"
+
+	"pmsnet/internal/link"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/nic"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/traffic"
+)
+
+func twoNodeWorkload(ops ...traffic.Op) *traffic.Workload {
+	return &traffic.Workload{
+		Name:     "test",
+		N:        2,
+		Programs: []traffic.Program{{Ops: ops}, {}},
+	}
+}
+
+func TestDriverExecutesSendsWithNICOverhead(t *testing.T) {
+	eng := sim.NewEngine()
+	var enq []sim.Time
+	wl := twoNodeWorkload(traffic.Send(1, 8), traffic.Send(1, 8), traffic.Send(1, 8))
+	d, err := NewDriver(eng, link.Paper(), wl, Hooks{
+		OnEnqueue: func(m *nic.Message) { enq = append(enq, eng.Now()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.RunAll()
+	// Sends are spaced by the 10 ns NIC send overhead.
+	want := []sim.Time{0, 10, 20}
+	if len(enq) != 3 {
+		t.Fatalf("enqueues = %v", enq)
+	}
+	for i := range want {
+		if enq[i] != want[i] {
+			t.Fatalf("enqueues = %v, want %v", enq, want)
+		}
+	}
+	if d.Buffers[0].Len() != 3 {
+		t.Fatal("messages should be in the buffer")
+	}
+}
+
+func TestDriverDelayAndDirectives(t *testing.T) {
+	eng := sim.NewEngine()
+	var flushAt, phaseAt sim.Time
+	phaseArg := -1
+	wl := &traffic.Workload{
+		Name: "test",
+		N:    2,
+		Programs: []traffic.Program{
+			{Ops: []traffic.Op{traffic.Delay(500), traffic.Flush(), traffic.Phase(0), traffic.Send(1, 8)}},
+			{},
+		},
+		StaticPhases: nil,
+	}
+	// Phase(0) with no static phases fails validation; add one op-free path:
+	wl.Programs[0].Ops[2] = traffic.Delay(5)
+	d, err := NewDriver(eng, link.Paper(), wl, Hooks{
+		OnFlush: func(p int) { flushAt = eng.Now() },
+		OnPhase: func(p, ph int) { phaseAt, phaseArg = eng.Now(), ph },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.RunAll()
+	if flushAt != 500 {
+		t.Fatalf("flush at %v, want 500", flushAt)
+	}
+	_ = phaseAt
+	_ = phaseArg
+	if d.Remaining() != 1 {
+		t.Fatalf("Remaining = %d, want 1 (send queued, never delivered)", d.Remaining())
+	}
+}
+
+func TestDriverPhaseHook(t *testing.T) {
+	eng := sim.NewEngine()
+	wl := traffic.TwoPhase(4, 8, 1)
+	got := map[int]bool{}
+	d, err := NewDriver(eng, link.Paper(), wl, Hooks{
+		OnPhase: func(p, ph int) { got[ph] = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.RunAll()
+	if !got[0] || !got[1] {
+		t.Fatalf("phase hooks seen: %v, want both phases", got)
+	}
+}
+
+func TestDriverRejectsInvalidWorkload(t *testing.T) {
+	eng := sim.NewEngine()
+	bad := &traffic.Workload{Name: "bad", N: 2, Programs: []traffic.Program{{Ops: []traffic.Op{traffic.Send(0, 8)}}, {}}}
+	if _, err := NewDriver(eng, link.Paper(), bad, Hooks{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := NewDriver(eng, link.Model{}, twoNodeWorkload(), Hooks{}); err == nil {
+		t.Fatal("expected link validation error")
+	}
+}
+
+func TestDeliverAndFinish(t *testing.T) {
+	eng := sim.NewEngine()
+	wl := twoNodeWorkload(traffic.Send(1, 800))
+	var d *Driver
+	idleFired := false
+	d, err := NewDriver(eng, link.Paper(), wl, Hooks{
+		OnEnqueue: func(m *nic.Message) {
+			eng.After(1000, "fake-deliver", func() {
+				d.Buffers[0].PopFIFO()
+				d.Deliver(m)
+			})
+		},
+		OnIdle: func() { idleFired = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	res, err := d.Finish("fake", DefaultHorizon, metrics.NetStats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idleFired {
+		t.Fatal("OnIdle should fire when the last message lands")
+	}
+	if res.Messages != 1 || res.Makespan != 1000 {
+		t.Fatalf("result = %+v", res)
+	}
+	// 800 B ideal = 1000 ns; makespan 1000 -> efficiency 1.
+	if res.Efficiency != 1.0 {
+		t.Fatalf("efficiency = %v, want 1.0", res.Efficiency)
+	}
+}
+
+func TestFinishReportsStall(t *testing.T) {
+	eng := sim.NewEngine()
+	wl := twoNodeWorkload(traffic.Send(1, 8))
+	d, err := NewDriver(eng, link.Paper(), wl, Hooks{}) // nothing ever delivers
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	_, err = d.Finish("dead", DefaultHorizon, metrics.NetStats{})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+func TestDoubleDeliverPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	wl := twoNodeWorkload(traffic.Send(1, 8), traffic.Send(1, 8))
+	var d *Driver
+	d, err := NewDriver(eng, link.Paper(), wl, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.RunAll()
+	m := d.Buffers[0].PopFIFO()
+	eng.At(eng.Now()+1, "x", func() {})
+	eng.Step()
+	d.Deliver(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double delivery")
+		}
+	}()
+	d.Deliver(m)
+}

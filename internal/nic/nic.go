@@ -1,0 +1,210 @@
+// Package nic models the network interface card of each processor.
+//
+// Per paper §4, each NIC's output buffer implements N logical queues, one
+// per destination; the request signal R_u it raises toward the scheduler has
+// one bit per non-empty logical queue. The same buffer structure serves the
+// baseline networks, which drain it in plain FIFO order (wormhole and
+// circuit switching send whole messages one at a time), while the TDM
+// network drains per-destination queues a slot's payload at a time.
+//
+// The NIC hardware cost is the paper's synthesized figure: a single-cycle
+// 10 ns delay to send or receive data.
+package nic
+
+import (
+	"fmt"
+
+	"pmsnet/internal/sim"
+)
+
+// Paper §5 NIC timing: "requires a single-cycle delay of 10 ns to send or
+// receive data".
+const (
+	SendOverhead sim.Time = 10
+	RecvOverhead sim.Time = 10
+)
+
+// Message is one in-flight message. A Message is created when the program's
+// SEND op executes and retired when the last byte reaches the destination
+// NIC.
+type Message struct {
+	ID      int
+	Src     int
+	Dst     int
+	Bytes   int
+	Created sim.Time
+	// Delivered is set by the network model when the message completes.
+	Delivered sim.Time
+
+	remaining int
+	queued    bool
+}
+
+// Remaining returns the bytes not yet transmitted.
+func (m *Message) Remaining() int { return m.remaining }
+
+// OutBuffer is a NIC's output buffer: N logical destination queues plus the
+// global arrival order.
+type OutBuffer struct {
+	id     int
+	n      int
+	queues [][]*Message
+	fifo   []*Message
+	// pending counts queued messages; bytesPending counts their unsent bytes.
+	pending      int
+	bytesPending int64
+}
+
+// NewOutBuffer creates the output buffer of NIC `id` in an N-processor
+// system.
+func NewOutBuffer(id, n int) *OutBuffer {
+	if n <= 0 || id < 0 || id >= n {
+		panic(fmt.Sprintf("nic: invalid NIC id %d for %d processors", id, n))
+	}
+	return &OutBuffer{id: id, n: n, queues: make([][]*Message, n)}
+}
+
+// ID returns the NIC's processor id.
+func (b *OutBuffer) ID() int { return b.id }
+
+// Enqueue admits a message into its destination's logical queue.
+func (b *OutBuffer) Enqueue(m *Message) {
+	if m.Src != b.id {
+		panic(fmt.Sprintf("nic %d: enqueue of message from %d", b.id, m.Src))
+	}
+	if m.Dst < 0 || m.Dst >= b.n || m.Dst == b.id {
+		panic(fmt.Sprintf("nic %d: bad destination %d", b.id, m.Dst))
+	}
+	if m.Bytes <= 0 {
+		panic(fmt.Sprintf("nic %d: message size %d", b.id, m.Bytes))
+	}
+	if m.queued {
+		panic(fmt.Sprintf("nic %d: message %d enqueued twice", b.id, m.ID))
+	}
+	m.remaining = m.Bytes
+	m.queued = true
+	b.queues[m.Dst] = append(b.queues[m.Dst], m)
+	b.fifo = append(b.fifo, m)
+	b.pending++
+	b.bytesPending += int64(m.Bytes)
+}
+
+// Len returns the number of queued messages.
+func (b *OutBuffer) Len() int { return b.pending }
+
+// BytesPending returns the unsent bytes across all queues.
+func (b *OutBuffer) BytesPending() int64 { return b.bytesPending }
+
+// HasFor reports whether the logical queue toward dst is non-empty — the
+// R_{u,dst} request bit.
+func (b *OutBuffer) HasFor(dst int) bool {
+	b.checkDst(dst)
+	return len(b.queues[dst]) > 0
+}
+
+// PendingDsts returns the destinations with non-empty logical queues in
+// ascending order: the set bits of the NIC's request vector R_u.
+func (b *OutBuffer) PendingDsts() []int {
+	var out []int
+	for d, q := range b.queues {
+		if len(q) > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// BytesFor returns the unsent bytes queued toward dst.
+func (b *OutBuffer) BytesFor(dst int) int64 {
+	b.checkDst(dst)
+	var n int64
+	for _, m := range b.queues[dst] {
+		n += int64(m.remaining)
+	}
+	return n
+}
+
+// Head returns the oldest message queued toward dst, or nil.
+func (b *OutBuffer) Head(dst int) *Message {
+	b.checkDst(dst)
+	if len(b.queues[dst]) == 0 {
+		return nil
+	}
+	return b.queues[dst][0]
+}
+
+// TransmitTo sends up to maxBytes of the head message toward dst (the TDM
+// per-slot transfer). It returns the bytes sent and, when the message
+// finished, the completed message (already removed from the buffer).
+func (b *OutBuffer) TransmitTo(dst, maxBytes int) (sent int, completed *Message) {
+	b.checkDst(dst)
+	if maxBytes <= 0 {
+		panic(fmt.Sprintf("nic %d: non-positive transfer budget %d", b.id, maxBytes))
+	}
+	q := b.queues[dst]
+	if len(q) == 0 {
+		return 0, nil
+	}
+	m := q[0]
+	sent = maxBytes
+	if sent > m.remaining {
+		sent = m.remaining
+	}
+	m.remaining -= sent
+	b.bytesPending -= int64(sent)
+	if m.remaining == 0 {
+		b.queues[dst] = q[1:]
+		b.removeFromFIFO(m)
+		b.pending--
+		m.queued = false
+		completed = m
+	}
+	return sent, completed
+}
+
+// NextFIFO returns the oldest queued message across all destinations, or
+// nil. Wormhole and circuit switching serve messages in this order.
+func (b *OutBuffer) NextFIFO() *Message {
+	if len(b.fifo) == 0 {
+		return nil
+	}
+	return b.fifo[0]
+}
+
+// PopFIFO removes and returns the oldest queued message; the caller becomes
+// responsible for transmitting it. It returns nil when the buffer is empty.
+func (b *OutBuffer) PopFIFO() *Message {
+	if len(b.fifo) == 0 {
+		return nil
+	}
+	m := b.fifo[0]
+	b.fifo = b.fifo[1:]
+	q := b.queues[m.Dst]
+	for i, qm := range q {
+		if qm == m {
+			b.queues[m.Dst] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	b.pending--
+	b.bytesPending -= int64(m.remaining)
+	m.remaining = 0
+	m.queued = false
+	return m
+}
+
+func (b *OutBuffer) removeFromFIFO(m *Message) {
+	for i, fm := range b.fifo {
+		if fm == m {
+			b.fifo = append(b.fifo[:i], b.fifo[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("nic %d: message %d missing from FIFO", b.id, m.ID))
+}
+
+func (b *OutBuffer) checkDst(dst int) {
+	if dst < 0 || dst >= b.n {
+		panic(fmt.Sprintf("nic %d: destination %d outside [0,%d)", b.id, dst, b.n))
+	}
+}

@@ -1,0 +1,199 @@
+package nic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func msg(id, src, dst, bytes int) *Message {
+	return &Message{ID: id, Src: src, Dst: dst, Bytes: bytes}
+}
+
+func TestEnqueueAndRequestBits(t *testing.T) {
+	b := NewOutBuffer(0, 4)
+	if b.Len() != 0 || b.BytesPending() != 0 {
+		t.Fatal("new buffer should be empty")
+	}
+	b.Enqueue(msg(1, 0, 2, 64))
+	b.Enqueue(msg(2, 0, 2, 32))
+	b.Enqueue(msg(3, 0, 3, 16))
+	if b.Len() != 3 || b.BytesPending() != 112 {
+		t.Fatalf("Len=%d BytesPending=%d", b.Len(), b.BytesPending())
+	}
+	if !b.HasFor(2) || !b.HasFor(3) || b.HasFor(1) {
+		t.Fatal("request bits wrong")
+	}
+	dsts := b.PendingDsts()
+	if len(dsts) != 2 || dsts[0] != 2 || dsts[1] != 3 {
+		t.Fatalf("PendingDsts = %v, want [2 3]", dsts)
+	}
+	if b.Head(2).ID != 1 || b.Head(3).ID != 3 || b.Head(1) != nil {
+		t.Fatal("Head wrong")
+	}
+}
+
+func TestTransmitToFragments(t *testing.T) {
+	b := NewOutBuffer(0, 4)
+	b.Enqueue(msg(1, 0, 2, 100))
+	sent, done := b.TransmitTo(2, 64)
+	if sent != 64 || done != nil {
+		t.Fatalf("first slot: sent=%d done=%v", sent, done)
+	}
+	if b.Head(2).Remaining() != 36 {
+		t.Fatalf("remaining = %d, want 36", b.Head(2).Remaining())
+	}
+	sent, done = b.TransmitTo(2, 64)
+	if sent != 36 || done == nil || done.ID != 1 {
+		t.Fatalf("second slot: sent=%d done=%v", sent, done)
+	}
+	if b.Len() != 0 || b.HasFor(2) || b.BytesPending() != 0 {
+		t.Fatal("buffer should be empty after completion")
+	}
+	// Transmit on an empty queue: nothing.
+	sent, done = b.TransmitTo(2, 64)
+	if sent != 0 || done != nil {
+		t.Fatal("empty queue transmit should be a no-op")
+	}
+}
+
+func TestTransmitServesQueueInOrder(t *testing.T) {
+	b := NewOutBuffer(0, 4)
+	b.Enqueue(msg(1, 0, 2, 10))
+	b.Enqueue(msg(2, 0, 2, 10))
+	_, done := b.TransmitTo(2, 64)
+	if done == nil || done.ID != 1 {
+		t.Fatalf("done = %v, want message 1 first", done)
+	}
+	_, done = b.TransmitTo(2, 64)
+	if done == nil || done.ID != 2 {
+		t.Fatalf("done = %v, want message 2 second", done)
+	}
+}
+
+func TestFIFOOrderAcrossDestinations(t *testing.T) {
+	b := NewOutBuffer(1, 4)
+	b.Enqueue(msg(1, 1, 2, 8))
+	b.Enqueue(msg(2, 1, 3, 8))
+	b.Enqueue(msg(3, 1, 2, 8))
+	if b.NextFIFO().ID != 1 {
+		t.Fatal("NextFIFO should be the oldest message")
+	}
+	if got := b.PopFIFO(); got.ID != 1 {
+		t.Fatalf("PopFIFO = %d, want 1", got.ID)
+	}
+	if got := b.PopFIFO(); got.ID != 2 {
+		t.Fatalf("PopFIFO = %d, want 2", got.ID)
+	}
+	// After popping message 2, destination 3 has nothing left.
+	if b.HasFor(3) {
+		t.Fatal("queue 3 should be empty")
+	}
+	if got := b.PopFIFO(); got.ID != 3 {
+		t.Fatalf("PopFIFO = %d, want 3", got.ID)
+	}
+	if b.PopFIFO() != nil || b.NextFIFO() != nil {
+		t.Fatal("empty buffer should return nil")
+	}
+	if b.Len() != 0 || b.BytesPending() != 0 {
+		t.Fatal("counters should be zero")
+	}
+}
+
+func TestMixedDisciplinesStayConsistent(t *testing.T) {
+	// TransmitTo completing a message must also remove it from the FIFO,
+	// and PopFIFO must remove from the destination queue.
+	b := NewOutBuffer(0, 4)
+	b.Enqueue(msg(1, 0, 2, 8))
+	b.Enqueue(msg(2, 0, 3, 8))
+	if _, done := b.TransmitTo(2, 64); done == nil {
+		t.Fatal("message 1 should complete")
+	}
+	if b.NextFIFO().ID != 2 {
+		t.Fatal("FIFO head should now be message 2")
+	}
+	if b.PopFIFO().ID != 2 {
+		t.Fatal("PopFIFO should return message 2")
+	}
+	if b.Len() != 0 {
+		t.Fatal("buffer should be empty")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	b := NewOutBuffer(0, 4)
+	good := msg(1, 0, 1, 8)
+	b.Enqueue(good)
+	for i, fn := range []func(){
+		func() { NewOutBuffer(4, 4) },
+		func() { NewOutBuffer(-1, 4) },
+		func() { NewOutBuffer(0, 0) },
+		func() { b.Enqueue(msg(2, 1, 0, 8)) }, // wrong source
+		func() { b.Enqueue(msg(3, 0, 0, 8)) }, // self
+		func() { b.Enqueue(msg(4, 0, 9, 8)) }, // out of range
+		func() { b.Enqueue(msg(5, 0, 1, 0)) }, // empty
+		func() { b.Enqueue(good) },            // double enqueue
+		func() { b.TransmitTo(1, 0) },         // zero budget
+		func() { b.TransmitTo(9, 8) },         // bad dst
+		func() { b.HasFor(-1) },
+		func() { b.Head(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestQuickConservation drives a buffer with random enqueues and transmits
+// and checks that byte and message counts are conserved.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewOutBuffer(0, 8)
+		enqueuedBytes, sentBytes := int64(0), int64(0)
+		enqueued, completed := 0, 0
+		id := 0
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				id++
+				size := 1 + rng.Intn(200)
+				b.Enqueue(msg(id, 0, 1+rng.Intn(7), size))
+				enqueued++
+				enqueuedBytes += int64(size)
+			case 1:
+				dst := 1 + rng.Intn(7)
+				sent, done := b.TransmitTo(dst, 1+rng.Intn(64))
+				sentBytes += int64(sent)
+				if done != nil {
+					completed++
+				}
+			case 2:
+				if head := b.NextFIFO(); head != nil {
+					rem := head.Remaining()
+					if m := b.PopFIFO(); m != head {
+						return false
+					}
+					completed++
+					// PopFIFO hands the whole remainder to the caller.
+					sentBytes += int64(rem)
+				}
+			}
+			if b.BytesPending() != enqueuedBytes-sentBytes {
+				return false
+			}
+			if b.Len() != enqueued-completed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

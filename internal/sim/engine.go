@@ -1,0 +1,266 @@
+// Package sim provides a deterministic discrete-event simulation engine with
+// an integer-nanosecond clock.
+//
+// Every network model in this repository (wormhole, circuit switching, and
+// the TDM-based predictive multiplexed switch) runs on this engine, so that
+// the four curves in each figure are produced by the same clock, the same
+// event ordering rules and the same random streams. Determinism matters:
+// events scheduled for the same instant fire in scheduling order (FIFO
+// tie-break), so a run is a pure function of (model, workload, seed).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// MaxTime is the largest representable timestamp; Run without a horizon uses
+// it as "forever".
+const MaxTime Time = math.MaxInt64
+
+// String renders a Time as nanoseconds with a unit suffix.
+func (t Time) String() string {
+	switch {
+	case t >= Second && t%Second == 0:
+		return fmt.Sprintf("%ds", int64(t/Second))
+	case t >= Microsecond && t%Microsecond == 0:
+		return fmt.Sprintf("%dus", int64(t/Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Handler is the callback attached to an event. It runs with the engine
+// clock set to the event's timestamp.
+type Handler func()
+
+type event struct {
+	at      Time
+	seq     uint64 // FIFO tie-break for equal timestamps
+	handler Handler
+	label   string
+	dead    bool
+	index   int // heap index, -1 when popped
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; models are sequential by design so that runs are
+// reproducible.
+type Engine struct {
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules handler to run at absolute time at. Scheduling in the past
+// panics: it would silently corrupt causality in a model.
+func (e *Engine) At(at Time, label string, handler Handler) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", label, at, e.now))
+	}
+	if handler == nil {
+		panic(fmt.Sprintf("sim: event %q has nil handler", label))
+	}
+	ev := &event{at: at, seq: e.seq, handler: handler, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules handler to run d nanoseconds from now.
+func (e *Engine) After(d Time, label string, handler Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, label))
+	}
+	return e.At(e.now+d, label, handler)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.dead || id.ev.index < 0 {
+		return false
+	}
+	id.ev.dead = true
+	return true
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, the horizon
+// is passed, or Stop is called. It returns the time of the last executed
+// event (or the current time if nothing ran). Events scheduled exactly at the
+// horizon still run.
+func (e *Engine) Run(horizon Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at > horizon {
+			// Put it back for a later Run call with a larger horizon.
+			heap.Push(&e.queue, ev)
+			e.now = horizon
+			return e.now
+		}
+		e.now = ev.at
+		e.processed++
+		ev.handler()
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() Time { return e.Run(MaxTime) }
+
+// Step executes exactly one event and reports whether one was available.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.handler()
+		return true
+	}
+	return false
+}
+
+// Ticker repeatedly schedules a handler with a fixed period. It is the shape
+// of the TDM slot clock and the scheduler's SL clock.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	label   string
+	handler Handler
+	next    EventID
+	active  bool
+}
+
+// NewTicker creates a stopped ticker. period must be positive.
+func (e *Engine) NewTicker(period Time, label string, handler Handler) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker %q period %v must be positive", label, period))
+	}
+	return &Ticker{engine: e, period: period, label: label, handler: handler}
+}
+
+// Start begins ticking; the first tick fires after one full period. Starting
+// an active ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.schedule()
+}
+
+// StartAt begins ticking with the first tick at absolute time first.
+func (t *Ticker) StartAt(first Time) {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.next = t.engine.At(first, t.label, t.fire)
+}
+
+func (t *Ticker) schedule() {
+	t.next = t.engine.After(t.period, t.label, t.fire)
+}
+
+func (t *Ticker) fire() {
+	if !t.active {
+		return
+	}
+	t.handler()
+	if t.active {
+		t.schedule()
+	}
+}
+
+// Stop halts the ticker; pending tick is cancelled.
+func (t *Ticker) Stop() {
+	if !t.active {
+		return
+	}
+	t.active = false
+	t.engine.Cancel(t.next)
+}
+
+// Active reports whether the ticker is running.
+func (t *Ticker) Active() bool { return t.active }
+
+// Period returns the tick period.
+func (t *Ticker) Period() Time { return t.period }

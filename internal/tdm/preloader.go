@@ -1,0 +1,166 @@
+package tdm
+
+import (
+	"fmt"
+
+	"pmsnet/internal/bitmat"
+	"pmsnet/internal/multistage"
+	"pmsnet/internal/topology"
+	"pmsnet/internal/traffic"
+)
+
+// preloader is the compiled-communication controller (paper §3.1, §4
+// extension 5). It decomposes each statically-known phase into conflict-free
+// configurations (an exact bipartite edge coloring), chunks them into groups
+// that fit the pinned slots, and swaps the loaded group when the traffic it
+// serves has drained while other static traffic is still waiting.
+//
+// Group swaps are free of fabric time: the scheduler writes the
+// configuration registers during the data phase of the preceding slot, and
+// the new group takes effect at the next slot boundary.
+type preloader struct {
+	r     *run
+	slots int
+	// groups holds the configuration groups in phase order.
+	groups [][]*bitmat.Matrix
+	// groupsOf maps a connection to every group containing it.
+	groupsOf map[topology.Conn][]int
+	// pendingInGroup counts pending connections per group;
+	// pendingStatic counts pending connections covered by any group.
+	pendingInGroup []int
+	pendingStatic  int
+	cur            int
+	// slotsSinceLoad counts slot boundaries since the current group was
+	// loaded; a group keeps the fabric for at least one full TDM cycle.
+	slotsSinceLoad int
+}
+
+// newPreloader builds the controller and pins the first group. The workload
+// must carry static phases; in pure Preload mode every connection of the
+// workload must be covered by them (otherwise uncovered traffic would never
+// be granted a slot).
+func newPreloader(r *run, wl *traffic.Workload, slots int) (*preloader, error) {
+	if len(wl.StaticPhases) == 0 {
+		return nil, fmt.Errorf("tdm: %s mode needs static phases in the workload", r.cfg.Mode)
+	}
+	p := &preloader{
+		r:        r,
+		slots:    slots,
+		groupsOf: make(map[topology.Conn][]int),
+	}
+	for _, phase := range wl.StaticPhases {
+		var configs []*bitmat.Matrix
+		if r.omega != nil {
+			var err error
+			configs, err = multistage.DecomposeOmega(phase, r.omega)
+			if err != nil {
+				return nil, fmt.Errorf("tdm: %w", err)
+			}
+		} else {
+			configs = topology.Decompose(phase)
+		}
+		for start := 0; start < len(configs); start += slots {
+			end := start + slots
+			if end > len(configs) {
+				end = len(configs)
+			}
+			gi := len(p.groups)
+			group := configs[start:end]
+			p.groups = append(p.groups, group)
+			for _, cfg := range group {
+				cfg.Ones(func(u, v int) bool {
+					c := topology.Conn{Src: u, Dst: v}
+					p.groupsOf[c] = append(p.groupsOf[c], gi)
+					return true
+				})
+			}
+		}
+	}
+	p.pendingInGroup = make([]int, len(p.groups))
+
+	if r.cfg.Mode == Preload {
+		// Every connection the programs use must be statically covered.
+		for _, c := range wl.ConnSet().Conns() {
+			if len(p.groupsOf[c]) == 0 {
+				return nil, fmt.Errorf("tdm: preload mode cannot serve %v: not in any static phase", c)
+			}
+		}
+	}
+	p.load(0)
+	return p, nil
+}
+
+// load pins group gi into the managed slots; slots beyond the group's size
+// are pinned empty.
+func (p *preloader) load(gi int) {
+	p.cur = gi
+	p.slotsSinceLoad = 0
+	group := p.groups[gi]
+	for i := 0; i < p.slots; i++ {
+		cfg := bitmat.NewSquare(p.r.cfg.N)
+		if i < len(group) {
+			cfg = group[i]
+		}
+		if err := p.r.sched.LoadConfig(i, cfg, true); err != nil {
+			panic(fmt.Sprintf("tdm: preloader produced invalid configuration: %v", err))
+		}
+	}
+	p.r.stats.Preloads++
+}
+
+// pendingUp records that connection c now has traffic queued.
+func (p *preloader) pendingUp(c topology.Conn) {
+	gs := p.groupsOf[c]
+	for _, g := range gs {
+		p.pendingInGroup[g]++
+	}
+	if len(gs) > 0 {
+		p.pendingStatic++
+	}
+}
+
+// pendingDown records that connection c's queue drained.
+func (p *preloader) pendingDown(c topology.Conn) {
+	gs := p.groupsOf[c]
+	for _, g := range gs {
+		p.pendingInGroup[g]--
+	}
+	if len(gs) > 0 {
+		p.pendingStatic--
+	}
+}
+
+// maybeAdvance swaps the loaded group when another group serves
+// substantially more pending traffic than the current one. The 2x hysteresis
+// keeps the controller from thrashing between comparably-loaded groups
+// (every swap costs a slot); a drained current group (zero pending) always
+// loses to any group with work. Candidates are scanned cyclically from the
+// current group so equally-loaded groups are served round-robin.
+//
+// It reports whether a swap happened.
+func (p *preloader) maybeAdvance() bool {
+	p.slotsSinceLoad++
+	if len(p.groups) < 2 || p.pendingStatic == 0 {
+		return false
+	}
+	cur := p.pendingInGroup[p.cur]
+	// Minimum residence: a fully drained group is abandoned immediately,
+	// but a group that still has traffic keeps the fabric for at least one
+	// whole TDM cycle, so every configuration in it gets at least one slot
+	// before a swap decision is made.
+	if cur > 0 && p.slotsSinceLoad < p.slots {
+		return false
+	}
+	best, bestIdx := cur, p.cur
+	for step := 1; step < len(p.groups); step++ {
+		g := (p.cur + step) % len(p.groups)
+		if p.pendingInGroup[g] > best {
+			best, bestIdx = p.pendingInGroup[g], g
+		}
+	}
+	if bestIdx == p.cur || best <= 2*cur {
+		return false
+	}
+	p.load(bestIdx)
+	return true
+}

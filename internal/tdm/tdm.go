@@ -1,0 +1,562 @@
+// Package tdm implements the predictive multiplexed switching network — the
+// paper's proposed system. A 100 ns slot clock cycles the crossbar through
+// the scheduler's K configurations; connections are established reactively
+// by the scheduling-logic array (internal/core), proactively by preloading
+// compiled configurations, or both at once.
+//
+// Three modes reproduce the paper's evaluation:
+//
+//   - Dynamic: all K slots are scheduled reactively from the NICs' request
+//     matrix ("Dynamic TDM" in Figure 4). An optional predictor latches
+//     connections past their last request and evicts them later (§3.2).
+//   - Preload: all K slots are pinned with compiled configurations obtained
+//     by decomposing the workload's statically-known phases; a preload
+//     controller swaps configuration groups as their traffic drains
+//     ("Preload" in Figure 4).
+//   - Hybrid: k slots are pinned with the static pattern and the remaining
+//     K−k slots are scheduled reactively (Figure 5).
+//
+// Slot timing: a slot is 100 ns — 80 raw bytes at 6.4 Gb/s — of which 64
+// bytes are usable payload; the remainder covers the guard band and slot
+// framing (see DESIGN.md for why this reconciles the paper's "8–64 bytes in
+// one cycle" and "over 80 bytes fragmented" statements). Grants are issued
+// by the scheduler at slot boundaries, so NICs need no slot bookkeeping.
+package tdm
+
+import (
+	"fmt"
+
+	"pmsnet/internal/bitmat"
+	"pmsnet/internal/core"
+	"pmsnet/internal/fabric"
+	"pmsnet/internal/link"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/multistage"
+	"pmsnet/internal/netmodel"
+	"pmsnet/internal/nic"
+	"pmsnet/internal/predictor"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/topology"
+	"pmsnet/internal/traffic"
+)
+
+// FabricKind selects the switching-fabric technology the TDM slots are
+// realized on.
+type FabricKind int
+
+// Fabric kinds.
+const (
+	// CrossbarFabric is the paper's baseline: any partial permutation is
+	// realizable.
+	CrossbarFabric FabricKind = iota
+	// OmegaFabric is a log2(N)-stage Omega network: cheaper hardware, but
+	// blocking — the scheduler only establishes connections that keep each
+	// slot's configuration Omega-realizable, and the preload controller
+	// decomposes working sets under the same constraint (paper §4's
+	// "fabrics that have limited permutation capabilities"). Requires N to
+	// be a power of two.
+	OmegaFabric
+)
+
+// String implements fmt.Stringer.
+func (f FabricKind) String() string {
+	switch f {
+	case CrossbarFabric:
+		return "crossbar"
+	case OmegaFabric:
+		return "omega"
+	default:
+		return fmt.Sprintf("FabricKind(%d)", int(f))
+	}
+}
+
+// Mode selects how connections enter the network.
+type Mode int
+
+// TDM operating modes.
+const (
+	// Dynamic schedules every slot reactively.
+	Dynamic Mode = iota
+	// Preload pins every slot with compiled configurations.
+	Preload
+	// Hybrid pins PreloadSlots slots and schedules the rest reactively.
+	Hybrid
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Dynamic:
+		return "dynamic"
+	case Preload:
+		return "preload"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the TDM network.
+type Config struct {
+	// N is the processor count.
+	N int
+	// K is the multiplexing degree (number of configuration registers).
+	K int
+	// Mode selects dynamic, preload or hybrid operation.
+	Mode Mode
+	// PreloadSlots is the number of pinned slots in Hybrid mode (the
+	// paper's k); ignored otherwise.
+	PreloadSlots int
+	// NewPredictor, when non-nil, enables request latching (core extension
+	// 3): connections survive their request dropping and are evicted by the
+	// predictor. When nil, a connection is released as soon as its request
+	// disappears (pure reactive operation). A fresh predictor is created
+	// per run.
+	NewPredictor func() predictor.Predictor
+	// Link is the serial-link model; zero value means link.Paper().
+	Link link.Model
+	// SlotNs is the TDM slot duration; zero means 100 ns.
+	SlotNs sim.Time
+	// PayloadBytes is the usable payload per slot; zero means 64.
+	PayloadBytes int
+	// RotatePriority enables fair priority rotation in the scheduler
+	// (default on via withDefaults).
+	RotatePriority *bool
+	// SkipEmptySlots enables TDM-counter empty-slot skipping (default on).
+	SkipEmptySlots *bool
+	// SLCopies is the number of scheduling-logic units (extension 1);
+	// zero means 1.
+	SLCopies int
+	// AmplifyBytes enables bandwidth amplification (core extension 2): a
+	// connection whose queue still holds more than this many bytes after a
+	// slot transfer is inserted into an additional free slot, multiplying
+	// its share of the link. Zero disables amplification.
+	AmplifyBytes int
+	// Fabric selects the switching-fabric technology (default crossbar).
+	Fabric FabricKind
+	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
+	Horizon sim.Time
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+func (c Config) withDefaults() Config {
+	if c.Link.BitsPerSecond == 0 {
+		c.Link = link.Paper()
+	}
+	if c.SlotNs == 0 {
+		c.SlotNs = 100
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 64
+	}
+	if c.RotatePriority == nil {
+		c.RotatePriority = boolPtr(true)
+	}
+	if c.SkipEmptySlots == nil {
+		c.SkipEmptySlots = boolPtr(true)
+	}
+	if c.SLCopies == 0 {
+		c.SLCopies = 1
+	}
+	if c.Horizon == 0 {
+		c.Horizon = netmodel.DefaultHorizon
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N <= 1 {
+		return fmt.Errorf("tdm: need at least 2 processors, got %d", c.N)
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("tdm: multiplexing degree K=%d must be positive", c.K)
+	}
+	if c.PayloadBytes <= 0 {
+		return fmt.Errorf("tdm: payload %d must be positive", c.PayloadBytes)
+	}
+	if c.SlotNs <= 0 {
+		return fmt.Errorf("tdm: slot duration %v must be positive", c.SlotNs)
+	}
+	if c.Link.BytesInWindow(c.SlotNs) < c.PayloadBytes {
+		return fmt.Errorf("tdm: payload %d B does not fit a %v slot at the line rate", c.PayloadBytes, c.SlotNs)
+	}
+	if c.AmplifyBytes < 0 {
+		return fmt.Errorf("tdm: negative amplification threshold %d", c.AmplifyBytes)
+	}
+	switch c.Fabric {
+	case CrossbarFabric:
+	case OmegaFabric:
+		if _, err := multistage.NewOmega(c.N); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("tdm: unknown fabric kind %d", int(c.Fabric))
+	}
+	switch c.Mode {
+	case Dynamic:
+	case Preload:
+	case Hybrid:
+		if c.PreloadSlots < 0 || c.PreloadSlots > c.K {
+			return fmt.Errorf("tdm: hybrid preload slots %d outside [0,%d]", c.PreloadSlots, c.K)
+		}
+	default:
+		return fmt.Errorf("tdm: unknown mode %d", int(c.Mode))
+	}
+	return c.Link.Validate()
+}
+
+// Network is the predictive multiplexed switch.
+type Network struct {
+	cfg Config
+}
+
+// New builds a TDM network.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{cfg: cfg}, nil
+}
+
+// Name implements netmodel.Network.
+func (n *Network) Name() string {
+	var name string
+	switch n.cfg.Mode {
+	case Dynamic:
+		name = fmt.Sprintf("tdm-dynamic/k=%d", n.cfg.K)
+	case Preload:
+		name = fmt.Sprintf("tdm-preload/k=%d", n.cfg.K)
+	default:
+		name = fmt.Sprintf("tdm-hybrid/%dp+%dd", n.cfg.PreloadSlots, n.cfg.K-n.cfg.PreloadSlots)
+	}
+	if n.cfg.Fabric == OmegaFabric {
+		name += "/omega"
+	}
+	return name
+}
+
+type run struct {
+	cfg    Config
+	eng    *sim.Engine
+	driver *netmodel.Driver
+	sched  *core.Scheduler
+	xbar   *fabric.Crossbar
+	pred   predictor.Predictor
+
+	// reqView is the request matrix as the scheduler sees it: NIC queue
+	// state delayed by the control-line latency.
+	reqView *bitmat.Matrix
+	// specReq holds speculative requests injected by a prefetching
+	// predictor (predictor.Prefetcher): they are OR-ed into the request
+	// matrix until the connection establishes, then cleared — the latch
+	// keeps the connection alive from there.
+	specReq *bitmat.Matrix
+	// queued[u][v] counts messages pending from u to v.
+	queued [][]int
+	// grantAt[u][v] is the earliest time NIC u may use a dynamically
+	// established connection to v: the grant line takes one control delay
+	// to reach the NIC, so a slot that starts earlier cannot carry data on
+	// a connection established this recently. Preloaded configurations are
+	// known to the NICs from load time and have no such penalty.
+	grantAt [][]sim.Time
+
+	// omega is non-nil under OmegaFabric: the realizability oracle for the
+	// scheduler constraint and the per-slot invariant check.
+	omega *multistage.Omega
+
+	pre        *preloader
+	slotTicker *sim.Ticker
+	slTicker   *sim.Ticker
+	stats      metrics.NetStats
+}
+
+// Run implements netmodel.Network.
+func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
+	cfg := n.cfg
+	eng := sim.NewEngine()
+
+	var pred predictor.Predictor
+	if cfg.NewPredictor != nil {
+		pred = cfg.NewPredictor()
+	}
+	var omega *multistage.Omega
+	var canEstablish func(b *bitmat.Matrix, u, v int) bool
+	if cfg.Fabric == OmegaFabric {
+		var err error
+		omega, err = multistage.NewOmega(cfg.N)
+		if err != nil {
+			return metrics.Result{}, err
+		}
+		canEstablish = func(b *bitmat.Matrix, u, v int) bool {
+			trial := b.Clone()
+			trial.Set(u, v)
+			return omega.CanRealize(trial)
+		}
+	}
+	r := &run{
+		cfg:   cfg,
+		eng:   eng,
+		omega: omega,
+		sched: core.NewScheduler(core.Params{
+			N:              cfg.N,
+			K:              cfg.K,
+			RotatePriority: *cfg.RotatePriority,
+			SkipEmptySlots: *cfg.SkipEmptySlots,
+			SLCopies:       cfg.SLCopies,
+			LatchRequests:  pred != nil,
+			CanEstablish:   canEstablish,
+		}),
+		xbar:    fabric.NewCrossbar(cfg.N, fabric.LVDS, 0),
+		pred:    pred,
+		reqView: bitmat.NewSquare(cfg.N),
+		specReq: bitmat.NewSquare(cfg.N),
+		queued:  make([][]int, cfg.N),
+		grantAt: make([][]sim.Time, cfg.N),
+	}
+	for u := range r.queued {
+		r.queued[u] = make([]int, cfg.N)
+		r.grantAt[u] = make([]sim.Time, cfg.N)
+	}
+
+	driver, err := netmodel.NewDriver(eng, cfg.Link, wl, netmodel.Hooks{
+		OnEnqueue: r.onEnqueue,
+		OnFlush:   r.onFlush,
+		OnIdle:    r.onIdle,
+	})
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	r.driver = driver
+
+	// Preloaded slots (Preload: all; Hybrid: the first PreloadSlots).
+	if cfg.Mode == Preload || (cfg.Mode == Hybrid && cfg.PreloadSlots > 0) {
+		slots := cfg.K
+		if cfg.Mode == Hybrid {
+			slots = cfg.PreloadSlots
+		}
+		pre, err := newPreloader(r, wl, slots)
+		if err != nil {
+			return metrics.Result{}, err
+		}
+		r.pre = pre
+	}
+
+	// The slot clock drives the fabric; the SL clock drives reactive
+	// scheduling (absent in pure preload mode, where every slot is pinned).
+	r.slotTicker = eng.NewTicker(cfg.SlotNs, "tdm-slot", r.onSlot)
+	r.slotTicker.StartAt(0)
+	if cfg.Mode != Preload {
+		r.slTicker = eng.NewTicker(r.sched.PassLatency(), "tdm-sl-pass", r.onSLPass)
+		r.slTicker.Start()
+	}
+
+	driver.Start()
+	res, err := driver.Finish(n.Name(), cfg.Horizon, metrics.NetStats{})
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	// Merge scheduler counters into the run stats.
+	st := r.sched.Stats()
+	r.stats.SchedulerPasses = st.Passes
+	r.stats.Established = st.Established
+	r.stats.Released = st.Released
+	r.stats.Evictions = st.Evictions
+	r.stats.Flushes = st.Flushes
+	res.Stats = r.stats
+	return res, nil
+}
+
+// onEnqueue tracks queue transitions, drives the delayed request wire and
+// counts connection-cache hits and misses.
+func (r *run) onEnqueue(m *nic.Message) {
+	u, v := m.Src, m.Dst
+	r.queued[u][v]++
+	if r.queued[u][v] == 1 {
+		// The queue was empty: this message must wait for a connection
+		// unless one is already cached — the working-set hit/miss the paper
+		// discusses.
+		if r.sched.Connected(u, v) {
+			r.stats.Hits++
+		} else {
+			r.stats.Misses++
+		}
+		r.setRequestWire(u, v, true)
+		if r.pre != nil {
+			r.pre.pendingUp(topology.Conn{Src: u, Dst: v})
+		}
+	} else {
+		// The message joins a standing backlog and rides the connection the
+		// backlog already has (or is already waiting for): a hit.
+		r.stats.Hits++
+	}
+}
+
+// setRequestWire propagates a queue-state transition to the scheduler's
+// request-matrix view after the control-line delay. The written value is the
+// one sampled now; events fire in order, so the view always equals the NIC
+// state one control delay ago — wire semantics.
+func (r *run) setRequestWire(u, v int, val bool) {
+	r.eng.After(r.cfg.Link.ControlDelay(), "request-wire", func() {
+		if val {
+			r.reqView.Set(u, v)
+		} else {
+			r.reqView.Clear(u, v)
+		}
+	})
+}
+
+// onFlush handles the compiler's FLUSH directive: the request reaches the
+// scheduler after the control delay and clears all dynamic connections.
+func (r *run) onFlush(int) {
+	r.eng.After(r.cfg.Link.ControlDelay(), "flush", func() {
+		if r.pred != nil {
+			for _, c := range bstarConns(r.sched) {
+				r.pred.OnRelease(c)
+			}
+		}
+		r.sched.Flush()
+	})
+}
+
+func bstarConns(s *core.Scheduler) []topology.Conn {
+	var out []topology.Conn
+	s.BStar().Ones(func(u, v int) bool {
+		out = append(out, topology.Conn{Src: u, Dst: v})
+		return true
+	})
+	return out
+}
+
+// onIdle stops the clocks so the event queue can drain.
+func (r *run) onIdle() {
+	r.slotTicker.Stop()
+	if r.slTicker != nil {
+		r.slTicker.Stop()
+	}
+}
+
+// onSLPass runs one scheduling pass and applies predictor evictions and
+// prefetches.
+func (r *run) onSLPass() {
+	req := r.reqView
+	if pf, ok := r.pred.(predictor.Prefetcher); ok {
+		for _, c := range pf.Prefetch(r.eng.Now()) {
+			if !r.sched.Connected(c.Src, c.Dst) {
+				r.specReq.Set(c.Src, c.Dst)
+			}
+		}
+	}
+	if !r.specReq.IsZero() {
+		req = r.reqView.Clone()
+		req.Or(r.specReq)
+	}
+	res := r.sched.Pass(req)
+	for _, c := range res.Established {
+		r.grantAt[c.Src][c.Dst] = r.eng.Now() + r.cfg.Link.ControlDelay()
+		r.specReq.Clear(c.Src, c.Dst)
+	}
+	if r.pred != nil {
+		now := r.eng.Now()
+		for _, c := range res.Established {
+			r.pred.OnEstablish(topology.Conn{Src: c.Src, Dst: c.Dst}, now)
+		}
+		for _, c := range res.Released {
+			r.pred.OnRelease(topology.Conn{Src: c.Src, Dst: c.Dst})
+		}
+		for _, c := range r.pred.Evictions(now) {
+			// Never evict a connection that still has traffic queued; the
+			// predictor only sees usage, not queue occupancy.
+			if r.queued[c.Src][c.Dst] == 0 && r.sched.Connected(c.Src, c.Dst) {
+				r.sched.Evict(c.Src, c.Dst)
+				r.pred.OnRelease(c)
+			}
+		}
+	}
+}
+
+// onSlot is the slot-boundary handler: pick the next configuration, copy it
+// to the fabric, and let every granted NIC transmit one slot payload.
+func (r *run) onSlot() {
+	r.stats.SlotsTotal++
+	if r.pre != nil {
+		// The scheduler writes configuration registers during the data
+		// phase of the previous slot, so a group swap takes effect at this
+		// boundary without stealing fabric time.
+		r.pre.maybeAdvance()
+	}
+	slot, cfg, ok := r.sched.NextFabricSlot()
+	if !ok {
+		return
+	}
+	_ = slot
+	if err := r.xbar.Apply(cfg); err != nil {
+		panic(fmt.Sprintf("tdm: scheduler produced unrealizable configuration: %v", err))
+	}
+	if r.omega != nil && !r.omega.CanRealize(cfg) {
+		panic("tdm: scheduler produced a configuration the omega fabric cannot realize")
+	}
+	slotStart := r.eng.Now()
+	used := false
+	for u := 0; u < r.cfg.N; u++ {
+		v := cfg.FirstInRow(u)
+		if v < 0 {
+			continue
+		}
+		if r.grantAt[u][v] > slotStart {
+			// The grant for this freshly established connection has not
+			// reached the NIC yet; the slot passes unused for this port.
+			continue
+		}
+		sent, done := r.driver.Buffers[u].TransmitTo(v, r.cfg.PayloadBytes)
+		if sent == 0 {
+			// A wasted grant: the connection is established but has nothing
+			// to send. If its source NIC is holding traffic for other
+			// destinations, tell idle-grant-aware predictors — this is the
+			// signal that the connection is squatting on a slot others need.
+			if obs, ok := r.pred.(predictor.IdleGrantObserver); ok &&
+				r.driver.Buffers[u].Len() > 0 {
+				obs.OnIdleGrant(topology.Conn{Src: u, Dst: v}, slotStart)
+			}
+			continue
+		}
+		used = true
+		if r.pred != nil {
+			r.pred.OnUse(topology.Conn{Src: u, Dst: v}, slotStart)
+		}
+		if done != nil {
+			r.completeMessage(done, slotStart)
+		}
+		if r.cfg.AmplifyBytes > 0 &&
+			r.driver.Buffers[u].BytesFor(v) > int64(r.cfg.AmplifyBytes) {
+			// The backlog outruns one slot per cycle: give the connection
+			// another slot if ports are free somewhere (extension 2).
+			if added := r.sched.AddBandwidth(u, v, 1); added > 0 {
+				r.stats.Amplifications += uint64(added)
+			}
+		}
+	}
+	if used {
+		r.stats.SlotsUsed++
+	}
+}
+
+// completeMessage retires a message whose last payload was granted in the
+// slot starting at slotStart: the last byte clears the pipe one slot plus
+// the link latency later, then the destination NIC spends its receive
+// overhead.
+func (r *run) completeMessage(m *nic.Message, slotStart sim.Time) {
+	u, v := m.Src, m.Dst
+	r.queued[u][v]--
+	if r.queued[u][v] == 0 {
+		r.setRequestWire(u, v, false)
+		if r.pre != nil {
+			r.pre.pendingDown(topology.Conn{Src: u, Dst: v})
+		}
+	}
+	deliverAt := slotStart + r.cfg.SlotNs + r.cfg.Link.PipeLatency() + nic.RecvOverhead
+	r.eng.At(deliverAt, "tdm-deliver", func() { r.driver.Deliver(m) })
+}

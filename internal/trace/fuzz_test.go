@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmsnet/internal/traffic"
+)
+
+// FuzzRead feeds arbitrary text to the command-file parser. The parser must
+// never panic; when it accepts an input, the resulting workload must
+// validate and survive a write/read round trip unchanged.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"PMSTRACE v1\nN 4\nPROC 0\nSEND 1 64\n",
+		"PMSTRACE v1\nNAME x\nN 2\nPROC 0\nSENDWAIT 1 8\nDELAY 100\nFLUSH\n",
+		"PMSTRACE v1\nN 8\nPHASE\nCONN 0 1\nCONN 1 2\nPROC 1\nSEND 2 16\nPHASEHINT 0\n",
+		"PMSTRACE v1\nN 3\n# comment\nPROC 2\nSEND 0 1\n",
+		"garbage",
+		"PMSTRACE v1\nN -1\n",
+		"PMSTRACE v1\nN 2\nPROC 0\nSEND 0 8\n",
+		"PMSTRACE v1\nN 99999999\n",
+	}
+	// A generated workload as a richer seed.
+	var buf bytes.Buffer
+	if err := Write(&buf, traffic.TwoPhase(8, 32, 1)); err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, buf.String())
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		// Guard against adversarial N values exploding allocations: the
+		// parser allocates O(N) programs, which is fine, but a fuzz input
+		// declaring N in the billions would just thrash memory.
+		if strings.Contains(input, "N 9999") {
+			t.Skip()
+		}
+		wl, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := wl.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid workload: %v", err)
+		}
+		var out bytes.Buffer
+		if err := Write(&out, wl); err != nil {
+			t.Fatalf("accepted workload failed to serialize: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if again.N != wl.N || again.MessageCount() != wl.MessageCount() ||
+			again.TotalBytes() != wl.TotalBytes() {
+			t.Fatalf("round trip changed the workload: %d/%d/%d vs %d/%d/%d",
+				wl.N, wl.MessageCount(), wl.TotalBytes(),
+				again.N, again.MessageCount(), again.TotalBytes())
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"pmsnet/internal/topology"
+)
+
+// Classic fixed-permutation workloads: every processor streams `msgs`
+// messages to one fixed destination given by a structured permutation. On a
+// crossbar all permutations are equal (one configuration, degree 1); on a
+// blocking multistage fabric they differ sharply — bit reversal is the
+// Omega network's worst case while a uniform shift routes in one pass —
+// which is what the fabric experiments exercise.
+
+// permutationWorkload builds a workload from dst = perm(p), skipping fixed
+// points.
+func permutationWorkload(name string, n, bytes, msgs int, perm func(int) int) *Workload {
+	checkSize(n, bytes)
+	if msgs <= 0 {
+		panic(fmt.Sprintf("traffic: msgs %d must be positive", msgs))
+	}
+	w := &Workload{Name: fmt.Sprintf("%s/%dB", name, bytes), N: n, Programs: make([]Program, n)}
+	phase := topology.NewWorkingSet(n)
+	for p := 0; p < n; p++ {
+		d := perm(p)
+		if d < 0 || d >= n {
+			panic(fmt.Sprintf("traffic: %s maps %d to %d outside [0,%d)", name, p, d, n))
+		}
+		if d == p {
+			continue
+		}
+		phase.Add(topology.Conn{Src: p, Dst: d})
+		ops := make([]Op, 0, msgs)
+		for m := 0; m < msgs; m++ {
+			ops = append(ops, Send(d, bytes))
+		}
+		w.Programs[p] = Program{Ops: ops}
+	}
+	w.StaticPhases = []*topology.WorkingSet{phase}
+	return w
+}
+
+// Transpose builds the matrix-transpose permutation on a sqrt(n) x sqrt(n)
+// processor grid: (row, col) sends to (col, row). n must be a perfect
+// square.
+func Transpose(n, bytes, msgs int) *Workload {
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if side*side != n {
+		panic(fmt.Sprintf("traffic: transpose needs a square processor count, got %d", n))
+	}
+	return permutationWorkload("transpose", n, bytes, msgs, func(p int) int {
+		r, c := p/side, p%side
+		return c*side + r
+	})
+}
+
+// BitReverse builds the bit-reversal permutation (the FFT communication
+// pattern). n must be a power of two.
+func BitReverse(n, bytes, msgs int) *Workload {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("traffic: bit reverse needs a power-of-two processor count, got %d", n))
+	}
+	width := bits.Len(uint(n)) - 1
+	return permutationWorkload("bit-reverse", n, bytes, msgs, func(p int) int {
+		return int(bits.Reverse(uint(p)) >> (bits.UintSize - width))
+	})
+}
+
+// Shift builds the uniform-shift permutation dst = (p + distance) mod n.
+func Shift(n, bytes, msgs, distance int) *Workload {
+	if distance%n == 0 {
+		panic(fmt.Sprintf("traffic: shift distance %d is a no-op modulo %d", distance, n))
+	}
+	return permutationWorkload(fmt.Sprintf("shift+%d", distance), n, bytes, msgs, func(p int) int {
+		return ((p+distance)%n + n) % n
+	})
+}

@@ -1,0 +1,160 @@
+package voq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmsnet/internal/traffic"
+)
+
+func mustNew(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewValidation(t *testing.T) {
+	for i, cfg := range []Config{
+		{N: 1},
+		{N: 8, CellBytes: -1},
+		{N: 8, Iterations: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+	if mustNew(t, Config{N: 8}).Name() != "voq-islip" {
+		t.Fatal("name wrong")
+	}
+	if mustNew(t, Config{N: 8, Iterations: 3}).Name() != "voq-islip/i=3" {
+		t.Fatal("multi-iteration name wrong")
+	}
+}
+
+// TestSingleMessageTiming pins one uncontended 64-byte message: the cell
+// reaches the switch after the 80 ns input pipe, arbitration is pipelined
+// one 80 ns cell time, the cell transfers during the next cell slot
+// (80 ns), then crosses the 80 ns output pipe and the 10 ns NIC receive:
+// delivery at 160 + 80 + 90 = 330 ns.
+func TestSingleMessageTiming(t *testing.T) {
+	nw := mustNew(t, Config{N: 4})
+	wl := &traffic.Workload{Name: "one", N: 4,
+		Programs: []traffic.Program{{Ops: []traffic.Op{traffic.Send(1, 64)}}, {}, {}, {}}}
+	res, err := nw.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyMax != 330 {
+		t.Fatalf("latency = %v, want 330ns", res.LatencyMax)
+	}
+}
+
+func TestIncastSharesOutputFairly(t *testing.T) {
+	// Three inputs flooding one output: iSLIP's rotating pointers must
+	// serve them round-robin, so per-source delivered counts stay equal.
+	const n, msgs = 4, 30
+	progs := make([]traffic.Program, n)
+	for p := 0; p < 3; p++ {
+		var ops []traffic.Op
+		for m := 0; m < msgs; m++ {
+			ops = append(ops, traffic.Send(3, 64))
+		}
+		progs[p] = traffic.Program{Ops: ops}
+	}
+	wl := &traffic.Workload{Name: "incast", N: n, Programs: progs}
+	res, err := mustNew(t, Config{N: n}).Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 3*msgs {
+		t.Fatalf("delivered %d of %d", res.Messages, 3*msgs)
+	}
+	// Perfect rotation keeps per-source latency nearly identical.
+	if res.FairnessJain < 0.99 {
+		t.Fatalf("Jain fairness = %v, want ~1 under round-robin pointers", res.FairnessJain)
+	}
+}
+
+func TestPermutationTrafficSaturates(t *testing.T) {
+	// Under a pure permutation, iSLIP matches every input every cell time:
+	// near-100% throughput (its celebrated property).
+	const n = 16
+	wl := traffic.Shift(n, 64, 50, 1)
+	res, err := mustNew(t, Config{N: n}).Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Efficiency < 0.7 {
+		t.Fatalf("efficiency = %v, want near line rate on a permutation", res.Efficiency)
+	}
+}
+
+func TestAllWorkloadsComplete(t *testing.T) {
+	nw := mustNew(t, Config{N: 16})
+	for _, wl := range []*traffic.Workload{
+		traffic.Scatter(16, 64),
+		traffic.Scatter(16, 100), // non-multiple of the cell size
+		traffic.OrderedMesh(16, 256, 3),
+		traffic.RandomMesh(16, 8, 5, 1),
+		traffic.AllToAll(16, 32),
+		traffic.TwoPhase(16, 64, 2),
+	} {
+		res, err := nw.Run(wl)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		if res.Messages != wl.MessageCount() || res.Bytes != wl.TotalBytes() {
+			t.Fatalf("%s: conservation violated", wl.Name)
+		}
+	}
+}
+
+func TestMoreIterationsNeverHurt(t *testing.T) {
+	wl := traffic.RandomMesh(16, 64, 20, 3)
+	one, err := mustNew(t, Config{N: 16, Iterations: 1}).Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := mustNew(t, Config{N: 16, Iterations: 4}).Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Makespan > one.Makespan*11/10 {
+		t.Fatalf("4 iterations (%v) should not be materially slower than 1 (%v)",
+			four.Makespan, one.Makespan)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	nw := mustNew(t, Config{N: 16})
+	wl := traffic.RandomMesh(16, 64, 10, 7)
+	a, err := nw.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatal("runs differ")
+	}
+}
+
+func TestQuickCompletionAnySeed(t *testing.T) {
+	nw := mustNew(t, Config{N: 8})
+	f := func(seed int64) bool {
+		wl := traffic.RandomMesh(8, 48, 5, seed)
+		res, err := nw.Run(wl)
+		if err != nil {
+			return false
+		}
+		return res.Messages == wl.MessageCount() && res.LatencyMax >= 330
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

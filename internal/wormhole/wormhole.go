@@ -1,0 +1,253 @@
+// Package wormhole implements the paper's wormhole-routing baseline: an
+// input-queued switch on a conventional digital crossbar.
+//
+// Timing model (paper §5):
+//
+//   - Messages are segmented into worms of at most 128 bytes "to ensure
+//     fairness within the network"; the flit size is 8 bytes, which
+//     serializes in exactly 10 ns at the 6.4 Gb/s line rate.
+//   - The delay through the switch includes scheduling the first flit of
+//     each worm: 80 ns. All subsequent flits are routed in 10 ns each.
+//   - The path to the switch costs 30 ns parallel→serial, 20 ns of wire and
+//     30 ns serial→parallel (the digital crossbar operates on parallel
+//     data); the path from the switch to the destination NIC costs the same
+//     again, plus the 10 ns NIC receive operation.
+//   - When a message is broken into multiple worms, the cable delay is seen
+//     once: later worms are buffered within the crossbar switch while
+//     earlier worms drain, so they pipeline behind it.
+//
+// Contention: a worm needs both its switch input port and its output port
+// for the duration of its transfer (arbitration + flits); outputs serve
+// worms in arrival order, and a worm at the head of its output queue whose
+// input port is still draining an earlier worm blocks that output —
+// wormhole's head-of-line blocking. A source holds back its next worm until
+// the previous one has begun moving through the switch (single-worm input
+// buffering).
+package wormhole
+
+import (
+	"fmt"
+
+	"pmsnet/internal/fabric"
+	"pmsnet/internal/link"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/netmodel"
+	"pmsnet/internal/nic"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/traffic"
+)
+
+// Paper §5 constants.
+const (
+	// MaxWormBytes limits worm size for fairness.
+	MaxWormBytes = 128
+	// FlitBytes is the flit size.
+	FlitBytes = 8
+	// ArbitrationNs is the time to schedule the first flit of a worm.
+	ArbitrationNs sim.Time = 80
+)
+
+// Config parameterizes the wormhole network.
+type Config struct {
+	// N is the processor count.
+	N int
+	// Link is the serial-link model; zero value means link.Paper().
+	Link link.Model
+	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
+	Horizon sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Link.BitsPerSecond == 0 {
+		c.Link = link.Paper()
+	}
+	if c.Horizon == 0 {
+		c.Horizon = netmodel.DefaultHorizon
+	}
+	return c
+}
+
+// Network is the wormhole baseline.
+type Network struct {
+	cfg Config
+}
+
+// New builds a wormhole network.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N <= 1 {
+		return nil, fmt.Errorf("wormhole: need at least 2 processors, got %d", cfg.N)
+	}
+	if err := cfg.Link.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{cfg: cfg}, nil
+}
+
+// Name implements netmodel.Network.
+func (n *Network) Name() string { return "wormhole" }
+
+// worm is one in-flight segment of a message.
+type worm struct {
+	bytes   int
+	msg     *nic.Message
+	last    bool
+	onStart func() // called when the worm begins moving through the switch
+}
+
+type run struct {
+	cfg    Config
+	eng    *sim.Engine
+	driver *netmodel.Driver
+	xbar   *fabric.Crossbar
+
+	outQueue [][]*worm
+	outBusy  []bool
+	// inBusy marks switch input ports currently draining a worm; a worm
+	// needs both ports.
+	inBusy []bool
+	// waitingOnInput lists outputs whose head worm is blocked on an input.
+	waitingOnInput [][]int
+	// srcActive tracks whether a source's transmit process is running.
+	srcActive []bool
+	// inputPipe is the one-way latency from a source NIC to the switch
+	// input (serialize + wire + deserialize at the digital switch).
+	inputPipe sim.Time
+	// outputPipe is switch-output to destination-NIC latency.
+	outputPipe sim.Time
+}
+
+// Run implements netmodel.Network.
+func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
+	eng := sim.NewEngine()
+	r := &run{
+		cfg:            n.cfg,
+		eng:            eng,
+		xbar:           fabric.NewCrossbar(n.cfg.N, fabric.Digital, 0),
+		outQueue:       make([][]*worm, n.cfg.N),
+		outBusy:        make([]bool, n.cfg.N),
+		inBusy:         make([]bool, n.cfg.N),
+		waitingOnInput: make([][]int, n.cfg.N),
+		srcActive:      make([]bool, n.cfg.N),
+	}
+	lm := n.cfg.Link
+	r.inputPipe = lm.SerializeNs + lm.WireNs + lm.DeserializeNs
+	r.outputPipe = lm.SerializeNs + lm.WireNs + lm.DeserializeNs
+
+	driver, err := netmodel.NewDriver(eng, lm, wl, netmodel.Hooks{
+		OnEnqueue: func(m *nic.Message) { r.kickSource(m.Src) },
+	})
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	r.driver = driver
+	driver.Start()
+	return driver.Finish(n.Name(), n.cfg.Horizon, metrics.NetStats{})
+}
+
+// kickSource starts the source's transmit process if it is idle.
+func (r *run) kickSource(s int) {
+	if r.srcActive[s] {
+		return
+	}
+	r.srcActive[s] = true
+	r.startMessage(s)
+}
+
+// startMessage pops the next message in FIFO order and transmits its worms.
+func (r *run) startMessage(s int) {
+	m := r.driver.Buffers[s].PopFIFO()
+	if m == nil {
+		r.srcActive[s] = false
+		return
+	}
+	r.sendWorm(s, m, splitWorms(m.Bytes), 0)
+}
+
+// splitWorms segments a message into worm sizes.
+func splitWorms(bytes int) []int {
+	var out []int
+	for bytes > 0 {
+		w := bytes
+		if w > MaxWormBytes {
+			w = MaxWormBytes
+		}
+		out = append(out, w)
+		bytes -= w
+	}
+	return out
+}
+
+// sendWorm transmits worm i of the message from source s. The source may
+// move to the next worm only when (a) the current worm has fully left the
+// source link and (b) it has begun its switch traversal, freeing the input
+// buffer.
+func (r *run) sendWorm(s int, m *nic.Message, worms []int, i int) {
+	bytes := worms[i]
+	serDone := r.eng.Now() + r.cfg.Link.SerializationTime(bytes)
+	headArrives := r.eng.Now() + r.inputPipe
+
+	pendingConditions := 2
+	var readyAt sim.Time
+	conditionMet := func() {
+		if now := r.eng.Now(); now > readyAt {
+			readyAt = now
+		}
+		pendingConditions--
+		if pendingConditions == 0 {
+			r.eng.At(readyAt, "worm-next", func() {
+				if i+1 < len(worms) {
+					r.sendWorm(s, m, worms, i+1)
+				} else {
+					r.startMessage(s)
+				}
+			})
+		}
+	}
+
+	w := &worm{bytes: bytes, msg: m, last: i == len(worms)-1, onStart: conditionMet}
+	r.eng.At(serDone, "worm-serialized", conditionMet)
+	r.eng.At(headArrives, "worm-at-switch", func() {
+		r.outQueue[m.Dst] = append(r.outQueue[m.Dst], w)
+		r.kickOutput(m.Dst)
+	})
+}
+
+// kickOutput serves the next waiting worm on an idle output port. The worm
+// also needs its switch input port; if that is still draining an earlier
+// worm, this output stalls until the input frees (head-of-line blocking).
+func (r *run) kickOutput(v int) {
+	if r.outBusy[v] || len(r.outQueue[v]) == 0 {
+		return
+	}
+	w := r.outQueue[v][0]
+	u := w.msg.Src
+	if r.inBusy[u] {
+		r.waitingOnInput[u] = append(r.waitingOnInput[u], v)
+		return
+	}
+	r.outQueue[v] = r.outQueue[v][1:]
+	r.outBusy[v] = true
+	r.inBusy[u] = true
+	w.onStart()
+	// Scheduling the head flit (80 ns) + one switch traversal per flit.
+	flits := (w.bytes + FlitBytes - 1) / FlitBytes
+	xfer := ArbitrationNs + sim.Time(flits)*r.xbar.TraversalDelay()
+	r.eng.After(xfer, "worm-through-switch", func() {
+		r.outBusy[v] = false
+		r.inBusy[u] = false
+		if w.last {
+			// Remaining path: switch output to destination NIC, plus the
+			// NIC's receive operation.
+			r.eng.After(r.outputPipe+nic.RecvOverhead, "deliver", func() {
+				r.driver.Deliver(w.msg)
+			})
+		}
+		waiting := r.waitingOnInput[u]
+		r.waitingOnInput[u] = nil
+		r.kickOutput(v)
+		for _, wv := range waiting {
+			r.kickOutput(wv)
+		}
+	})
+}

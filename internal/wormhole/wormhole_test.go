@@ -1,0 +1,202 @@
+package wormhole
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmsnet/internal/traffic"
+)
+
+func mustNew(t *testing.T, n int) *Network {
+	t.Helper()
+	nw, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestSplitWorms(t *testing.T) {
+	cases := []struct {
+		bytes int
+		want  []int
+	}{
+		{8, []int{8}},
+		{128, []int{128}},
+		{129, []int{128, 1}},
+		{200, []int{128, 72}},
+		{2048, []int{128, 128, 128, 128, 128, 128, 128, 128, 128, 128, 128, 128, 128, 128, 128, 128}},
+	}
+	for _, c := range cases {
+		got := splitWorms(c.bytes)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitWorms(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+		total := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitWorms(%d) = %v, want %v", c.bytes, got, c.want)
+			}
+			total += got[i]
+		}
+		if total != c.bytes {
+			t.Fatalf("splitWorms(%d) loses bytes: %v", c.bytes, got)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N: 1}); err == nil {
+		t.Fatal("expected error for N=1")
+	}
+	nw := mustNew(t, 4)
+	if nw.Name() != "wormhole" {
+		t.Fatalf("Name = %q", nw.Name())
+	}
+}
+
+// TestSingleMessageLatency pins the end-to-end timing of one uncontended
+// 8-byte message: 80 ns to the switch (30+20+30), 80 ns arbitration, one
+// 10 ns flit, 80 ns to the destination, 10 ns NIC receive = 260 ns.
+func TestSingleMessageLatency(t *testing.T) {
+	nw := mustNew(t, 4)
+	wl := &traffic.Workload{Name: "one", N: 4,
+		Programs: []traffic.Program{{Ops: []traffic.Op{traffic.Send(1, 8)}}, {}, {}, {}}}
+	res, err := nw.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyMax != 260 {
+		t.Fatalf("latency = %v, want 260ns", res.LatencyMax)
+	}
+	if res.Messages != 1 {
+		t.Fatalf("messages = %d", res.Messages)
+	}
+}
+
+// TestTwoWormMessageLatency pins a 200-byte message (worms of 128 and 72
+// bytes). Worm 1: serialization done at 160, switch transfer 80..320
+// (arb 80 + 16 flits). Worm 2 starts serializing at 160 (worm 1 already
+// moving), reaches the switch at 240, transfers 320..490 (arb 80 + 9
+// flits), delivery at 490+80+10 = 580.
+func TestTwoWormMessageLatency(t *testing.T) {
+	nw := mustNew(t, 4)
+	wl := &traffic.Workload{Name: "two-worm", N: 4,
+		Programs: []traffic.Program{{Ops: []traffic.Op{traffic.Send(1, 200)}}, {}, {}, {}}}
+	res, err := nw.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyMax != 580 {
+		t.Fatalf("latency = %v, want 580ns", res.LatencyMax)
+	}
+}
+
+func TestOutputContentionSerializes(t *testing.T) {
+	// Two sources, one destination: worms must take turns on the output.
+	nw := mustNew(t, 4)
+	wl := &traffic.Workload{Name: "incast", N: 4, Programs: []traffic.Program{
+		{Ops: []traffic.Op{traffic.Send(2, 128)}},
+		{Ops: []traffic.Op{traffic.Send(2, 128)}},
+		{}, {},
+	}}
+	res, err := nw.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First worm: arrives 80, occupies the output 80..320 (80 ns arb + 16
+	// flits x 10 ns), delivered 410. The second worm (same arrival time)
+	// waits until 320, finishes at 560, delivered 650.
+	if res.LatencyMax != 650 {
+		t.Fatalf("second message latency = %v, want 650ns", res.LatencyMax)
+	}
+}
+
+func TestPipeliningBeatsStoreAndForward(t *testing.T) {
+	// 2048-byte message = 16 worms: worms pipeline through the switch, so
+	// the makespan is far below 16 x (full per-worm latency).
+	nw := mustNew(t, 4)
+	wl := &traffic.Workload{Name: "big", N: 4,
+		Programs: []traffic.Program{{Ops: []traffic.Op{traffic.Send(1, 2048)}}, {}, {}, {}}}
+	res, err := nw.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each worm occupies the output for 80+160 = 240 ns; 16 worms back to
+	// back from 80 ns: last done at 80+16*240 = 3920, delivered 4010.
+	if res.LatencyMax != 4010 {
+		t.Fatalf("latency = %v, want 4010ns", res.LatencyMax)
+	}
+	// Efficiency = ideal/makespan = 2560/4010.
+	if res.Efficiency < 0.63 || res.Efficiency > 0.65 {
+		t.Fatalf("efficiency = %v, want ~0.638", res.Efficiency)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	nw := mustNew(t, 16)
+	a, err := nw.Run(traffic.RandomMesh(16, 128, 8, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.Run(traffic.RandomMesh(16, 128, 8, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Efficiency != b.Efficiency {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestAllWorkloadsComplete(t *testing.T) {
+	nw := mustNew(t, 16)
+	for _, wl := range []*traffic.Workload{
+		traffic.Scatter(16, 64),
+		traffic.OrderedMesh(16, 256, 3),
+		traffic.RandomMesh(16, 8, 5, 1),
+		traffic.AllToAll(16, 32),
+		traffic.TwoPhase(16, 64, 2),
+	} {
+		res, err := nw.Run(wl)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		if res.Messages != wl.MessageCount() {
+			t.Fatalf("%s: delivered %d of %d", wl.Name, res.Messages, wl.MessageCount())
+		}
+		if res.Efficiency <= 0 || res.Efficiency > 1 {
+			t.Fatalf("%s: efficiency %v out of range", wl.Name, res.Efficiency)
+		}
+	}
+}
+
+func TestQuickConservationAndCausality(t *testing.T) {
+	nw := mustNew(t, 8)
+	f := func(seed int64) bool {
+		wl := traffic.RandomMesh(8, 64, 4, seed)
+		res, err := nw.Run(wl)
+		if err != nil {
+			return false
+		}
+		return res.Messages == wl.MessageCount() &&
+			res.Bytes == wl.TotalBytes() &&
+			res.LatencyMax >= 260 // no message can beat the uncontended minimum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWormholeRandomMesh128(b *testing.B) {
+	nw, err := New(Config{N: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := traffic.RandomMesh(128, 128, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.Run(wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package pmsnet is a cycle-accurate simulation library for predictive
+// multiplexed switching in multiprocessor interconnection networks,
+// reproducing "Switch Design to Enable Predictive Multiplexed Switching in
+// Multiprocessor Networks" (Ding et al., IPPS 2005).
+//
+// The library models a 128-processor system (any N) connected by a single
+// central crossbar and a hardware connection scheduler. The switching
+// paradigms are implemented on a shared discrete-event engine with the
+// paper's timing constants (6.4 Gb/s serial links, 30/20/30 ns serdes and
+// wire delays, 10 ns NIC operations, 80 ns scheduler passes at 128 ports,
+// 100 ns TDM slots):
+//
+//   - Wormhole routing (input-queued digital crossbar, 128-byte worms)
+//   - Circuit switching (per-message end-to-end circuits)
+//   - Dynamic TDM (the paper's switch, scheduled reactively, with pluggable
+//     connection-eviction predictors)
+//   - Preload TDM (compiled communication: static phases decomposed into
+//     conflict-free configurations and preloaded)
+//   - Hybrid TDM (k preloaded slots + K−k dynamic slots)
+//   - VOQ/iSLIP cell switch (extra baseline beyond the paper)
+//   - Multi-hop mesh variants (per-hop wormhole vs end-to-end TDM circuits)
+//
+// Quick start:
+//
+//	wl := pmsnet.OrderedMesh(128, 64, 10)
+//	rep, err := pmsnet.Run(pmsnet.Config{Switching: pmsnet.PreloadTDM, N: 128, K: 4}, wl)
+//	if err != nil { ... }
+//	fmt.Printf("efficiency %.3f\n", rep.Efficiency)
+//
+// The experiment harnesses that regenerate every table and figure of the
+// paper live in internal/experiments; `go test -bench .` and cmd/figures
+// print them.
+package pmsnet
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pmsnet/internal/circuit"
+	"pmsnet/internal/compiler"
+	"pmsnet/internal/meshnet"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/netmodel"
+	"pmsnet/internal/predictor"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/tdm"
+	"pmsnet/internal/trace"
+	"pmsnet/internal/traffic"
+	"pmsnet/internal/voq"
+	"pmsnet/internal/wormhole"
+)
+
+// Switching selects a network model.
+type Switching int
+
+// Switching paradigms.
+const (
+	// Wormhole is the wormhole-routing baseline.
+	Wormhole Switching = iota
+	// CircuitSwitching is the per-message circuit baseline.
+	CircuitSwitching
+	// DynamicTDM is the predictive multiplexed switch with reactive
+	// scheduling.
+	DynamicTDM
+	// PreloadTDM is the predictive multiplexed switch with compiled
+	// (preloaded) configurations.
+	PreloadTDM
+	// HybridTDM splits the slots between preloaded and dynamic use.
+	HybridTDM
+	// VOQISLIP is an input-queued cell switch with virtual output queues
+	// and iSLIP arbitration — a baseline beyond the paper's evaluation (the
+	// design that became standard for crossbar routers).
+	VOQISLIP
+	// MeshWormhole is a multi-hop 2-D router mesh with XY routing and
+	// per-hop (virtual cut-through) wormhole switching.
+	MeshWormhole
+	// MeshTDM is the multi-hop predictive multiplexed network: end-to-end
+	// TDM circuits over XY paths through analog LVDS switches.
+	MeshTDM
+)
+
+// String implements fmt.Stringer.
+func (s Switching) String() string {
+	switch s {
+	case Wormhole:
+		return "wormhole"
+	case CircuitSwitching:
+		return "circuit"
+	case DynamicTDM:
+		return "tdm-dynamic"
+	case PreloadTDM:
+		return "tdm-preload"
+	case HybridTDM:
+		return "tdm-hybrid"
+	case VOQISLIP:
+		return "voq-islip"
+	case MeshWormhole:
+		return "mesh-wormhole"
+	case MeshTDM:
+		return "mesh-tdm"
+	default:
+		return fmt.Sprintf("Switching(%d)", int(s))
+	}
+}
+
+// EvictionPolicy selects the connection-eviction predictor for the TDM
+// modes (paper §3.2).
+type EvictionPolicy int
+
+// Eviction policies.
+const (
+	// ReleaseOnEmpty releases a connection as soon as its request drops
+	// (no latching).
+	ReleaseOnEmpty EvictionPolicy = iota
+	// TimeoutEviction latches connections and evicts after
+	// Config.EvictionTimeout of disuse — the paper's experimental setup.
+	TimeoutEviction
+	// CounterEviction evicts after Config.EvictionThreshold uses of other
+	// connections while this one is idle.
+	CounterEviction
+	// NeverEvict keeps connections until an explicit flush.
+	NeverEvict
+	// MarkovPrefetch combines timeout eviction with a first-order
+	// destination predictor that pre-establishes the learned next
+	// connection of each source before its request arrives.
+	MarkovPrefetch
+)
+
+// Config selects and parameterizes a network.
+type Config struct {
+	// Switching selects the paradigm.
+	Switching Switching
+	// N is the processor count (at least 2).
+	N int
+	// K is the TDM multiplexing degree; ignored by the baselines. Zero
+	// defaults to 4, the paper's Figure-4 value.
+	K int
+	// PreloadSlots is the number of pinned slots for HybridTDM.
+	PreloadSlots int
+	// Eviction selects the predictor for DynamicTDM/HybridTDM.
+	Eviction EvictionPolicy
+	// EvictionTimeout is the timeout predictor's period; zero defaults to
+	// 500 ns.
+	EvictionTimeout time.Duration
+	// EvictionThreshold is the counter predictor's threshold; zero defaults
+	// to 8.
+	EvictionThreshold uint64
+	// AmplifyBytes enables bandwidth amplification for the TDM modes: a
+	// connection whose queue holds more than this many bytes after a slot
+	// transfer is granted an additional slot (extension 2 of the switch
+	// design). Zero disables amplification.
+	AmplifyBytes int
+	// OmegaFabric runs the TDM modes on a blocking log2(N)-stage Omega
+	// network instead of the crossbar: the scheduler only establishes
+	// connections that keep each slot Omega-realizable, and the preload
+	// controller decomposes working sets under the same constraint. N must
+	// be a power of two.
+	OmegaFabric bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.EvictionTimeout == 0 {
+		c.EvictionTimeout = 500 * time.Nanosecond
+	}
+	if c.EvictionThreshold == 0 {
+		c.EvictionThreshold = 8
+	}
+	return c
+}
+
+func (c Config) predictorFactory() (func() predictor.Predictor, error) {
+	switch c.Eviction {
+	case ReleaseOnEmpty:
+		return nil, nil
+	case TimeoutEviction:
+		t := sim.Time(c.EvictionTimeout.Nanoseconds())
+		return func() predictor.Predictor { return predictor.NewTimeout(t) }, nil
+	case CounterEviction:
+		th := c.EvictionThreshold
+		return func() predictor.Predictor { return predictor.NewCounter(th) }, nil
+	case NeverEvict:
+		return func() predictor.Predictor { return predictor.NewNever() }, nil
+	case MarkovPrefetch:
+		t := sim.Time(c.EvictionTimeout.Nanoseconds())
+		return func() predictor.Predictor { return predictor.NewMarkov(t, 1) }, nil
+	default:
+		return nil, fmt.Errorf("pmsnet: unknown eviction policy %d", int(c.Eviction))
+	}
+}
+
+// network builds the internal model for a configuration.
+func (c Config) network() (netmodel.Network, error) {
+	c = c.withDefaults()
+	switch c.Switching {
+	case Wormhole:
+		return wormhole.New(wormhole.Config{N: c.N})
+	case CircuitSwitching:
+		return circuit.New(circuit.Config{N: c.N})
+	case VOQISLIP:
+		return voq.New(voq.Config{N: c.N})
+	case MeshWormhole:
+		return meshnet.NewWormhole(meshnet.WormholeConfig{N: c.N})
+	case MeshTDM:
+		return meshnet.NewTDM(meshnet.TDMConfig{N: c.N, K: c.K})
+	case DynamicTDM, PreloadTDM, HybridTDM:
+		pf, err := c.predictorFactory()
+		if err != nil {
+			return nil, err
+		}
+		cfg := tdm.Config{N: c.N, K: c.K, NewPredictor: pf, AmplifyBytes: c.AmplifyBytes}
+		if c.OmegaFabric {
+			cfg.Fabric = tdm.OmegaFabric
+		}
+		switch c.Switching {
+		case PreloadTDM:
+			cfg.Mode = tdm.Preload
+			cfg.NewPredictor = nil
+		case HybridTDM:
+			cfg.Mode = tdm.Hybrid
+			cfg.PreloadSlots = c.PreloadSlots
+		}
+		return tdm.New(cfg)
+	default:
+		return nil, fmt.Errorf("pmsnet: unknown switching paradigm %d", int(c.Switching))
+	}
+}
+
+// Workload is a simulation input: one command program per processor plus
+// the statically-known communication phases. Build workloads with the
+// pattern constructors or load them from command files with ReadTrace.
+type Workload struct {
+	w *traffic.Workload
+}
+
+// Name returns the workload label.
+func (w *Workload) Name() string { return w.w.Name }
+
+// Processors returns the processor count.
+func (w *Workload) Processors() int { return w.w.N }
+
+// Messages returns the total message count.
+func (w *Workload) Messages() int { return w.w.MessageCount() }
+
+// TotalBytes returns the total payload bytes.
+func (w *Workload) TotalBytes() int64 { return w.w.TotalBytes() }
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	Network  string
+	Workload string
+
+	Messages int
+	Bytes    int64
+	// Makespan is the simulated time at which the last message arrived.
+	Makespan time.Duration
+	// Efficiency is the bottleneck-ideal time divided by the makespan.
+	Efficiency float64
+
+	LatencyMean time.Duration
+	LatencyP50  time.Duration
+	LatencyP95  time.Duration
+	LatencyMax  time.Duration
+
+	// LatencyHistogram is an ASCII rendering of the run's log-bucketed
+	// latency distribution.
+	LatencyHistogram string
+	// HitRate is the connection-cache hit rate of the TDM modes.
+	HitRate float64
+	// SchedulerPasses, Established, Released, Evictions and Preloads count
+	// scheduler activity in the TDM modes.
+	SchedulerPasses uint64
+	Established     uint64
+	Released        uint64
+	Evictions       uint64
+	Preloads        uint64
+}
+
+func toReport(r metrics.Result) Report {
+	hist := ""
+	if r.Latencies != nil {
+		hist = r.Latencies.String()
+	}
+	return Report{
+		LatencyHistogram: hist,
+		Network:          r.Network,
+		Workload:         r.Workload,
+		Messages:         r.Messages,
+		Bytes:            r.Bytes,
+		Makespan:         time.Duration(r.Makespan),
+		Efficiency:       r.Efficiency,
+		LatencyMean:      time.Duration(r.LatencyMean),
+		LatencyP50:       time.Duration(r.LatencyP50),
+		LatencyP95:       time.Duration(r.LatencyP95),
+		LatencyMax:       time.Duration(r.LatencyMax),
+		HitRate:          r.Stats.HitRate(),
+		SchedulerPasses:  r.Stats.SchedulerPasses,
+		Established:      r.Stats.Established,
+		Released:         r.Stats.Released,
+		Evictions:        r.Stats.Evictions,
+		Preloads:         r.Stats.Preloads,
+	}
+}
+
+// Run simulates the workload on the configured network to completion.
+func Run(cfg Config, wl *Workload) (Report, error) {
+	if wl == nil || wl.w == nil {
+		return Report{}, fmt.Errorf("pmsnet: nil workload")
+	}
+	nw, err := cfg.network()
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := nw.Run(wl.w)
+	if err != nil {
+		return Report{}, err
+	}
+	return toReport(res), nil
+}
+
+// --- workload constructors (paper §5 patterns) ---
+
+// ScatterWorkload builds the Scatter test: processor 0 sends a unique
+// message of `bytes` bytes to every other processor.
+func ScatterWorkload(n, bytes int) *Workload {
+	return &Workload{w: traffic.Scatter(n, bytes)}
+}
+
+// OrderedMesh builds the Ordered Mesh test: deterministic nearest-neighbor
+// rounds (E, W, N, S) on the 2-D processor mesh.
+func OrderedMesh(n, bytes, rounds int) *Workload {
+	return &Workload{w: traffic.OrderedMesh(n, bytes, rounds)}
+}
+
+// RandomMesh builds the Random Mesh test: `msgs` messages per processor to
+// uniformly random mesh neighbors.
+func RandomMesh(n, bytes, msgs int, seed int64) *Workload {
+	return &Workload{w: traffic.RandomMesh(n, bytes, msgs, seed)}
+}
+
+// AllToAll builds a staggered all-to-all exchange.
+func AllToAll(n, bytes int) *Workload {
+	return &Workload{w: traffic.AllToAll(n, bytes)}
+}
+
+// TwoPhaseWorkload builds the Two Phase test: an all-to-all followed by 16
+// random nearest-neighbor rounds, with a compiler flush between the phases.
+func TwoPhaseWorkload(n, bytes int, seed int64) *Workload {
+	return &Workload{w: traffic.TwoPhase(n, bytes, seed)}
+}
+
+// HotspotWorkload builds random-mesh background traffic plus a heavy stream
+// from processor 0 to processor n-1 — the bandwidth-amplification stressor.
+func HotspotWorkload(n, bytes, msgs, hotBytes, hotMsgs int, seed int64) *Workload {
+	return &Workload{w: traffic.Hotspot(n, bytes, msgs, hotBytes, hotMsgs, seed)}
+}
+
+// MixWorkload builds the Figure-5 determinism mix: blocking sends separated
+// by `think` of compute; a `determinism` fraction goes to each processor's
+// two fixed favored destinations, the rest to uniformly random processors.
+func MixWorkload(n, bytes, msgs int, determinism float64, think time.Duration, seed int64) *Workload {
+	return &Workload{w: traffic.Mix(n, bytes, msgs, determinism, sim.Time(think.Nanoseconds()), seed)}
+}
+
+// AnalyzeWorkload runs the compile-/load-time communication analysis on a
+// workload: it strips any existing annotations, segments every processor's
+// send stream into phases, attaches the discovered per-phase working sets
+// (so PreloadTDM can run the workload), and inserts FLUSH/PHASEHINT
+// directives at the detected boundaries. It returns the annotated workload
+// and the number of phases found.
+func AnalyzeWorkload(wl *Workload) (*Workload, int, error) {
+	if wl == nil || wl.w == nil {
+		return nil, 0, fmt.Errorf("pmsnet: nil workload")
+	}
+	out, an, err := compiler.Analyze(wl.w, compiler.Options{InsertDirectives: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Workload{w: out}, an.PhaseCount(), nil
+}
+
+// TransposeWorkload builds the matrix-transpose permutation stream (n must
+// be a perfect square).
+func TransposeWorkload(n, bytes, msgs int) *Workload {
+	return &Workload{w: traffic.Transpose(n, bytes, msgs)}
+}
+
+// BitReverseWorkload builds the bit-reversal (FFT) permutation stream (n
+// must be a power of two).
+func BitReverseWorkload(n, bytes, msgs int) *Workload {
+	return &Workload{w: traffic.BitReverse(n, bytes, msgs)}
+}
+
+// ShiftWorkload builds the uniform-shift permutation stream.
+func ShiftWorkload(n, bytes, msgs, distance int) *Workload {
+	return &Workload{w: traffic.Shift(n, bytes, msgs, distance)}
+}
+
+// ConcatWorkloads joins workloads into one multi-phase program: each input
+// becomes a phase, separated by compiler FLUSH directives and phase hints,
+// with the per-phase working sets attached for the preload controller.
+func ConcatWorkloads(name string, wls ...*Workload) *Workload {
+	inner := make([]*traffic.Workload, len(wls))
+	for i, w := range wls {
+		if w == nil || w.w == nil {
+			panic("pmsnet: nil workload in ConcatWorkloads")
+		}
+		inner[i] = w.w
+	}
+	return &Workload{w: traffic.Concat(name, inner...)}
+}
+
+// ReadTrace parses a PMSTRACE command file into a workload.
+func ReadTrace(r io.Reader) (*Workload, error) {
+	w, err := trace.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{w: w}, nil
+}
+
+// WriteTrace serializes a workload as a PMSTRACE command file.
+func WriteTrace(w io.Writer, wl *Workload) error {
+	if wl == nil || wl.w == nil {
+		return fmt.Errorf("pmsnet: nil workload")
+	}
+	return trace.Write(w, wl.w)
+}

@@ -1,0 +1,224 @@
+package pmsnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSwitchingStrings(t *testing.T) {
+	names := map[Switching]string{
+		Wormhole:         "wormhole",
+		CircuitSwitching: "circuit",
+		DynamicTDM:       "tdm-dynamic",
+		PreloadTDM:       "tdm-preload",
+		HybridTDM:        "tdm-hybrid",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if Switching(99).String() == "" {
+		t.Error("unknown switching should render")
+	}
+}
+
+func TestRunAllParadigms(t *testing.T) {
+	wl := OrderedMesh(16, 64, 5)
+	if wl.Processors() != 16 || wl.Messages() == 0 || wl.TotalBytes() == 0 {
+		t.Fatal("workload accessors wrong")
+	}
+	for _, sw := range []Switching{Wormhole, CircuitSwitching, DynamicTDM, PreloadTDM} {
+		rep, err := Run(Config{Switching: sw, N: 16, K: 4}, wl)
+		if err != nil {
+			t.Fatalf("%v: %v", sw, err)
+		}
+		if rep.Messages != wl.Messages() || rep.Bytes != wl.TotalBytes() {
+			t.Fatalf("%v: conservation violated: %+v", sw, rep)
+		}
+		if rep.Efficiency <= 0 || rep.Efficiency > 1 {
+			t.Fatalf("%v: efficiency %v out of range", sw, rep.Efficiency)
+		}
+		if rep.Makespan <= 0 || rep.LatencyMax < rep.LatencyP50 {
+			t.Fatalf("%v: time fields inconsistent: %+v", sw, rep)
+		}
+	}
+}
+
+func TestRunHybrid(t *testing.T) {
+	wl := MixWorkload(16, 64, 10, 0.8, 150*time.Nanosecond, 3)
+	rep, err := Run(Config{
+		Switching: HybridTDM, N: 16, K: 3, PreloadSlots: 1,
+		Eviction: TimeoutEviction, EvictionTimeout: 250 * time.Nanosecond,
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preloads == 0 {
+		t.Fatal("hybrid run should preload the static pattern")
+	}
+	if rep.SchedulerPasses == 0 {
+		t.Fatal("hybrid run should also schedule dynamically")
+	}
+}
+
+func TestEvictionPolicies(t *testing.T) {
+	wl := RandomMesh(8, 32, 5, 1)
+	for _, ev := range []EvictionPolicy{ReleaseOnEmpty, TimeoutEviction, CounterEviction, NeverEvict} {
+		rep, err := Run(Config{Switching: DynamicTDM, N: 8, K: 4, Eviction: ev}, wl)
+		if err != nil {
+			t.Fatalf("policy %d: %v", int(ev), err)
+		}
+		if rep.Messages != wl.Messages() {
+			t.Fatalf("policy %d: lost messages", int(ev))
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	wl := ScatterWorkload(8, 16)
+	if _, err := Run(Config{Switching: Switching(42), N: 8}, wl); err == nil {
+		t.Error("unknown paradigm should error")
+	}
+	if _, err := Run(Config{Switching: DynamicTDM, N: 8, Eviction: EvictionPolicy(42)}, wl); err == nil {
+		t.Error("unknown eviction policy should error")
+	}
+	if _, err := Run(Config{Switching: Wormhole, N: 1}, wl); err == nil {
+		t.Error("N=1 should error")
+	}
+	if _, err := Run(Config{Switching: Wormhole, N: 8}, nil); err == nil {
+		t.Error("nil workload should error")
+	}
+}
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	wl := TwoPhaseWorkload(8, 32, 5)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PMSTRACE v1") {
+		t.Fatal("trace header missing")
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Messages() != wl.Messages() || got.TotalBytes() != wl.TotalBytes() {
+		t.Fatal("trace round trip lost data")
+	}
+	if err := WriteTrace(&buf, nil); err == nil {
+		t.Fatal("nil workload should error")
+	}
+}
+
+func TestFacadeAndInternalAgree(t *testing.T) {
+	// The facade must produce the same simulation as the internal packages:
+	// same efficiency for the same configuration and workload.
+	wl := ScatterWorkload(16, 64)
+	a, err := Run(Config{Switching: PreloadTDM, N: 16, K: 4}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Switching: PreloadTDM, N: 16, K: 4}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Efficiency != b.Efficiency || a.Makespan != b.Makespan {
+		t.Fatal("facade runs must be deterministic")
+	}
+}
+
+func TestMarkovPrefetchPolicy(t *testing.T) {
+	wl := OrderedMesh(8, 32, 5)
+	rep, err := Run(Config{Switching: DynamicTDM, N: 8, K: 4, Eviction: MarkovPrefetch}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != wl.Messages() {
+		t.Fatal("lost messages under markov policy")
+	}
+}
+
+func TestAmplifyBytesEngages(t *testing.T) {
+	wl := HotspotWorkload(16, 64, 10, 2048, 20, 1)
+	rep, err := Run(Config{Switching: DynamicTDM, N: 16, K: 4,
+		Eviction: TimeoutEviction, AmplifyBytes: 256}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != wl.Messages() {
+		t.Fatal("lost messages with amplification")
+	}
+}
+
+func TestAnalyzeWorkloadFacade(t *testing.T) {
+	raw := TwoPhaseWorkload(16, 64, 2)
+	annotated, phases, err := AnalyzeWorkload(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phases != 2 {
+		t.Fatalf("phases = %d, want 2", phases)
+	}
+	// The analyzed workload must run under preload (coverage satisfied).
+	rep, err := Run(Config{Switching: PreloadTDM, N: 16, K: 4}, annotated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != raw.Messages() {
+		t.Fatal("analyzed workload lost messages")
+	}
+	if _, _, err := AnalyzeWorkload(nil); err == nil {
+		t.Fatal("nil workload should error")
+	}
+}
+
+func TestVOQFacade(t *testing.T) {
+	wl := RandomMesh(8, 64, 5, 1)
+	rep, err := Run(Config{Switching: VOQISLIP, N: 8}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Network != "voq-islip" || rep.Messages != wl.Messages() {
+		t.Fatalf("report = %+v", rep)
+	}
+	if VOQISLIP.String() != "voq-islip" {
+		t.Fatal("string wrong")
+	}
+}
+
+func TestMeshFacade(t *testing.T) {
+	wl := OrderedMesh(16, 64, 3)
+	for _, sw := range []Switching{MeshWormhole, MeshTDM} {
+		rep, err := Run(Config{Switching: sw, N: 16, K: 4}, wl)
+		if err != nil {
+			t.Fatalf("%v: %v", sw, err)
+		}
+		if rep.Messages != wl.Messages() {
+			t.Fatalf("%v: lost messages", sw)
+		}
+	}
+	if MeshWormhole.String() != "mesh-wormhole" || MeshTDM.String() != "mesh-tdm" {
+		t.Fatal("strings wrong")
+	}
+}
+
+func TestConcatWorkloadsFacade(t *testing.T) {
+	phased := ConcatWorkloads("phased", AllToAll(16, 32), OrderedMesh(16, 32, 2))
+	rep, err := Run(Config{Switching: PreloadTDM, N: 16, K: 4}, phased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != phased.Messages() {
+		t.Fatal("lost messages")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil input")
+		}
+	}()
+	ConcatWorkloads("bad", nil)
+}
