@@ -1,0 +1,34 @@
+# Everything is standard-library Go; no tools beyond the toolchain.
+
+GO ?= go
+
+.PHONY: all build test check vet race fuzz figures clean
+
+all: build test
+
+# Tier-1: the build-and-test gate every change must keep green.
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Stricter CI tier: static analysis plus the race detector.
+check: vet race
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing passes over the text-format parsers.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/trace/
+	$(GO) test -run=NONE -fuzz=FuzzPlan -fuzztime=30s ./internal/fault/
+
+figures:
+	$(GO) run ./cmd/figures
+
+clean:
+	$(GO) clean ./...

@@ -30,12 +30,13 @@ func main() {
 		fig5      = flag.Bool("fig5", false, "regenerate Figure 5")
 		table3    = flag.Bool("table3", false, "regenerate Table 3")
 		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		faults    = flag.Bool("faults", false, "run the fault-injection robustness sweep")
 		quick     = flag.Bool("quick", false, "reduced sweeps for a fast look")
 		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
 		seed      = flag.Int64("seed", 1, "workload random seed")
 	)
 	flag.Parse()
-	all := !*fig4 && !*fig5 && !*table3 && !*ablations
+	all := !*fig4 && !*fig5 && !*table3 && !*ablations && !*faults
 
 	if all || *table3 {
 		rows := experiments.Table3(0)
@@ -82,6 +83,18 @@ func main() {
 	}
 	if all || *ablations {
 		runAblations(*seed)
+	}
+	if all || *faults {
+		n := experiments.N
+		levels := experiments.FaultLevels()
+		if *quick {
+			levels = levels[:3]
+		}
+		rows, err := experiments.FaultSweep(n, traffic.RandomMesh(n, 64, experiments.MeshMsgs, *seed), levels)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FaultTable(rows))
 	}
 }
 

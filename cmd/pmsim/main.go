@@ -37,6 +37,7 @@ func main() {
 		amplify  = flag.Int("amplify", 0, "bandwidth-amplification threshold in bytes (0 = off)")
 		omega    = flag.Bool("omega", false, "run the TDM modes on a blocking omega fabric")
 		hist     = flag.Bool("hist", false, "print the latency histogram")
+		faults   = flag.String("faults", "", "fault plan, e.g. 'seed=7,mtbf=1ms,mttr=10us,corrupt=0.001,link=3@50us+20us,xpoint=1:2@80us'")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 	)
 	flag.Parse()
@@ -51,6 +52,13 @@ func main() {
 	}
 	cfg.AmplifyBytes = *amplify
 	cfg.OmegaFabric = *omega
+	if *faults != "" {
+		plan, err := pmsnet.ParseFaults(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = plan
+	}
 
 	rep, err := pmsnet.Run(cfg, wl)
 	if err != nil {
@@ -67,6 +75,14 @@ func main() {
 		fmt.Printf("scheduler:   %d passes, %d established, %d released, %d evicted, %d preloads\n",
 			rep.SchedulerPasses, rep.Established, rep.Released, rep.Evictions, rep.Preloads)
 		fmt.Printf("hit rate:    %.3f\n", rep.HitRate)
+	}
+	if f := rep.Faults; f != nil {
+		fmt.Printf("faults:      %d link failures (%d repaired), %d dead crosspoints, %d corrupted, %d req lost, %d grants lost\n",
+			f.LinkFailures, f.LinkRepairs, f.CrosspointDeaths, f.Corrupted, f.RequestsLost, f.GrantsLost)
+		fmt.Printf("recovery:    %d retries, %d reschedules, %d preload fallbacks, %d masked grants\n",
+			f.Retries, f.Reschedules, f.PreloadFallbacks, f.MaskedGrants)
+		fmt.Printf("accounting:  %d injected = %d delivered + %d dropped; degraded for %v\n",
+			f.Injected, f.Delivered, f.Dropped, f.DegradedTime)
 	}
 	if *hist {
 		fmt.Printf("latency histogram:\n%s", rep.LatencyHistogram)

@@ -16,6 +16,7 @@ import (
 
 	"pmsnet/internal/core"
 	"pmsnet/internal/fabric"
+	"pmsnet/internal/fault"
 	"pmsnet/internal/link"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
@@ -32,6 +33,10 @@ type Config struct {
 	Link link.Model
 	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
 	Horizon sim.Time
+	// Faults, when non-nil and active, injects link failures, corrupted
+	// payloads and lost request/grant tokens per the plan; nil leaves the
+	// run bit-identical to a fault-free one.
+	Faults *fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +85,7 @@ type run struct {
 	outBusy   []bool
 	srcActive []bool
 	stats     metrics.NetStats
+	inj       *fault.Injector
 }
 
 // Run implements netmodel.Network.
@@ -106,6 +112,15 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	inj, err := fault.NewInjector(n.cfg.Faults, eng, n.cfg.N)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if inj != nil {
+		r.inj = inj
+		driver.AttachFaults(inj)
+		inj.Start()
+	}
 	driver.Start()
 	return driver.Finish(n.Name(), n.cfg.Horizon, r.stats)
 }
@@ -127,8 +142,23 @@ func (r *run) startMessage(s int) {
 		r.srcActive[s] = false
 		return
 	}
+	r.requestCircuit(m, 0)
+}
+
+// requestCircuit sends the circuit-request token toward the scheduler. With
+// fault injection the token can be lost in transit; the NIC detects the
+// missing grant by timeout and re-requests after an exponential backoff
+// (attempt is the backoff exponent).
+func (r *run) requestCircuit(m *nic.Message, attempt int) {
 	// The request token travels to the scheduler over a control line.
 	r.eng.After(r.ctrlNs, "request-at-scheduler", func() {
+		if r.inj != nil && r.inj.DrawRequestLoss() {
+			r.eng.After(r.inj.RetryDelay(attempt), "request-retry", func() {
+				r.driver.CountRetry()
+				r.requestCircuit(m, attempt+1)
+			})
+			return
+		}
 		req := &request{msg: m}
 		r.outQueue[m.Dst] = append(r.outQueue[m.Dst], req)
 		r.kickOutput(m.Dst)
@@ -147,13 +177,29 @@ func (r *run) kickOutput(v int) {
 	m := req.msg
 	r.stats.SchedulerPasses++
 	r.stats.Established++
-	// 80 ns to schedule, 80 ns for the grant to reach the NIC.
-	r.eng.After(r.schedNs+r.ctrlNs, "grant-at-nic", func() {
+	// 80 ns to schedule, then the grant token travels back to the NIC.
+	r.eng.After(r.schedNs, "circuit-scheduled", func() { r.sendGrant(m, v, 0) })
+}
+
+// sendGrant carries the grant token from the scheduler back to the source
+// NIC (80 ns control delay). With fault injection the token can be lost; the
+// scheduler detects the unused circuit by timeout and re-sends the grant
+// after an exponential backoff. The circuit's output port stays reserved
+// throughout — a lost grant wastes port time, which is the point.
+func (r *run) sendGrant(m *nic.Message, v, attempt int) {
+	r.eng.After(r.ctrlNs, "grant-at-nic", func() {
+		if r.inj != nil && r.inj.DrawGrantLoss() {
+			r.eng.After(r.inj.RetryDelay(attempt), "grant-retry", func() {
+				r.driver.CountRetry()
+				r.sendGrant(m, v, attempt+1)
+			})
+			return
+		}
 		ser := r.cfg.Link.SerializationTime(m.Bytes)
 		// The last byte leaves the source at +ser and reaches the
 		// destination NIC one data-pipe latency later.
 		r.eng.After(ser+r.dataPipe+nic.RecvOverhead, "deliver", func() {
-			r.driver.Deliver(m)
+			r.driver.Arrive(m)
 		})
 		// The circuit (and its output port) is held until the tail has
 		// cleared the fabric; then it is torn down and the port can be

@@ -24,7 +24,7 @@ func TestASICLatency128Is80ns(t *testing.T) {
 	if got := ASICLatency(128); got != 80 {
 		t.Fatalf("ASICLatency(128) = %v, want 80ns", got)
 	}
-	s := NewScheduler(Params{N: 128, K: 4})
+	s := MustScheduler(Params{N: 128, K: 4})
 	if got := s.PassLatency(); got != 80 {
 		t.Fatalf("PassLatency = %v, want 80ns", got)
 	}

@@ -58,7 +58,7 @@ func TestQuickScheduleSlotMatchesReference(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(14)
 		k := 1 + rng.Intn(3)
-		s := NewScheduler(Params{N: n, K: k}) // no rotation: reference is row-major
+		s := MustScheduler(Params{N: n, K: k}) // no rotation: reference is row-major
 
 		// Random pre-state: load disjoint-port partial permutations.
 		for slot := 0; slot < k; slot++ {
@@ -122,7 +122,7 @@ func TestQuickConstraintHookRespected(t *testing.T) {
 		constraint := func(_ *bitmat.Matrix, u, v int) bool {
 			return v < n/2
 		}
-		s := NewScheduler(Params{N: n, K: 2, CanEstablish: constraint})
+		s := MustScheduler(Params{N: n, K: 2, CanEstablish: constraint})
 		for pass := 0; pass < 10; pass++ {
 			req := bitmat.NewSquare(n)
 			for e := 0; e < n; e++ {

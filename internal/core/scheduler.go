@@ -132,12 +132,14 @@ type Scheduler struct {
 	stats Stats
 }
 
-// NewScheduler builds a scheduler; invalid Params panic (construction-time
-// programmer error).
-func NewScheduler(p Params) *Scheduler {
+// NewScheduler builds a scheduler. Invalid Params return an error with the
+// offending field named, so callers that assemble parameters at run time
+// (the TDM network builds one per Run) surface misconfiguration instead of
+// panicking mid-simulation.
+func NewScheduler(p Params) (*Scheduler, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("core: invalid scheduler parameters: %w", err)
 	}
 	s := &Scheduler{
 		p:       p,
@@ -148,6 +150,16 @@ func NewScheduler(p Params) *Scheduler {
 	}
 	for i := range s.configs {
 		s.configs[i] = bitmat.NewSquare(p.N)
+	}
+	return s, nil
+}
+
+// MustScheduler is NewScheduler for static configurations known to be valid
+// (tests, table generators); it panics on error.
+func MustScheduler(p Params) *Scheduler {
+	s, err := NewScheduler(p)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
@@ -534,6 +546,52 @@ func (s *Scheduler) Evict(src, dst int) int {
 		s.stats.Released += uint64(removed)
 	}
 	return removed
+}
+
+// EvictPort releases every dynamic-slot connection that uses port p as input
+// or output and clears their latches — the scheduler's reaction to a link
+// fault on p: cached configurations touching a failed port cannot be
+// trusted, so they are invalidated and re-established on demand once the
+// port recovers. Pinned slots are untouched (the preload controller owns
+// them). It returns the released connections.
+func (s *Scheduler) EvictPort(p int) []Change {
+	s.checkPort(p)
+	var out []Change
+	for slot := 0; slot < s.p.K; slot++ {
+		if s.pinned[slot] {
+			continue
+		}
+		c := s.configs[slot]
+		if v := c.FirstInRow(p); v >= 0 {
+			c.Clear(p, v)
+			out = append(out, Change{Src: p, Dst: v, Slot: slot})
+		}
+		for _, u := range s.usersOfOutput(slot, p) {
+			c.Clear(u, p)
+			out = append(out, Change{Src: u, Dst: p, Slot: slot})
+		}
+	}
+	for _, ch := range out {
+		s.latch.Clear(ch.Src, ch.Dst)
+	}
+	if len(out) > 0 {
+		s.dirty = true
+		s.stats.Evictions += uint64(len(out))
+		s.stats.Released += uint64(len(out))
+	}
+	return out
+}
+
+// usersOfOutput returns the inputs connected to output v in a slot (at most
+// one on a healthy partial permutation).
+func (s *Scheduler) usersOfOutput(slot, v int) []int {
+	var out []int
+	for u := 0; u < s.p.N; u++ {
+		if s.configs[slot].Get(u, v) {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // Flush clears every dynamic slot and all latches (extension 4: the

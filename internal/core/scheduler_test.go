@@ -9,7 +9,7 @@ import (
 )
 
 func newTest(n, k int) *Scheduler {
-	return NewScheduler(Params{N: n, K: k, SkipEmptySlots: true})
+	return MustScheduler(Params{N: n, K: k, SkipEmptySlots: true})
 }
 
 func req(n int, conns ...[2]int) *bitmat.Matrix {
@@ -37,13 +37,25 @@ func TestParamsValidate(t *testing.T) {
 	}
 }
 
-func TestNewSchedulerPanicsOnBadParams(t *testing.T) {
+func TestNewSchedulerRejectsBadParams(t *testing.T) {
+	if _, err := NewScheduler(Params{N: -1, K: 1}); err == nil {
+		t.Fatal("expected an error for N=-1")
+	}
+	if _, err := NewScheduler(Params{N: 4, K: 0}); err == nil {
+		t.Fatal("expected an error for K=0")
+	}
+	if s, err := NewScheduler(Params{N: 4, K: 2}); err != nil || s == nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestMustSchedulerPanicsOnBadParams(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	NewScheduler(Params{N: -1, K: 1})
+	MustScheduler(Params{N: -1, K: 1})
 }
 
 // TestPreScheduleTable1 reproduces the paper's Table 1 exhaustively: the
@@ -210,7 +222,7 @@ func TestPriorityWithoutRotation(t *testing.T) {
 	// Two requests for the same output: the lower-numbered input wins
 	// (paper: ports are available to R(u,v) before R(a,b) if u<a or v<b).
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 1})
+	s := MustScheduler(Params{N: n, K: 1})
 	est, _ := s.ScheduleSlot(req(n, [2]int{0, 3}, [2]int{2, 3}), 0)
 	if len(est) != 1 || est[0].Src != 0 {
 		t.Fatalf("est=%v, want input 0 to win output 3", est)
@@ -221,7 +233,7 @@ func TestRotatingPriorityIsFair(t *testing.T) {
 	// With rotation, inputs 0 and 2 should alternate winning output 3 when
 	// the connection is torn down between passes.
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 1, RotatePriority: true})
+	s := MustScheduler(Params{N: n, K: 1, RotatePriority: true})
 	wins := map[int]int{}
 	for pass := 0; pass < 2*n; pass++ {
 		r := req(n, [2]int{0, 3}, [2]int{2, 3})
@@ -271,7 +283,7 @@ func TestPassCyclesSlotsAndGrantRow(t *testing.T) {
 
 func TestTDMCounterSkipsEmptySlots(t *testing.T) {
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 4, SkipEmptySlots: true})
+	s := MustScheduler(Params{N: n, K: 4, SkipEmptySlots: true})
 	cfg := bitmat.NewSquare(n)
 	cfg.Set(1, 2)
 	if err := s.LoadConfig(2, cfg, false); err != nil {
@@ -301,7 +313,7 @@ func TestTDMCounterAllEmpty(t *testing.T) {
 
 func TestTDMCounterWithoutSkipping(t *testing.T) {
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 3, SkipEmptySlots: false})
+	s := MustScheduler(Params{N: n, K: 3, SkipEmptySlots: false})
 	cfg := bitmat.NewSquare(n)
 	cfg.Set(0, 1)
 	if err := s.LoadConfig(1, cfg, false); err != nil {
@@ -325,7 +337,7 @@ func TestTDMCounterWithoutSkipping(t *testing.T) {
 
 func TestLatchedRequestsSurviveDrop(t *testing.T) {
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 2, LatchRequests: true})
+	s := MustScheduler(Params{N: n, K: 2, LatchRequests: true})
 	s.Pass(req(n, [2]int{0, 1}))
 	if !s.Connected(0, 1) || !s.Latched(0, 1) {
 		t.Fatal("connection should be established and latched")
@@ -350,7 +362,7 @@ func TestLatchedRequestsSurviveDrop(t *testing.T) {
 
 func TestWithoutLatchingDropReleases(t *testing.T) {
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 1})
+	s := MustScheduler(Params{N: n, K: 1})
 	s.Pass(req(n, [2]int{0, 1}))
 	if !s.Connected(0, 1) {
 		t.Fatal("should be established")
@@ -363,7 +375,7 @@ func TestWithoutLatchingDropReleases(t *testing.T) {
 
 func TestFlushSparesPinnedSlots(t *testing.T) {
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 3, LatchRequests: true})
+	s := MustScheduler(Params{N: n, K: 3, LatchRequests: true})
 	pre := bitmat.NewSquare(n)
 	pre.Set(3, 0)
 	if err := s.LoadConfig(0, pre, true); err != nil {
@@ -388,7 +400,7 @@ func TestFlushSparesPinnedSlots(t *testing.T) {
 
 func TestPassSkipsPinnedSlots(t *testing.T) {
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 2})
+	s := MustScheduler(Params{N: n, K: 2})
 	pre := bitmat.NewSquare(n)
 	pre.Set(0, 1)
 	if err := s.LoadConfig(0, pre, true); err != nil {
@@ -415,7 +427,7 @@ func TestPassSkipsPinnedSlots(t *testing.T) {
 }
 
 func TestScheduleSlotOnPinnedSlotPanics(t *testing.T) {
-	s := NewScheduler(Params{N: 4, K: 1})
+	s := MustScheduler(Params{N: 4, K: 1})
 	s.PinSlot(0, true)
 	defer func() {
 		if recover() == nil {
@@ -440,7 +452,7 @@ func TestLoadConfigValidation(t *testing.T) {
 
 func TestAddBandwidth(t *testing.T) {
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 4})
+	s := MustScheduler(Params{N: n, K: 4})
 	s.Pass(req(n, [2]int{0, 1}))
 	if got := s.AddBandwidth(0, 1, 2); got != 2 {
 		t.Fatalf("AddBandwidth = %d, want 2", got)
@@ -456,7 +468,7 @@ func TestAddBandwidth(t *testing.T) {
 		t.Fatalf("AddBandwidth for unestablished connection = %d, want 0", got)
 	}
 	// Occupied ports limit extra slots.
-	s2 := NewScheduler(Params{N: n, K: 2})
+	s2 := MustScheduler(Params{N: n, K: 2})
 	s2.Pass(req(n, [2]int{0, 1}, [2]int{2, 3}))
 	s2.Pass(req(n, [2]int{0, 3})) // second slot uses 0 and 3
 	if got := s2.AddBandwidth(0, 1, 4); got != 0 {
@@ -466,7 +478,7 @@ func TestAddBandwidth(t *testing.T) {
 
 func TestMultiSlotConnectionReleasedFromAllSlots(t *testing.T) {
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 3})
+	s := MustScheduler(Params{N: n, K: 3})
 	s.Pass(req(n, [2]int{0, 1}))
 	s.AddBandwidth(0, 1, 2)
 	if len(s.SlotsOf(0, 1)) != 3 {
@@ -483,7 +495,7 @@ func TestMultiSlotConnectionReleasedFromAllSlots(t *testing.T) {
 
 func TestSLCopiesSchedulesMultipleSlotsPerPass(t *testing.T) {
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 2, SLCopies: 2})
+	s := MustScheduler(Params{N: n, K: 2, SLCopies: 2})
 	r := req(n, [2]int{0, 1}, [2]int{0, 2})
 	res := s.Pass(r)
 	if len(res.Slots) != 2 {
@@ -496,7 +508,7 @@ func TestSLCopiesSchedulesMultipleSlotsPerPass(t *testing.T) {
 
 func TestStatsCounting(t *testing.T) {
 	const n = 4
-	s := NewScheduler(Params{N: n, K: 1})
+	s := MustScheduler(Params{N: n, K: 1})
 	s.Pass(req(n, [2]int{0, 1}))
 	s.Pass(bitmat.NewSquare(n))
 	s.Flush()
@@ -538,7 +550,7 @@ func TestQuickInvariantsUnderRandomRequests(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(12)
 		k := 1 + rng.Intn(4)
-		s := NewScheduler(Params{
+		s := MustScheduler(Params{
 			N:              n,
 			K:              k,
 			RotatePriority: rng.Intn(2) == 0,
@@ -577,7 +589,7 @@ func TestQuickSteadyRequestsEventuallyServed(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(12)
 		k := 1 + rng.Intn(4)
-		s := NewScheduler(Params{N: n, K: k, SkipEmptySlots: true})
+		s := MustScheduler(Params{N: n, K: k, SkipEmptySlots: true})
 		perm := rng.Perm(n)
 		r := bitmat.NewSquare(n)
 		for u, v := range perm {
@@ -625,7 +637,7 @@ func TestQuickWorkingSetFullyCachedWithGreedyBound(t *testing.T) {
 				in[v]++
 			}
 		}
-		s := NewScheduler(Params{N: n, K: k})
+		s := MustScheduler(Params{N: n, K: k})
 		for pass := 0; pass < k; pass++ {
 			s.Pass(r)
 		}
@@ -638,7 +650,7 @@ func TestQuickWorkingSetFullyCachedWithGreedyBound(t *testing.T) {
 
 func BenchmarkPass128Dense(b *testing.B) {
 	const n = 128
-	s := NewScheduler(Params{N: n, K: 4, RotatePriority: true})
+	s := MustScheduler(Params{N: n, K: 4, RotatePriority: true})
 	rng := rand.New(rand.NewSource(9))
 	r := bitmat.NewSquare(n)
 	for i := 0; i < n; i++ {

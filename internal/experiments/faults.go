@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmsnet/internal/circuit"
+	"pmsnet/internal/fault"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/netmodel"
+	"pmsnet/internal/predictor"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/tdm"
+	"pmsnet/internal/traffic"
+	"pmsnet/internal/wormhole"
+)
+
+// FaultLevel is one point of the robustness sweep: a label and the fault
+// plan it stands for.
+type FaultLevel struct {
+	Label string
+	Plan  *fault.Plan
+}
+
+// FaultLevels is the default robustness sweep: no faults, rare and frequent
+// payload corruption, transient link churn, and a combined stress level. The
+// plans use only stochastic fault classes so the same level applies to any
+// workload length.
+func FaultLevels() []FaultLevel {
+	return []FaultLevel{
+		{"none", nil},
+		{"corrupt 0.1%", &fault.Plan{Seed: 1, CorruptProb: 0.001}},
+		{"corrupt 1%", &fault.Plan{Seed: 1, CorruptProb: 0.01}},
+		{"link churn", &fault.Plan{Seed: 1, LinkMTBF: 200 * sim.Microsecond, LinkMTTR: 2 * sim.Microsecond}},
+		{"ctrl loss 1%", &fault.Plan{Seed: 1, RequestLossProb: 0.01, GrantLossProb: 0.01}},
+		{"combined", &fault.Plan{
+			Seed:            1,
+			CorruptProb:     0.005,
+			RequestLossProb: 0.005,
+			GrantLossProb:   0.005,
+			LinkMTBF:        500 * sim.Microsecond,
+			LinkMTTR:        2 * sim.Microsecond,
+		}},
+	}
+}
+
+// faultNetworks builds the paper's four Figure-4 paradigms with the given
+// fault plan attached.
+func faultNetworks(n int, plan *fault.Plan) ([]netmodel.Network, error) {
+	wh, err := wormhole.New(wormhole.Config{N: n, Faults: plan})
+	if err != nil {
+		return nil, err
+	}
+	cs, err := circuit.New(circuit.Config{N: n, Faults: plan})
+	if err != nil {
+		return nil, err
+	}
+	dyn, err := tdm.New(tdm.Config{
+		N: n, K: Fig4K, Faults: plan,
+		NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	pre, err := tdm.New(tdm.Config{N: n, K: Fig4K, Mode: tdm.Preload, Faults: plan})
+	if err != nil {
+		return nil, err
+	}
+	return []netmodel.Network{wh, cs, dyn, pre}, nil
+}
+
+// FaultRow holds one sweep point: each network's result under one fault
+// level, in faultNetworks order (wormhole, circuit, dynamic TDM, preload
+// TDM).
+type FaultRow struct {
+	Level   FaultLevel
+	Results []metrics.Result
+}
+
+// FaultSweep runs the workload through every network at every fault level.
+// It verifies the exact message-accounting invariant on every run: each
+// injected message must end up delivered or explicitly dropped.
+func FaultSweep(n int, wl *traffic.Workload, levels []FaultLevel) ([]FaultRow, error) {
+	if len(levels) == 0 {
+		levels = FaultLevels()
+	}
+	rows := make([]FaultRow, 0, len(levels))
+	for _, lv := range levels {
+		nets, err := faultNetworks(n, lv.Plan)
+		if err != nil {
+			return nil, err
+		}
+		row := FaultRow{Level: lv}
+		for _, nw := range nets {
+			res, err := nw.Run(wl)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s under %q: %w", nw.Name(), wl.Name, lv.Label, err)
+			}
+			if !res.Stats.Faults.Reconciles() {
+				f := res.Stats.Faults
+				return nil, fmt.Errorf("experiments: %s under %q: accounting broken: %d injected != %d delivered + %d dropped",
+					nw.Name(), lv.Label, f.Injected, f.Delivered, f.Dropped)
+			}
+			row.Results = append(row.Results, res)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FaultTable renders the sweep as the text table cmd/figures prints:
+// efficiency per network per fault level, plus the recovery work of the
+// paper's switch (dynamic TDM retries/reschedules).
+func FaultTable(rows []FaultRow) *metrics.Table {
+	t := metrics.NewTable("Robustness: efficiency under injected faults",
+		"faults", "wormhole", "circuit", "tdm-dynamic", "tdm-preload", "retries", "resched", "dropped")
+	for _, row := range rows {
+		cells := []string{row.Level.Label}
+		var retries, resched, dropped uint64
+		for _, res := range row.Results {
+			cells = append(cells, fmt.Sprintf("%.3f", res.Efficiency))
+			retries += res.Stats.Faults.Retries
+			resched += res.Stats.Faults.Reschedules
+			dropped += res.Stats.Faults.Dropped
+		}
+		cells = append(cells,
+			fmt.Sprintf("%d", retries),
+			fmt.Sprintf("%d", resched),
+			fmt.Sprintf("%d", dropped))
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -33,7 +33,7 @@ func Table3(iters int) []Table3Row {
 	}
 	var rows []Table3Row
 	for _, n := range Table3Sizes() {
-		s := core.NewScheduler(core.Params{N: n, K: Fig4K, RotatePriority: true})
+		s := core.MustScheduler(core.Params{N: n, K: Fig4K, RotatePriority: true})
 		rng := sim.NewRNG(3, uint64(n))
 		r := bitmat.NewSquare(n)
 		for i := 0; i < n; i++ {

@@ -1,0 +1,176 @@
+// Package fault provides a deterministic, seeded fault-event layer for the
+// simulated interconnect. A Plan declares which hardware faults occur —
+// transient or permanent link failures (stochastic MTBF/MTTR processes or
+// scripted events), payload corruption detected by the receiving NIC's CRC,
+// lost scheduler request/grant tokens, and dead crossbar crosspoints — and an
+// Injector realizes the plan against a sim.Engine so that a faulty run stays
+// a pure function of (model, workload, seed, plan).
+//
+// The zero Plan is inactive: NewInjector returns a nil Injector for it, so a
+// fault-free run schedules no extra events and is bit-identical to a run that
+// never imported this package.
+package fault
+
+import (
+	"fmt"
+
+	"pmsnet/internal/sim"
+)
+
+// Default retry-timer parameters: a NIC that loses a control token or a CRC
+// check re-tries after RetryBase, doubling up to RetryCap (exponential
+// backoff). 200 ns is 2.5 scheduler passes at 128 ports — long enough that a
+// slow grant is not mistaken for a lost one.
+const (
+	DefaultRetryBase sim.Time = 200
+	DefaultRetryCap  sim.Time = 3200
+)
+
+// LinkFault is a scripted failure of one port's serial link. The link goes
+// down at At and repairs after For; For == 0 means the failure is permanent
+// (the port never comes back, and its traffic is dropped).
+type LinkFault struct {
+	Port int
+	At   sim.Time
+	For  sim.Time
+}
+
+// CrosspointFault is a scripted permanent death of one crossbar crosspoint:
+// from At on, input port In can never be connected to output port Out, and
+// any cached configuration using the crosspoint is invalid.
+type CrosspointFault struct {
+	In, Out int
+	At      sim.Time
+}
+
+// Plan declares the faults injected into one run. The zero value injects
+// nothing.
+type Plan struct {
+	// Seed feeds the plan's random streams; independent of the workload seed.
+	Seed int64
+
+	// LinkMTBF/LinkMTTR drive a stochastic per-port failure process: each
+	// port's link fails after an exponential time with mean LinkMTBF and
+	// repairs after an exponential time with mean LinkMTTR, forever. Both
+	// must be set together; these failures are always transient.
+	LinkMTBF sim.Time
+	LinkMTTR sim.Time
+
+	// CorruptProb is the probability that one transferred payload (a TDM
+	// slot payload, or a whole message in the store-and-forward baselines)
+	// arrives corrupted. The receiving NIC's CRC detects it and the payload
+	// is retransmitted.
+	CorruptProb float64
+
+	// RequestLossProb / GrantLossProb are the probabilities that one
+	// scheduler request or grant token is lost on its control line. The NIC
+	// re-sends after a timeout with exponential backoff.
+	RequestLossProb float64
+	GrantLossProb   float64
+
+	// RetryBase / RetryCap parameterize the NIC retry timer; zero means the
+	// package defaults.
+	RetryBase sim.Time
+	RetryCap  sim.Time
+
+	// Links and Crosspoints script deterministic fault events.
+	Links       []LinkFault
+	Crosspoints []CrosspointFault
+}
+
+// Active reports whether the plan injects anything at all.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.LinkMTBF > 0 || p.CorruptProb > 0 ||
+		p.RequestLossProb > 0 || p.GrantLossProb > 0 ||
+		len(p.Links) > 0 || len(p.Crosspoints) > 0
+}
+
+// withDefaults fills the retry-timer defaults.
+func (p Plan) withDefaults() Plan {
+	if p.RetryBase == 0 {
+		p.RetryBase = DefaultRetryBase
+	}
+	if p.RetryCap == 0 {
+		p.RetryCap = DefaultRetryCap
+	}
+	return p
+}
+
+// Validate reports the first structural error in the plan: probabilities
+// outside [0,1], negative times, an MTBF without an MTTR, or malformed
+// scripted events. Port ranges are checked against N by NewInjector, which
+// knows the system size.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"corrupt", p.CorruptProb},
+		{"reqloss", p.RequestLossProb},
+		{"grantloss", p.GrantLossProb},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s probability %g outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.LinkMTBF < 0 || p.LinkMTTR < 0 {
+		return fmt.Errorf("fault: negative MTBF/MTTR (%v, %v)", p.LinkMTBF, p.LinkMTTR)
+	}
+	if p.LinkMTBF > 0 && p.LinkMTTR == 0 {
+		return fmt.Errorf("fault: link MTBF %v needs a positive MTTR", p.LinkMTBF)
+	}
+	if p.LinkMTTR > 0 && p.LinkMTBF == 0 {
+		return fmt.Errorf("fault: link MTTR %v needs a positive MTBF", p.LinkMTTR)
+	}
+	if p.RetryBase < 0 || p.RetryCap < 0 {
+		return fmt.Errorf("fault: negative retry timer (%v, %v)", p.RetryBase, p.RetryCap)
+	}
+	if p.RetryBase > 0 && p.RetryCap > 0 && p.RetryCap < p.RetryBase {
+		return fmt.Errorf("fault: retry cap %v below base %v", p.RetryCap, p.RetryBase)
+	}
+	for i, l := range p.Links {
+		if l.Port < 0 {
+			return fmt.Errorf("fault: link fault %d has negative port %d", i, l.Port)
+		}
+		if l.At < 0 || l.For < 0 {
+			return fmt.Errorf("fault: link fault %d has negative time (%v, %v)", i, l.At, l.For)
+		}
+	}
+	for i, x := range p.Crosspoints {
+		if x.In < 0 || x.Out < 0 {
+			return fmt.Errorf("fault: crosspoint fault %d has negative port (%d:%d)", i, x.In, x.Out)
+		}
+		if x.At < 0 {
+			return fmt.Errorf("fault: crosspoint fault %d at negative time %v", i, x.At)
+		}
+	}
+	return nil
+}
+
+// Backoff returns the exponential-backoff delay for retry number `attempt`
+// (0-based): base << attempt, saturating at cap. It never overflows.
+func Backoff(base, cap sim.Time, attempt int) sim.Time {
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	if cap <= 0 {
+		cap = DefaultRetryCap
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= cap {
+			return cap
+		}
+	}
+	if d > cap {
+		return cap
+	}
+	return d
+}

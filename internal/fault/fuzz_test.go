@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzPlan feeds arbitrary text to the fault-plan spec parser. The parser
+// must never panic; when it accepts an input, the resulting plan must pass
+// Validate (Parse promises a validated plan) and survive a String/Parse
+// round trip unchanged.
+func FuzzPlan(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=7",
+		"corrupt=0.01",
+		"mtbf=50us,mttr=5us",
+		"seed=3,corrupt=0.005,reqloss=0.01,grantloss=0.02,retry=100,retrycap=1600",
+		"link=3@10us",
+		"link=3@10us+5us",
+		"xpoint=2:9@1us",
+		"seed=1,mtbf=200us,mttr=2us,link=0@5us+1us,link=7@80us,xpoint=1:2@3us",
+		"corrupt=1.5",
+		"link=3",
+		"xpoint=a:b@1us",
+		"seed=-1,corrupt=1",
+		"retry=1h,retrycap=2h",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		// Pathologically long inputs only test the allocator.
+		if len(spec) > 4096 {
+			t.Skip()
+		}
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted a plan that fails Validate: %v", spec, err)
+		}
+		// Exotic float spellings ("1e-300", hex floats) can render to a form
+		// that parses back to a bit-different value; the canonical form must
+		// still be stable from the second pass on.
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", spec, canon, err)
+		}
+		p3, err := Parse(p2.String())
+		if err != nil {
+			t.Fatalf("second canonical form %q does not re-parse: %v", p2.String(), err)
+		}
+		if !reflect.DeepEqual(p2, p3) {
+			t.Fatalf("canonical form is not a fixed point:\n  spec: %q\n  p2:   %+v\n  p3:   %+v", spec, p2, p3)
+		}
+		if strings.Contains(canon, ",,") || strings.HasPrefix(canon, ",") || strings.HasSuffix(canon, ",") {
+			t.Fatalf("malformed canonical form %q", canon)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pmsnet/internal/sim"
+)
+
+// Parse builds a Plan from a compact textual spec — the format of the
+// pmsim --faults flag. The spec is a comma-separated list of key=value
+// items:
+//
+//	seed=7                 random-stream seed (default 1)
+//	mtbf=50us mttr=5us     stochastic per-port link failures
+//	corrupt=0.01           payload-corruption probability
+//	reqloss=0.05           scheduler-request loss probability
+//	grantloss=0.02         scheduler-grant loss probability
+//	retry=200ns            NIC retry-timer base
+//	retrycap=3200ns        NIC retry-timer backoff cap
+//	link=3@10us            port 3's link fails permanently at 10 us
+//	link=3@10us+5us        ... and repairs 5 us later (transient)
+//	xpoint=2:9@1us         crosspoint 2->9 dies at 1 us
+//
+// Durations accept Go syntax ("50us", "200ns") or a bare integer nanosecond
+// count. An empty spec parses to the inactive zero plan. The returned plan
+// is already validated.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, item := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ' ' }) {
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: item %q is not key=value", item)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "mtbf":
+			p.LinkMTBF, err = parseDur(val)
+		case "mttr":
+			p.LinkMTTR, err = parseDur(val)
+		case "corrupt":
+			p.CorruptProb, err = strconv.ParseFloat(val, 64)
+		case "reqloss":
+			p.RequestLossProb, err = strconv.ParseFloat(val, 64)
+		case "grantloss":
+			p.GrantLossProb, err = strconv.ParseFloat(val, 64)
+		case "retry":
+			p.RetryBase, err = parseDur(val)
+		case "retrycap":
+			p.RetryCap, err = parseDur(val)
+		case "link":
+			var lf LinkFault
+			lf, err = parseLinkFault(val)
+			p.Links = append(p.Links, lf)
+		case "xpoint":
+			var xf CrosspointFault
+			xf, err = parseCrosspointFault(val)
+			p.Crosspoints = append(p.Crosspoints, xf)
+		default:
+			return nil, fmt.Errorf("fault: unknown key %q in %q", key, item)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad value in %q: %w", item, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseDur accepts Go duration syntax or a bare integer nanosecond count and
+// returns a simulation time.
+func parseDur(s string) (sim.Time, error) {
+	if ns, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if ns < 0 {
+			return 0, fmt.Errorf("negative duration %d", ns)
+		}
+		return sim.Time(ns), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	return sim.Time(d.Nanoseconds()), nil
+}
+
+// parseLinkFault parses PORT@AT or PORT@AT+DUR.
+func parseLinkFault(s string) (LinkFault, error) {
+	portStr, when, ok := strings.Cut(s, "@")
+	if !ok {
+		return LinkFault{}, fmt.Errorf("want PORT@AT or PORT@AT+DUR, got %q", s)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return LinkFault{}, err
+	}
+	atStr, durStr, transient := strings.Cut(when, "+")
+	at, err := parseDur(atStr)
+	if err != nil {
+		return LinkFault{}, err
+	}
+	lf := LinkFault{Port: port, At: at}
+	if transient {
+		if lf.For, err = parseDur(durStr); err != nil {
+			return LinkFault{}, err
+		}
+		if lf.For == 0 {
+			return LinkFault{}, fmt.Errorf("transient link fault %q needs a positive duration", s)
+		}
+	}
+	return lf, nil
+}
+
+// parseCrosspointFault parses IN:OUT@AT.
+func parseCrosspointFault(s string) (CrosspointFault, error) {
+	ports, atStr, ok := strings.Cut(s, "@")
+	if !ok {
+		return CrosspointFault{}, fmt.Errorf("want IN:OUT@AT, got %q", s)
+	}
+	inStr, outStr, ok := strings.Cut(ports, ":")
+	if !ok {
+		return CrosspointFault{}, fmt.Errorf("want IN:OUT@AT, got %q", s)
+	}
+	in, err := strconv.Atoi(inStr)
+	if err != nil {
+		return CrosspointFault{}, err
+	}
+	out, err := strconv.Atoi(outStr)
+	if err != nil {
+		return CrosspointFault{}, err
+	}
+	at, err := parseDur(atStr)
+	if err != nil {
+		return CrosspointFault{}, err
+	}
+	return CrosspointFault{In: in, Out: out, At: at}, nil
+}
+
+// String renders the plan in the Parse format (canonical key order), so that
+// Parse(p.String()) reproduces the plan.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var items []string
+	add := func(format string, args ...any) { items = append(items, fmt.Sprintf(format, args...)) }
+	if p.Seed != 0 {
+		add("seed=%d", p.Seed)
+	}
+	if p.LinkMTBF > 0 {
+		add("mtbf=%d", int64(p.LinkMTBF))
+	}
+	if p.LinkMTTR > 0 {
+		add("mttr=%d", int64(p.LinkMTTR))
+	}
+	if p.CorruptProb > 0 {
+		add("corrupt=%s", strconv.FormatFloat(p.CorruptProb, 'g', -1, 64))
+	}
+	if p.RequestLossProb > 0 {
+		add("reqloss=%s", strconv.FormatFloat(p.RequestLossProb, 'g', -1, 64))
+	}
+	if p.GrantLossProb > 0 {
+		add("grantloss=%s", strconv.FormatFloat(p.GrantLossProb, 'g', -1, 64))
+	}
+	if p.RetryBase > 0 {
+		add("retry=%d", int64(p.RetryBase))
+	}
+	if p.RetryCap > 0 {
+		add("retrycap=%d", int64(p.RetryCap))
+	}
+	links := append([]LinkFault(nil), p.Links...)
+	sort.SliceStable(links, func(i, j int) bool { return links[i].At < links[j].At })
+	for _, l := range links {
+		if l.For > 0 {
+			add("link=%d@%d+%d", l.Port, int64(l.At), int64(l.For))
+		} else {
+			add("link=%d@%d", l.Port, int64(l.At))
+		}
+	}
+	xs := append([]CrosspointFault(nil), p.Crosspoints...)
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i].At < xs[j].At })
+	for _, x := range xs {
+		add("xpoint=%d:%d@%d", x.In, x.Out, int64(x.At))
+	}
+	return strings.Join(items, ",")
+}

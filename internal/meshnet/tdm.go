@@ -6,6 +6,7 @@ import (
 
 	"pmsnet/internal/bitmat"
 	"pmsnet/internal/core"
+	"pmsnet/internal/fault"
 	"pmsnet/internal/link"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
@@ -28,6 +29,10 @@ type TDMConfig struct {
 	Link link.Model
 	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
 	Horizon sim.Time
+	// Faults, when non-nil and active, injects link failures and corrupted
+	// slots per the plan; nil leaves the run bit-identical to a fault-free
+	// one.
+	Faults *fault.Plan
 }
 
 func (c TDMConfig) withDefaults() TDMConfig {
@@ -139,6 +144,14 @@ func (t *TDM) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	inj, err := fault.NewInjector(t.cfg.Faults, eng, t.cfg.N)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if inj != nil {
+		driver.AttachFaults(inj)
+		inj.Start()
+	}
 	r.slotTicker = eng.NewTicker(t.cfg.SlotNs, "mesh-slot", r.onSlot)
 	r.slotTicker.StartAt(0)
 	// The central path scheduler runs at the crossbar scheduler's cadence
@@ -262,7 +275,7 @@ func (r *tdmRun) onSlot() {
 				r.cfg.Link.DeserializeNs + nic.RecvOverhead
 			m := done
 			r.eng.At(slotStart+r.cfg.SlotNs+pipe, "mesh-tdm-deliver", func() {
-				r.driver.Deliver(m)
+				r.driver.Arrive(m)
 			})
 		}
 	}

@@ -3,6 +3,7 @@ package meshnet
 import (
 	"fmt"
 
+	"pmsnet/internal/fault"
 	"pmsnet/internal/link"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
@@ -20,6 +21,10 @@ type WormholeConfig struct {
 	Link link.Model
 	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
 	Horizon sim.Time
+	// Faults, when non-nil and active, injects link failures and corrupted
+	// worms per the plan; nil leaves the run bit-identical to a fault-free
+	// one.
+	Faults *fault.Plan
 }
 
 func (c WormholeConfig) withDefaults() WormholeConfig {
@@ -101,6 +106,14 @@ func (w *Wormhole) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	inj, err := fault.NewInjector(w.cfg.Faults, eng, w.cfg.N)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if inj != nil {
+		driver.AttachFaults(inj)
+		inj.Start()
+	}
 	driver.Start()
 	return driver.Finish(w.Name(), w.cfg.Horizon, metrics.NetStats{})
 }
@@ -205,7 +218,7 @@ func (r *wormholeRun) kickLink(h Hop) {
 		})
 		r.eng.After(stream+r.cfg.Link.PipeLatency()+nic.RecvOverhead, "mesh-deliver", func() {
 			if w.last {
-				r.driver.Deliver(w.msg)
+				r.driver.Arrive(w.msg)
 			}
 		})
 		return

@@ -43,6 +43,58 @@ type NetStats struct {
 	// Amplifications counts extra slots granted to hot connections
 	// (bandwidth amplification, core extension 2).
 	Amplifications uint64
+	// Faults carries the fault-injection and recovery counters when the run
+	// had a fault plan.
+	Faults FaultStats
+}
+
+// FaultStats accounts for injected faults and the recovery work they caused.
+// The accounting invariant is exact: every message the workload injected is
+// either delivered (possibly after retries) or explicitly dropped —
+// Injected == Delivered + Dropped, checked by Reconciles.
+type FaultStats struct {
+	// Enabled is true when the run had an active fault plan.
+	Enabled bool
+
+	// Injected-fault tallies.
+	LinkFailures     uint64
+	LinkRepairs      uint64
+	CrosspointDeaths uint64
+	Corrupted        uint64
+	RequestsLost     uint64
+	GrantsLost       uint64
+
+	// Recovery tallies.
+	// Retries counts retransmissions and control-token re-sends.
+	Retries uint64
+	// Reschedules counts connections the scheduler evicted to route around
+	// a fault (and that dynamic scheduling must re-establish on demand).
+	Reschedules uint64
+	// PreloadFallbacks counts preloaded connections invalidated by a fault,
+	// whose traffic fell back to dynamic scheduling.
+	PreloadFallbacks uint64
+	// MaskedGrants counts TDM slot grants wasted because the granted pair's
+	// link was down or crosspoint dead.
+	MaskedGrants uint64
+
+	// Message accounting.
+	Injected  uint64
+	Delivered uint64
+	Dropped   uint64
+
+	// DegradedTime is the simulated time during which at least one fault
+	// was active.
+	DegradedTime sim.Time
+}
+
+// Reconciles reports whether the message accounting balances exactly:
+// Injected == Delivered + Dropped. It is vacuously true without a fault
+// plan.
+func (f FaultStats) Reconciles() bool {
+	if !f.Enabled {
+		return true
+	}
+	return f.Injected == f.Delivered+f.Dropped
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 when no lookups happened.

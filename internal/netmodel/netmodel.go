@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pmsnet/internal/fault"
 	"pmsnet/internal/link"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/nic"
@@ -67,6 +68,12 @@ type Driver struct {
 	// resume maps a blocking message's ID to the program continuation that
 	// runs when it is delivered.
 	resume map[int]func()
+
+	// inj is the run's fault injector (nil for fault-free runs); retries and
+	// dropped tally the driver-level recovery accounting.
+	inj     *fault.Injector
+	retries uint64
+	dropped uint64
 }
 
 // NewDriver builds a driver for a validated workload.
@@ -150,12 +157,28 @@ func (d *Driver) step(p, idx int) {
 	}
 }
 
+// AttachFaults installs the run's fault injector. Arrive consults it for the
+// generic end-to-end fault path, and Finish folds its counters into the
+// result. A nil injector (fault-free run) is a no-op.
+func (d *Driver) AttachFaults(inj *fault.Injector) { d.inj = inj }
+
+// Faults returns the attached injector (nil for fault-free runs).
+func (d *Driver) Faults() *fault.Injector { return d.inj }
+
+// CountRetry tallies one fault-recovery retransmission or control-token
+// re-send; models with their own retry machinery (the TDM request/grant
+// timers) report through it so the accounting lives in one place.
+func (d *Driver) CountRetry() { d.retries++ }
+
 // Deliver records a completed message. Models call it exactly once per
 // message, at the simulated instant the last byte enters the destination
 // NIC.
 func (d *Driver) Deliver(m *nic.Message) {
 	if m.Delivered != 0 {
 		panic(fmt.Sprintf("netmodel: message %d delivered twice", m.ID))
+	}
+	if m.Dropped() {
+		panic(fmt.Sprintf("netmodel: message %d delivered after drop", m.ID))
 	}
 	m.Delivered = d.Engine.Now()
 	d.records = append(d.records, metrics.Record{
@@ -170,6 +193,68 @@ func (d *Driver) Deliver(m *nic.Message) {
 	if d.remaining == 0 && d.hooks.OnIdle != nil {
 		d.hooks.OnIdle()
 	}
+}
+
+// Drop retires a message the fault layer declared undeliverable (dead
+// crosspoint or permanently failed link). The message counts toward the
+// run's completion — Injected == Delivered + Dropped — and a blocked sender
+// waiting on it is resumed, but no delivery record is produced.
+func (d *Driver) Drop(m *nic.Message) {
+	if err := m.MarkDropped(); err != nil {
+		panic(fmt.Sprintf("netmodel: %v", err))
+	}
+	d.dropped++
+	d.remaining--
+	if cont, ok := d.resume[m.ID]; ok {
+		delete(d.resume, m.ID)
+		cont()
+	}
+	if d.remaining == 0 && d.hooks.OnIdle != nil {
+		d.hooks.OnIdle()
+	}
+}
+
+// Arrive is the fault-aware delivery point for the store-and-forward models
+// (wormhole, circuit, VOQ, mesh): they call it instead of Deliver at the
+// instant the message would complete. Fault-free runs pass straight through
+// to Deliver. Otherwise the receiving NIC's CRC and the link state decide
+// the outcome:
+//
+//   - a dead crosspoint or permanently failed endpoint link drops the
+//     message (no recovery is possible);
+//   - a corrupted payload or a transiently down link fails the end-to-end
+//     check, and the source NIC retransmits the whole message after an
+//     exponential-backoff timeout (the message re-enters its output buffer
+//     and the model's OnEnqueue hook fires again);
+//   - otherwise the message is delivered.
+func (d *Driver) Arrive(m *nic.Message) {
+	if d.inj == nil {
+		d.Deliver(m)
+		return
+	}
+	if d.inj.PairBlocked(m.Src, m.Dst) {
+		d.Drop(m)
+		return
+	}
+	if !d.inj.PortUp(m.Src) || !d.inj.PortUp(m.Dst) || d.inj.DrawCorrupt() {
+		delay := d.inj.RetryDelay(m.Retries)
+		m.Retries++
+		d.retries++
+		d.Engine.After(delay, "fault-retransmit", func() {
+			// The pair may have become permanently unreachable while the
+			// retry timer ran.
+			if d.inj.PairBlocked(m.Src, m.Dst) {
+				d.Drop(m)
+				return
+			}
+			d.Buffers[m.Src].Enqueue(m)
+			if d.hooks.OnEnqueue != nil {
+				d.hooks.OnEnqueue(m)
+			}
+		})
+		return
+	}
+	d.Deliver(m)
 }
 
 // Remaining returns the number of undelivered messages.
@@ -209,9 +294,45 @@ func (d *Driver) Finish(name string, horizon sim.Time, stats metrics.NetStats) (
 			break
 		}
 	}
+	if err := d.Engine.Err(); err != nil {
+		return metrics.Result{}, err
+	}
 	if d.remaining > 0 {
 		return metrics.Result{}, fmt.Errorf("%w: %d of %d messages undelivered at %v (network %s, workload %s)",
 			ErrStalled, d.remaining, d.wl.MessageCount(), d.Engine.Now(), name, d.wl.Name)
 	}
+	if d.inj != nil {
+		base := d.FaultStats()
+		// Preserve the recovery counters only the model knows.
+		base.Reschedules = stats.Faults.Reschedules
+		base.PreloadFallbacks = stats.Faults.PreloadFallbacks
+		base.MaskedGrants = stats.Faults.MaskedGrants
+		stats.Faults = base
+	}
 	return metrics.Compute(name, d.wl.Name, d.wl.N, d.Link, d.records, stats), nil
+}
+
+// FaultStats assembles the driver's share of the fault accounting: injector
+// tallies, retries, and the Injected == Delivered + Dropped reconciliation.
+// Models that rebuild their NetStats after Finish (the TDM network) call it
+// again and graft their own recovery counters on top.
+func (d *Driver) FaultStats() metrics.FaultStats {
+	if d.inj == nil {
+		return metrics.FaultStats{}
+	}
+	c := d.inj.Counters()
+	return metrics.FaultStats{
+		Enabled:          true,
+		LinkFailures:     c.LinkFailures,
+		LinkRepairs:      c.LinkRepairs,
+		CrosspointDeaths: c.CrosspointDeaths,
+		Corrupted:        c.Corrupted,
+		RequestsLost:     c.RequestsLost,
+		GrantsLost:       c.GrantsLost,
+		Retries:          d.retries,
+		Injected:         uint64(d.wl.MessageCount()),
+		Delivered:        uint64(len(d.records)),
+		Dropped:          d.dropped,
+		DegradedTime:     d.inj.DegradedTime(),
+	}
 }

@@ -35,9 +35,31 @@ type Message struct {
 	Created sim.Time
 	// Delivered is set by the network model when the message completes.
 	Delivered sim.Time
+	// Retries counts how many times the message (or a part of it) was
+	// retransmitted after a fault; it doubles as the backoff exponent of the
+	// next retry timer.
+	Retries int
 
 	remaining int
 	queued    bool
+	dropped   bool
+}
+
+// Dropped reports whether the message was explicitly dropped by the fault
+// layer instead of delivered.
+func (m *Message) Dropped() bool { return m.dropped }
+
+// MarkDropped records the drop; a message cannot be dropped twice or after
+// delivery.
+func (m *Message) MarkDropped() error {
+	if m.Delivered != 0 {
+		return fmt.Errorf("nic: message %d dropped after delivery", m.ID)
+	}
+	if m.dropped {
+		return fmt.Errorf("nic: message %d dropped twice", m.ID)
+	}
+	m.dropped = true
+	return nil
 }
 
 // Remaining returns the bytes not yet transmitted.
@@ -191,6 +213,46 @@ func (b *OutBuffer) PopFIFO() *Message {
 	m.remaining = 0
 	m.queued = false
 	return m
+}
+
+// DrainFor removes and returns every message queued toward dst — the fault
+// layer's bulk-drop path when dst becomes unreachable. The returned messages
+// are no longer queued; the caller owns their accounting.
+func (b *OutBuffer) DrainFor(dst int) []*Message {
+	b.checkDst(dst)
+	q := b.queues[dst]
+	if len(q) == 0 {
+		return nil
+	}
+	out := make([]*Message, len(q))
+	copy(out, q)
+	b.queues[dst] = nil
+	for _, m := range out {
+		b.removeFromFIFO(m)
+		b.pending--
+		b.bytesPending -= int64(m.remaining)
+		m.remaining = 0
+		m.queued = false
+	}
+	return out
+}
+
+// DrainAll removes and returns every queued message — the bulk-drop path
+// when this NIC's own link permanently fails.
+func (b *OutBuffer) DrainAll() []*Message {
+	out := make([]*Message, len(b.fifo))
+	copy(out, b.fifo)
+	b.fifo = b.fifo[:0]
+	for d := range b.queues {
+		b.queues[d] = nil
+	}
+	for _, m := range out {
+		b.pending--
+		b.bytesPending -= int64(m.remaining)
+		m.remaining = 0
+		m.queued = false
+	}
+	return out
 }
 
 func (b *OutBuffer) removeFromFIFO(m *Message) {

@@ -96,6 +96,8 @@ type Engine struct {
 	queue     eventHeap
 	processed uint64
 	stopped   bool
+	check     func() error
+	err       error
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -156,6 +158,32 @@ func (e *Engine) Cancel(id EventID) bool {
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetInvariantCheck installs a model self-check that runs after every
+// executed event — the engine's debug mode. Together with the
+// scheduled-in-the-past panic in At, it turns causality and state-consistency
+// bugs into immediate, attributable failures instead of silently wrong
+// results. When the check returns an error, the engine records it (see Err)
+// and stops; the error names the event that broke the invariant. Pass nil to
+// disable. The check runs after *every* event, so keep it cheap or reserve
+// it for tests.
+func (e *Engine) SetInvariantCheck(f func() error) { e.check = f }
+
+// Err returns the first invariant violation detected by the installed check,
+// or nil. Once set, the engine stays stopped.
+func (e *Engine) Err() error { return e.err }
+
+// afterEvent runs the invariant check, if any, and latches the first
+// violation.
+func (e *Engine) afterEvent(ev *event) {
+	if e.check == nil || e.err != nil {
+		return
+	}
+	if err := e.check(); err != nil {
+		e.err = fmt.Errorf("sim: invariant violated after event %q at %v: %w", ev.label, ev.at, err)
+		e.stopped = true
+	}
+}
+
 // Run executes events in timestamp order until the queue drains, the horizon
 // is passed, or Stop is called. It returns the time of the last executed
 // event (or the current time if nothing ran). Events scheduled exactly at the
@@ -176,6 +204,7 @@ func (e *Engine) Run(horizon Time) Time {
 		e.now = ev.at
 		e.processed++
 		ev.handler()
+		e.afterEvent(ev)
 	}
 	return e.now
 }
@@ -193,6 +222,7 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		e.processed++
 		ev.handler()
+		e.afterEvent(ev)
 		return true
 	}
 	return false

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -297,4 +299,56 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	e.At(0, "x", feed)
 	b.ResetTimer()
 	e.RunAll()
+}
+
+func TestInvariantCheckLatchesAndStops(t *testing.T) {
+	e := NewEngine()
+	broken := false
+	e.SetInvariantCheck(func() error {
+		if broken {
+			return errors.New("state went bad")
+		}
+		return nil
+	})
+	ran := 0
+	e.At(1, "ok", func() { ran++ })
+	e.At(2, "breaks-invariant", func() { ran++; broken = true })
+	e.At(3, "never-runs", func() { ran++ })
+	e.RunAll()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2 (engine must stop at the violation)", ran)
+	}
+	err := e.Err()
+	if err == nil {
+		t.Fatal("Err() should report the violation")
+	}
+	if !strings.Contains(err.Error(), "breaks-invariant") || !strings.Contains(err.Error(), "state went bad") {
+		t.Fatalf("error %q should name the event and the cause", err)
+	}
+	// The first violation is latched: resuming must neither run more events
+	// under a broken invariant nor overwrite the recorded error.
+	e.RunAll()
+	if e.Err() != err {
+		t.Fatal("Err() must latch the first violation")
+	}
+}
+
+func TestInvariantCheckRunsAfterSteps(t *testing.T) {
+	e := NewEngine()
+	checks := 0
+	e.SetInvariantCheck(func() error { checks++; return nil })
+	e.At(1, "a", func() {})
+	e.At(2, "b", func() {})
+	for e.Step() {
+	}
+	if checks != 2 {
+		t.Fatalf("checks = %d, want one per stepped event", checks)
+	}
+	// Disabling restores the fast path.
+	e.SetInvariantCheck(nil)
+	e.At(3, "c", func() {})
+	e.RunAll()
+	if checks != 2 || e.Err() != nil {
+		t.Fatalf("disabled check still ran (checks=%d, err=%v)", checks, e.Err())
+	}
 }

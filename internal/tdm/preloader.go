@@ -2,6 +2,7 @@ package tdm
 
 import (
 	"fmt"
+	"sort"
 
 	"pmsnet/internal/bitmat"
 	"pmsnet/internal/multistage"
@@ -86,13 +87,15 @@ func newPreloader(r *run, wl *traffic.Workload, slots int) (*preloader, error) {
 			}
 		}
 	}
-	p.load(0)
+	if err := p.load(0); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
 // load pins group gi into the managed slots; slots beyond the group's size
 // are pinned empty.
-func (p *preloader) load(gi int) {
+func (p *preloader) load(gi int) error {
 	p.cur = gi
 	p.slotsSinceLoad = 0
 	group := p.groups[gi]
@@ -102,10 +105,11 @@ func (p *preloader) load(gi int) {
 			cfg = group[i]
 		}
 		if err := p.r.sched.LoadConfig(i, cfg, true); err != nil {
-			panic(fmt.Sprintf("tdm: preloader produced invalid configuration: %v", err))
+			return fmt.Errorf("tdm: preloader produced invalid configuration for slot %d of group %d: %w", i, gi, err)
 		}
 	}
 	p.r.stats.Preloads++
+	return nil
 }
 
 // pendingUp records that connection c now has traffic queued.
@@ -161,6 +165,85 @@ func (p *preloader) maybeAdvance() bool {
 	if bestIdx == p.cur || best <= 2*cur {
 		return false
 	}
-	p.load(bestIdx)
+	if err := p.load(bestIdx); err != nil {
+		p.r.fail(err)
+		return false
+	}
+	return true
+}
+
+// breakConn invalidates every preloaded configuration entry carrying
+// connection c after a fault (dead crosspoint or failed endpoint link). The
+// entry is removed from its group matrices for the rest of the run — the
+// compiled schedule is not revalidated at run time, so a repaired link does
+// not restore it — and the currently loaded group is re-pinned if it was
+// affected. From here on c's traffic is served only by dynamic slots. It
+// reports whether any preloaded entry was broken.
+func (p *preloader) breakConn(c topology.Conn) bool {
+	gs := p.groupsOf[c]
+	if len(gs) == 0 {
+		return false
+	}
+	if p.r.queued[c.Src][c.Dst] > 0 {
+		// Retire c's pending contribution while its group membership still
+		// exists; the eventual real pendingDown will then be a no-op.
+		p.pendingDown(c)
+	}
+	delete(p.groupsOf, c)
+	reload := false
+	for _, g := range gs {
+		for _, cfg := range p.groups[g] {
+			if cfg.Get(c.Src, c.Dst) {
+				cfg.Clear(c.Src, c.Dst)
+			}
+		}
+		if g == p.cur {
+			reload = true
+		}
+	}
+	if reload && p.slots > 0 {
+		if err := p.load(p.cur); err != nil {
+			p.r.fail(err)
+		}
+	}
+	return true
+}
+
+// breakPort invalidates every preloaded entry whose connection uses port and
+// returns how many were broken.
+func (p *preloader) breakPort(port int) int {
+	var broken []topology.Conn
+	for c := range p.groupsOf {
+		if c.Src == port || c.Dst == port {
+			broken = append(broken, c)
+		}
+	}
+	// Map iteration order is random; sort so the run stays deterministic.
+	sort.Slice(broken, func(i, j int) bool {
+		if broken[i].Src != broken[j].Src {
+			return broken[i].Src < broken[j].Src
+		}
+		return broken[i].Dst < broken[j].Dst
+	})
+	for _, c := range broken {
+		p.breakConn(c)
+	}
+	return len(broken)
+}
+
+// releaseSlot hands the highest managed slot back to the dynamic scheduler:
+// the slot is cleared and unpinned, shrinking the preloaded region by one.
+// This is the graceful-degradation move for pure Preload mode, where no
+// dynamic slot exists until a fault makes one necessary. It reports whether
+// a slot was released.
+func (p *preloader) releaseSlot() bool {
+	if p.slots == 0 {
+		return false
+	}
+	p.slots--
+	if err := p.r.sched.LoadConfig(p.slots, bitmat.NewSquare(p.r.cfg.N), false); err != nil {
+		p.r.fail(err)
+		return false
+	}
 	return true
 }

@@ -29,6 +29,7 @@ import (
 	"pmsnet/internal/bitmat"
 	"pmsnet/internal/core"
 	"pmsnet/internal/fabric"
+	"pmsnet/internal/fault"
 	"pmsnet/internal/link"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/multistage"
@@ -137,6 +138,13 @@ type Config struct {
 	Fabric FabricKind
 	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
 	Horizon sim.Time
+	// Faults, when non-nil and active, injects link failures, corrupted
+	// slots, lost request/grant tokens and dead crosspoints per the plan. A
+	// nil or inactive plan leaves the run bit-identical to a fault-free one.
+	Faults *fault.Plan
+	// SelfCheck runs the scheduler's state invariants after every simulation
+	// event (the engine debug mode). Expensive; meant for tests.
+	SelfCheck bool
 }
 
 func boolPtr(b bool) *bool { return &b }
@@ -272,6 +280,26 @@ type run struct {
 	slotTicker *sim.Ticker
 	slTicker   *sim.Ticker
 	stats      metrics.NetStats
+
+	// inj is the fault injector (nil for fault-free runs); err latches the
+	// first unrecoverable model error so it surfaces instead of a misleading
+	// stall diagnosis.
+	inj *fault.Injector
+	err error
+	// Fault-recovery tallies owned by the TDM model (the driver owns the
+	// rest, see netmodel.Driver.FaultStats).
+	reschedules      uint64
+	preloadFallbacks uint64
+	maskedGrants     uint64
+}
+
+// fail latches the first model-level error and stops the engine; Run reports
+// it instead of the stall it would otherwise manifest as.
+func (r *run) fail(err error) {
+	if r.err == nil {
+		r.err = err
+		r.eng.Stop()
+	}
 }
 
 // Run implements netmodel.Network.
@@ -297,19 +325,23 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 			return omega.CanRealize(trial)
 		}
 	}
+	sched, err := core.NewScheduler(core.Params{
+		N:              cfg.N,
+		K:              cfg.K,
+		RotatePriority: *cfg.RotatePriority,
+		SkipEmptySlots: *cfg.SkipEmptySlots,
+		SLCopies:       cfg.SLCopies,
+		LatchRequests:  pred != nil,
+		CanEstablish:   canEstablish,
+	})
+	if err != nil {
+		return metrics.Result{}, err
+	}
 	r := &run{
-		cfg:   cfg,
-		eng:   eng,
-		omega: omega,
-		sched: core.NewScheduler(core.Params{
-			N:              cfg.N,
-			K:              cfg.K,
-			RotatePriority: *cfg.RotatePriority,
-			SkipEmptySlots: *cfg.SkipEmptySlots,
-			SLCopies:       cfg.SLCopies,
-			LatchRequests:  pred != nil,
-			CanEstablish:   canEstablish,
-		}),
+		cfg:     cfg,
+		eng:     eng,
+		omega:   omega,
+		sched:   sched,
 		xbar:    fabric.NewCrossbar(cfg.N, fabric.LVDS, 0),
 		pred:    pred,
 		reqView: bitmat.NewSquare(cfg.N),
@@ -331,6 +363,21 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+
+	inj, err := fault.NewInjector(cfg.Faults, eng, cfg.N)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if inj != nil {
+		r.inj = inj
+		inj.OnPortDown = r.onPortDown
+		inj.OnPortUp = r.onPortUp
+		inj.OnCrosspointDead = r.onCrosspointDead
+		driver.AttachFaults(inj)
+	}
+	if cfg.SelfCheck {
+		eng.SetInvariantCheck(r.checkInvariants)
+	}
 
 	// Preloaded slots (Preload: all; Hybrid: the first PreloadSlots).
 	if cfg.Mode == Preload || (cfg.Mode == Hybrid && cfg.PreloadSlots > 0) {
@@ -354,8 +401,14 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		r.slTicker.Start()
 	}
 
+	if inj != nil {
+		inj.Start()
+	}
 	driver.Start()
 	res, err := driver.Finish(n.Name(), cfg.Horizon, metrics.NetStats{})
+	if r.err != nil {
+		return metrics.Result{}, r.err
+	}
 	if err != nil {
 		return metrics.Result{}, err
 	}
@@ -366,14 +419,45 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 	r.stats.Released = st.Released
 	r.stats.Evictions = st.Evictions
 	r.stats.Flushes = st.Flushes
+	if r.inj != nil {
+		fs := driver.FaultStats()
+		fs.Reschedules = r.reschedules
+		fs.PreloadFallbacks = r.preloadFallbacks
+		fs.MaskedGrants = r.maskedGrants
+		r.stats.Faults = fs
+	}
 	res.Stats = r.stats
 	return res, nil
+}
+
+// checkInvariants is the engine debug hook (Config.SelfCheck): scheduler
+// state consistency plus the run's own queue bookkeeping.
+func (r *run) checkInvariants() error {
+	if err := r.sched.CheckInvariants(); err != nil {
+		return err
+	}
+	for u := range r.queued {
+		for v, q := range r.queued[u] {
+			if q < 0 {
+				return fmt.Errorf("tdm: negative queue count %d for %d->%d", q, u, v)
+			}
+		}
+	}
+	return nil
 }
 
 // onEnqueue tracks queue transitions, drives the delayed request wire and
 // counts connection-cache hits and misses.
 func (r *run) onEnqueue(m *nic.Message) {
 	u, v := m.Src, m.Dst
+	if r.inj != nil && r.inj.PairBlocked(u, v) {
+		// A dead crosspoint or permanently failed endpoint link: no route
+		// will ever exist, so the message is dropped at the source NIC.
+		for _, dm := range r.driver.Buffers[u].DrainFor(v) {
+			r.driver.Drop(dm)
+		}
+		return
+	}
 	r.queued[u][v]++
 	if r.queued[u][v] == 1 {
 		// The queue was empty: this message must wait for a connection
@@ -384,7 +468,7 @@ func (r *run) onEnqueue(m *nic.Message) {
 		} else {
 			r.stats.Misses++
 		}
-		r.setRequestWire(u, v, true)
+		r.raiseRequest(u, v, 0)
 		if r.pre != nil {
 			r.pre.pendingUp(topology.Conn{Src: u, Dst: v})
 		}
@@ -393,6 +477,25 @@ func (r *run) onEnqueue(m *nic.Message) {
 		// backlog already has (or is already waiting for): a hit.
 		r.stats.Hits++
 	}
+}
+
+// raiseRequest asserts the request wire toward the scheduler. With fault
+// injection, the raise transition can be lost; the NIC detects the missing
+// grant by timeout and re-raises after an exponential backoff (attempt is the
+// backoff exponent). Clears are not subject to loss: the request line is
+// level-sampled every pass, so a stale low is corrected by the next sample.
+func (r *run) raiseRequest(u, v, attempt int) {
+	if r.inj != nil && r.inj.DrawRequestLoss() {
+		r.eng.After(r.inj.RetryDelay(attempt), "request-retry", func() {
+			if r.queued[u][v] > 0 && !r.sched.Connected(u, v) &&
+				!(r.inj.PairBlocked(u, v)) {
+				r.driver.CountRetry()
+				r.raiseRequest(u, v, attempt+1)
+			}
+		})
+		return
+	}
+	r.setRequestWire(u, v, true)
 }
 
 // setRequestWire propagates a queue-state transition to the scheduler's
@@ -456,7 +559,7 @@ func (r *run) onSLPass() {
 	}
 	res := r.sched.Pass(req)
 	for _, c := range res.Established {
-		r.grantAt[c.Src][c.Dst] = r.eng.Now() + r.cfg.Link.ControlDelay()
+		r.deliverGrant(c.Src, c.Dst, 0)
 		r.specReq.Clear(c.Src, c.Dst)
 	}
 	if r.pred != nil {
@@ -478,6 +581,26 @@ func (r *run) onSLPass() {
 	}
 }
 
+// deliverGrant sends the grant signal for a freshly established connection
+// toward NIC u. With fault injection, the grant token can be lost: the NIC
+// never learns it may transmit, and the scheduler re-sends the grant after an
+// exponential-backoff timeout (attempt is the backoff exponent). Until a
+// grant arrives, the connection's slots pass unused.
+func (r *run) deliverGrant(u, v, attempt int) {
+	if r.inj != nil && r.inj.DrawGrantLoss() {
+		// The NIC must not use the connection until a grant arrives.
+		r.grantAt[u][v] = sim.MaxTime
+		r.eng.After(r.inj.RetryDelay(attempt), "grant-retry", func() {
+			if r.sched.Connected(u, v) {
+				r.driver.CountRetry()
+				r.deliverGrant(u, v, attempt+1)
+			}
+		})
+		return
+	}
+	r.grantAt[u][v] = r.eng.Now() + r.cfg.Link.ControlDelay()
+}
+
 // onSlot is the slot-boundary handler: pick the next configuration, copy it
 // to the fabric, and let every granted NIC transmit one slot payload.
 func (r *run) onSlot() {
@@ -492,12 +615,13 @@ func (r *run) onSlot() {
 	if !ok {
 		return
 	}
-	_ = slot
 	if err := r.xbar.Apply(cfg); err != nil {
-		panic(fmt.Sprintf("tdm: scheduler produced unrealizable configuration: %v", err))
+		r.fail(fmt.Errorf("tdm: scheduler produced unrealizable configuration for slot %d: %w", slot, err))
+		return
 	}
 	if r.omega != nil && !r.omega.CanRealize(cfg) {
-		panic("tdm: scheduler produced a configuration the omega fabric cannot realize")
+		r.fail(fmt.Errorf("tdm: slot %d configuration is not realizable on the omega fabric", slot))
+		return
 	}
 	slotStart := r.eng.Now()
 	used := false
@@ -510,6 +634,24 @@ func (r *run) onSlot() {
 			// The grant for this freshly established connection has not
 			// reached the NIC yet; the slot passes unused for this port.
 			continue
+		}
+		if r.inj != nil {
+			if r.inj.PairDown(u, v) {
+				// The pair's link is down or its crosspoint is dead: the
+				// grant is wasted and the payload stays queued.
+				r.maskedGrants++
+				continue
+			}
+			if r.driver.Buffers[u].HasFor(v) && r.inj.DrawCorrupt() {
+				// The slot payload fails the destination NIC's CRC; the
+				// bytes stay queued and go out again in the next granted
+				// slot — a slot-granularity retransmission.
+				if m := r.driver.Buffers[u].Head(v); m != nil {
+					m.Retries++
+				}
+				r.driver.CountRetry()
+				continue
+			}
 		}
 		sent, done := r.driver.Buffers[u].TransmitTo(v, r.cfg.PayloadBytes)
 		if sent == 0 {
@@ -559,4 +701,141 @@ func (r *run) completeMessage(m *nic.Message, slotStart sim.Time) {
 	}
 	deliverAt := slotStart + r.cfg.SlotNs + r.cfg.Link.PipeLatency() + nic.RecvOverhead
 	r.eng.At(deliverAt, "tdm-deliver", func() { r.driver.Deliver(m) })
+}
+
+// onPortDown is the injector's link-failure callback. The scheduler evicts
+// every dynamic connection touching the port (its cached TDM configurations
+// are stale) and forgets the port's pending requests; preloaded
+// configurations containing the port are invalidated for good — their
+// traffic falls back to dynamic scheduling, the cache-invalidation semantics
+// of a broken compiled schedule. A permanent failure additionally drops all
+// traffic from and toward the port: no recovery is possible.
+func (r *run) onPortDown(p int, permanent bool) {
+	changes := r.sched.EvictPort(p)
+	r.reschedules += uint64(len(changes))
+	if r.pred != nil {
+		for _, c := range changes {
+			r.pred.OnRelease(topology.Conn{Src: c.Src, Dst: c.Dst})
+		}
+	}
+	for x := 0; x < r.cfg.N; x++ {
+		if x == p {
+			continue
+		}
+		r.reqView.Clear(p, x)
+		r.reqView.Clear(x, p)
+		r.specReq.Clear(p, x)
+		r.specReq.Clear(x, p)
+	}
+	if r.pre != nil {
+		if n := r.pre.breakPort(p); n > 0 {
+			r.preloadFallbacks += uint64(n)
+			r.ensureDynamicFallback()
+		}
+	}
+	if permanent {
+		for _, m := range r.driver.Buffers[p].DrainAll() {
+			r.retireQueued(m.Src, m.Dst, 1)
+			r.driver.Drop(m)
+		}
+		for u := 0; u < r.cfg.N; u++ {
+			if u != p {
+				r.dropPair(u, p)
+			}
+		}
+	}
+}
+
+// onPortUp is the injector's link-repair callback: the NIC re-raises every
+// request the failure suppressed so dynamic scheduling can re-establish the
+// connections. Broken preloaded entries stay broken — the compiled schedule
+// is not revalidated at run time — so their traffic keeps using dynamic
+// slots.
+func (r *run) onPortUp(p int) {
+	for x := 0; x < r.cfg.N; x++ {
+		if x == p {
+			continue
+		}
+		if r.queued[p][x] > 0 {
+			r.raiseRequest(p, x, 0)
+		}
+		if r.queued[x][p] > 0 {
+			r.raiseRequest(x, p, 0)
+		}
+	}
+}
+
+// onCrosspointDead is the injector's crosspoint-failure callback: the pair
+// (in,out) is permanently unroutable through the central fabric. Cached and
+// preloaded configurations using the crosspoint are invalidated and the
+// pair's queued traffic is dropped.
+func (r *run) onCrosspointDead(in, out int) {
+	if r.sched.Connected(in, out) {
+		r.sched.Evict(in, out)
+		r.reschedules++
+		if r.pred != nil {
+			r.pred.OnRelease(topology.Conn{Src: in, Dst: out})
+		}
+	}
+	r.reqView.Clear(in, out)
+	r.specReq.Clear(in, out)
+	if r.pre != nil {
+		if r.pre.breakConn(topology.Conn{Src: in, Dst: out}) {
+			r.preloadFallbacks++
+			r.ensureDynamicFallback()
+		}
+	}
+	r.dropPair(in, out)
+}
+
+// retireQueued unwinds the queue bookkeeping for n messages leaving the
+// u->v queue without delivery; when the queue drains it clears the request
+// wire and the preloader's pending count, exactly as completeMessage does.
+func (r *run) retireQueued(u, v, n int) {
+	if n == 0 || r.queued[u][v] == 0 {
+		return
+	}
+	r.queued[u][v] -= n
+	if r.queued[u][v] < 0 {
+		r.fail(fmt.Errorf("tdm: queue count for %d->%d went negative", u, v))
+		r.queued[u][v] = 0
+		return
+	}
+	if r.queued[u][v] == 0 {
+		r.setRequestWire(u, v, false)
+		if r.pre != nil {
+			r.pre.pendingDown(topology.Conn{Src: u, Dst: v})
+		}
+	}
+}
+
+// dropPair drops every message queued from u toward v — the bulk-drop path
+// when the pair becomes permanently unreachable.
+func (r *run) dropPair(u, v int) {
+	msgs := r.driver.Buffers[u].DrainFor(v)
+	if len(msgs) == 0 {
+		return
+	}
+	r.retireQueued(u, v, len(msgs))
+	for _, m := range msgs {
+		r.driver.Drop(m)
+	}
+}
+
+// ensureDynamicFallback guarantees at least one dynamically scheduled slot
+// and a running scheduling-logic clock, so traffic orphaned by a broken
+// preloaded configuration can still be served. In pure Preload mode this
+// releases one pinned slot back to the scheduler and starts the SL ticker —
+// the graceful-degradation path; in Hybrid mode dynamic slots already exist
+// and this is a no-op.
+func (r *run) ensureDynamicFallback() {
+	if r.sched.DynamicSlotCount() == 0 {
+		if r.pre == nil || !r.pre.releaseSlot() {
+			return
+		}
+	}
+	if r.slTicker == nil {
+		r.slTicker = r.eng.NewTicker(r.sched.PassLatency(), "tdm-sl-pass", r.onSLPass)
+		r.slTicker.Start()
+	}
 }

@@ -24,6 +24,7 @@ package voq
 import (
 	"fmt"
 
+	"pmsnet/internal/fault"
 	"pmsnet/internal/link"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
@@ -46,6 +47,10 @@ type Config struct {
 	Link link.Model
 	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
 	Horizon sim.Time
+	// Faults, when non-nil and active, injects link failures and corrupted
+	// cells per the plan; nil leaves the run bit-identical to a fault-free
+	// one.
+	Faults *fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +132,14 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	inj, err := fault.NewInjector(n.cfg.Faults, eng, n.cfg.N)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if inj != nil {
+		driver.AttachFaults(inj)
+		inj.Start()
+	}
 	r.ticker = eng.NewTicker(r.cellTime, "voq-cell", r.onCell)
 	// The first cell slot starts after one input-pipe latency (cells must
 	// reach the switch) plus one cell time of pipelined arbitration.
@@ -214,7 +227,7 @@ func (r *run) onCell() {
 		if done != nil {
 			deliverAt := slotStart + r.cellTime + r.outPipe
 			m := done
-			r.eng.At(deliverAt, "voq-deliver", func() { r.driver.Deliver(m) })
+			r.eng.At(deliverAt, "voq-deliver", func() { r.driver.Arrive(m) })
 		}
 	}
 	if used {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"pmsnet/internal/fabric"
+	"pmsnet/internal/fault"
 	"pmsnet/internal/link"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
@@ -55,6 +56,10 @@ type Config struct {
 	Link link.Model
 	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
 	Horizon sim.Time
+	// Faults, when non-nil and active, injects link failures and corrupted
+	// worms per the plan; nil leaves the run bit-identical to a fault-free
+	// one.
+	Faults *fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +146,14 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	inj, err := fault.NewInjector(n.cfg.Faults, eng, n.cfg.N)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if inj != nil {
+		driver.AttachFaults(inj)
+		inj.Start()
+	}
 	driver.Start()
 	return driver.Finish(n.Name(), n.cfg.Horizon, metrics.NetStats{})
 }
@@ -240,7 +253,9 @@ func (r *run) kickOutput(v int) {
 			// Remaining path: switch output to destination NIC, plus the
 			// NIC's receive operation.
 			r.eng.After(r.outputPipe+nic.RecvOverhead, "deliver", func() {
-				r.driver.Deliver(w.msg)
+				// Arrive runs the end-to-end CRC/fault check; a failed
+				// check retransmits the whole message from the source.
+				r.driver.Arrive(w.msg)
 			})
 		}
 		waiting := r.waitingOnInput[u]

@@ -39,6 +39,7 @@ import (
 
 	"pmsnet/internal/circuit"
 	"pmsnet/internal/compiler"
+	"pmsnet/internal/fault"
 	"pmsnet/internal/meshnet"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
@@ -157,6 +158,15 @@ type Config struct {
 	// controller decomposes working sets under the same constraint. N must
 	// be a power of two.
 	OmegaFabric bool
+	// Faults, when non-nil and active, injects faults per the plan: link
+	// failures (MTBF/MTTR or scripted), corrupted payloads caught by the
+	// receiving NIC's CRC, lost scheduler request/grant tokens and dead
+	// crossbar crosspoints. Recovery is automatic (retries with exponential
+	// backoff, rescheduling around dead hardware, preload fallback to
+	// dynamic slots) and accounted in the Report's Faults block. A nil or
+	// inactive plan leaves every run bit-identical to the fault-free
+	// simulation. Build plans directly or with ParseFaults.
+	Faults *fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -195,23 +205,26 @@ func (c Config) predictorFactory() (func() predictor.Predictor, error) {
 // network builds the internal model for a configuration.
 func (c Config) network() (netmodel.Network, error) {
 	c = c.withDefaults()
+	if err := c.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	switch c.Switching {
 	case Wormhole:
-		return wormhole.New(wormhole.Config{N: c.N})
+		return wormhole.New(wormhole.Config{N: c.N, Faults: c.Faults})
 	case CircuitSwitching:
-		return circuit.New(circuit.Config{N: c.N})
+		return circuit.New(circuit.Config{N: c.N, Faults: c.Faults})
 	case VOQISLIP:
-		return voq.New(voq.Config{N: c.N})
+		return voq.New(voq.Config{N: c.N, Faults: c.Faults})
 	case MeshWormhole:
-		return meshnet.NewWormhole(meshnet.WormholeConfig{N: c.N})
+		return meshnet.NewWormhole(meshnet.WormholeConfig{N: c.N, Faults: c.Faults})
 	case MeshTDM:
-		return meshnet.NewTDM(meshnet.TDMConfig{N: c.N, K: c.K})
+		return meshnet.NewTDM(meshnet.TDMConfig{N: c.N, K: c.K, Faults: c.Faults})
 	case DynamicTDM, PreloadTDM, HybridTDM:
 		pf, err := c.predictorFactory()
 		if err != nil {
 			return nil, err
 		}
-		cfg := tdm.Config{N: c.N, K: c.K, NewPredictor: pf, AmplifyBytes: c.AmplifyBytes}
+		cfg := tdm.Config{N: c.N, K: c.K, NewPredictor: pf, AmplifyBytes: c.AmplifyBytes, Faults: c.Faults}
 		if c.OmegaFabric {
 			cfg.Fabric = tdm.OmegaFabric
 		}
@@ -277,6 +290,38 @@ type Report struct {
 	Released        uint64
 	Evictions       uint64
 	Preloads        uint64
+
+	// Faults carries the fault-injection and recovery accounting; nil when
+	// the run had no active fault plan.
+	Faults *FaultReport
+}
+
+// FaultReport is the fault-injection and recovery accounting of a run with
+// an active fault plan. The message accounting is exact: every injected
+// message is delivered (possibly after retries) or explicitly dropped, so
+// Injected == Delivered + Dropped always holds.
+type FaultReport struct {
+	// Injected-fault tallies.
+	LinkFailures     uint64
+	LinkRepairs      uint64
+	CrosspointDeaths uint64
+	Corrupted        uint64
+	RequestsLost     uint64
+	GrantsLost       uint64
+
+	// Recovery tallies.
+	Retries          uint64
+	Reschedules      uint64
+	PreloadFallbacks uint64
+	MaskedGrants     uint64
+
+	// Message accounting.
+	Injected  uint64
+	Delivered uint64
+	Dropped   uint64
+
+	// DegradedTime is the simulated time with at least one fault active.
+	DegradedTime time.Duration
 }
 
 func toReport(r metrics.Result) Report {
@@ -302,8 +347,38 @@ func toReport(r metrics.Result) Report {
 		Released:         r.Stats.Released,
 		Evictions:        r.Stats.Evictions,
 		Preloads:         r.Stats.Preloads,
+		Faults:           toFaultReport(r.Stats.Faults),
 	}
 }
+
+func toFaultReport(f metrics.FaultStats) *FaultReport {
+	if !f.Enabled {
+		return nil
+	}
+	return &FaultReport{
+		LinkFailures:     f.LinkFailures,
+		LinkRepairs:      f.LinkRepairs,
+		CrosspointDeaths: f.CrosspointDeaths,
+		Corrupted:        f.Corrupted,
+		RequestsLost:     f.RequestsLost,
+		GrantsLost:       f.GrantsLost,
+		Retries:          f.Retries,
+		Reschedules:      f.Reschedules,
+		PreloadFallbacks: f.PreloadFallbacks,
+		MaskedGrants:     f.MaskedGrants,
+		Injected:         f.Injected,
+		Delivered:        f.Delivered,
+		Dropped:          f.Dropped,
+		DegradedTime:     time.Duration(f.DegradedTime),
+	}
+}
+
+// ParseFaults parses a fault-plan spec string (the cmd/pmsim --faults
+// syntax) into a plan usable in Config.Faults. The spec is a comma- or
+// space-separated list of key=value items, e.g.
+// "seed=7,mtbf=1ms,mttr=10us,corrupt=0.001,link=3@50us+20us,xpoint=1:2@80us".
+// An empty spec returns an inactive plan.
+func ParseFaults(spec string) (*fault.Plan, error) { return fault.Parse(spec) }
 
 // Run simulates the workload on the configured network to completion.
 func Run(cfg Config, wl *Workload) (Report, error) {
