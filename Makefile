@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz figures clean
+.PHONY: all build test check vet race fuzz bench figures clean
 
 all: build test
 
@@ -21,6 +21,17 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Full benchmark suite with allocation stats, captured as machine-readable
+# JSON (name -> iterations, ns/op, allocs/op and custom metrics) alongside
+# the usual text output. The default 1s benchtime gives the engine
+# microbenches real iteration counts (the harness benches exceed it in one
+# iteration and run once either way); BENCHTIME=1x does a fastest-possible
+# smoke pass.
+BENCHTIME ?= 1s
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson -o BENCH_1.json
 
 # Short fuzzing passes over the text-format parsers.
 fuzz:

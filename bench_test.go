@@ -67,9 +67,8 @@ func BenchmarkFig5Hybrid(b *testing.B) {
 	}
 	logTableOnce(b, "fig5", experiments.Fig5Table(rows).String())
 	for _, row := range rows {
-		for k, res := range row.Results {
+		for _, res := range row.Results {
 			b.ReportMetric(res.Efficiency, res.Network[len("tdm-hybrid/"):]+"-eff")
-			_ = k
 		}
 	}
 }

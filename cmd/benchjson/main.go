@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON. It reads the benchmark output on stdin, echoes every line to stdout
+// unchanged (so it can sit at the end of a pipe without hiding progress), and
+// writes a JSON document mapping each benchmark to its iteration count and
+// metrics — ns/op, B/op, allocs/op and any custom units reported with
+// b.ReportMetric, such as the figure harnesses' per-network efficiencies.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the trailing -GOMAXPROCS suffix
+	// stripped, so keys stay stable across machines.
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value: "ns/op", "B/op", "allocs/op" and any
+	// custom ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here (default stdout, after the echoed input)")
+	flag.Parse()
+
+	benches, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := json.MarshalIndent(map[string]any{"benchmarks": benches}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(benches), *out)
+}
+
+// parse scans `go test -bench` output, copying every line to echo and
+// collecting the result lines. A result line is
+//
+//	BenchmarkName-8   1234   56.7 ns/op   0 B/op   0 allocs/op   0.95 some-eff
+//
+// i.e. name, iteration count, then (value, unit) pairs. Non-benchmark lines
+// (table logs, PASS/ok, compile noise) are passed through untouched.
+func parse(r io.Reader, echo io.Writer) ([]Benchmark, error) {
+	var benches []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		if b, ok := parseLine(line); ok {
+			benches = append(benches, b)
+		}
+	}
+	return benches, sc.Err()
+}
+
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Shortest real result line: name, iterations, value, unit.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: stripProcs(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix the testing package
+// appends to benchmark names.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+BenchmarkEngineScheduleFire-8   	41821126	        28.31 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig5Hybrid-8   	       1	  12345678 ns/op	         0.950 k=1-eff	         0.870 k=2-eff
+Benchmark output that is not a result line
+PASS
+ok  	pmsnet	1.234s
+`
+	var echoed strings.Builder
+	benches, err := parse(strings.NewReader(in), &echoed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echoed.String() != in {
+		t.Error("input was not echoed verbatim")
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	eng := benches[0]
+	if eng.Name != "BenchmarkEngineScheduleFire" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", eng.Name)
+	}
+	if eng.Iterations != 41821126 {
+		t.Errorf("iterations = %d", eng.Iterations)
+	}
+	if eng.Metrics["ns/op"] != 28.31 || eng.Metrics["allocs/op"] != 0 {
+		t.Errorf("metrics = %v", eng.Metrics)
+	}
+	fig5 := benches[1]
+	if fig5.Metrics["k=1-eff"] != 0.95 || fig5.Metrics["k=2-eff"] != 0.87 {
+		t.Errorf("custom ReportMetric units not parsed: %v", fig5.Metrics)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkOddFieldCount-8 100 5.0 ns/op trailing",
+		"BenchmarkNoIterations-8 fast 5.0 ns/op",
+		"BenchmarkTooShort-8 100",
+		"not a benchmark at all",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted malformed input", line)
+		}
+	}
+}

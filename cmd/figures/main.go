@@ -11,7 +11,15 @@
 //	figures -fig5      # only Figure 5
 //	figures -table3    # only Table 3
 //	figures -ablations # only the ablations
+//	figures -faults    # only the fault-injection robustness sweep
 //	figures -quick     # reduced size sweep for a fast look
+//	figures -j 8       # run up to 8 simulations in parallel
+//
+// Parallel runs (-j, default GOMAXPROCS; -j 1 forces serial) produce
+// byte-identical tables: every simulation is a pure function of its inputs
+// and the sweep harness collects results by point index. -progress writes
+// per-point completion lines (with wall times) to stderr, leaving stdout as
+// table output only.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"path/filepath"
 
 	"pmsnet/internal/experiments"
+	"pmsnet/internal/runner"
 	"pmsnet/internal/traffic"
 )
 
@@ -34,9 +43,18 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced sweeps for a fast look")
 		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
 		seed      = flag.Int64("seed", 1, "workload random seed")
+		jobs      = flag.Int("j", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
+		progress  = flag.Bool("progress", false, "report per-point completion and wall time on stderr")
 	)
 	flag.Parse()
 	all := !*fig4 && !*fig5 && !*table3 && !*ablations && !*faults
+
+	ex := experiments.Exec{Parallelism: *jobs}
+	if *progress {
+		ex.OnPoint = func(p runner.Point) {
+			fmt.Fprintf(os.Stderr, "point %d done in %v\n", p.Index, p.Wall)
+		}
+	}
 
 	if all || *table3 {
 		rows := experiments.Table3(0)
@@ -53,7 +71,7 @@ func main() {
 			sizes = []int{8, 64, 512}
 		}
 		for _, panel := range experiments.Panels() {
-			rows, err := experiments.Fig4Panel(panel, experiments.N, sizes, *seed)
+			rows, err := experiments.Fig4PanelExec(ex, panel, experiments.N, sizes, *seed)
 			if err != nil {
 				fatal(err)
 			}
@@ -70,7 +88,7 @@ func main() {
 		if *quick {
 			dets = []float64{0.5, 0.85, 1.0}
 		}
-		rows, err := experiments.Fig5(experiments.N, dets, 7)
+		rows, err := experiments.Fig5Exec(ex, experiments.N, dets, 7)
 		if err != nil {
 			fatal(err)
 		}
@@ -82,7 +100,7 @@ func main() {
 		}
 	}
 	if all || *ablations {
-		runAblations(*seed)
+		runAblations(ex, *seed)
 	}
 	if all || *faults {
 		n := experiments.N
@@ -90,7 +108,7 @@ func main() {
 		if *quick {
 			levels = levels[:3]
 		}
-		rows, err := experiments.FaultSweep(n, traffic.RandomMesh(n, 64, experiments.MeshMsgs, *seed), levels)
+		rows, err := experiments.FaultSweepExec(ex, n, traffic.RandomMesh(n, 64, experiments.MeshMsgs, *seed), levels)
 		if err != nil {
 			fatal(err)
 		}
@@ -98,42 +116,42 @@ func main() {
 	}
 }
 
-func runAblations(seed int64) {
+func runAblations(ex experiments.Exec, seed int64) {
 	n := experiments.N
 	mesh := traffic.RandomMesh(n, 64, experiments.MeshMsgs, seed)
 
-	pred, err := experiments.PredictorAblation(n, mesh)
+	pred, err := experiments.PredictorAblationExec(ex, n, mesh)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Ablation: eviction predictors (random mesh, 64B)", pred))
 
-	deg, err := experiments.DegreeSweep(n, []int{1, 2, 4, 8, 16}, mesh)
+	deg, err := experiments.DegreeSweepExec(ex, n, []int{1, 2, 4, 8, 16}, mesh)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Ablation: multiplexing degree K (random mesh, 64B)", deg))
 
-	degSparse, err := experiments.DegreeSweep(n, []int{1, 2, 3, 4, 8},
+	degSparse, err := experiments.DegreeSweepExec(ex, n, []int{1, 2, 3, 4, 8},
 		traffic.Mix(n, 64, experiments.Fig5Msgs, 1.0, experiments.Fig5Think, 7))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Ablation: multiplexing degree K (sparse deterministic, degree-2 working set)", degSparse))
 
-	rot, err := experiments.RotationAblation(n, mesh)
+	rot, err := experiments.RotationAblationExec(ex, n, mesh)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Ablation: priority rotation (random mesh, 64B)", rot))
 
-	skip, err := experiments.SkipEmptyAblation(n, 8, traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4))
+	skip, err := experiments.SkipEmptyAblationExec(ex, n, 8, traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Ablation: TDM-counter empty-slot skipping (ordered mesh, K=8)", skip))
 
-	sl, err := experiments.SLCopiesSweep(n, []int{1, 2, 4}, traffic.AllToAll(n, 64))
+	sl, err := experiments.SLCopiesSweepExec(ex, n, []int{1, 2, 4}, traffic.AllToAll(n, 64))
 	if err != nil {
 		fatal(err)
 	}
@@ -151,25 +169,25 @@ func runAblations(seed int64) {
 	}
 	fmt.Println()
 
-	amp, err := experiments.AmplifyAblation(n, traffic.Hotspot(n, 64, experiments.MeshMsgs, 2048, 50, seed))
+	amp, err := experiments.AmplifyAblationExec(ex, n, traffic.Hotspot(n, 64, experiments.MeshMsgs, 2048, 50, seed))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Extension 2: bandwidth amplification (hotspot)", amp))
 
-	pre, err := experiments.PrefetchAblation(n, experiments.CyclicWorkload(n, 8, 8, 1200))
+	pre, err := experiments.PrefetchAblationExec(ex, n, experiments.CyclicWorkload(n, 8, 8, 1200))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Prefetching predictor (cyclic traffic, 1.2us gaps)", pre))
 
-	pay, err := experiments.PayloadSweep(n, []int{32, 48, 64, 72, 80}, traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4))
+	pay, err := experiments.PayloadSweepExec(ex, n, []int{32, 48, 64, 72, 80}, traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Slot payload (guard-band complement) sweep", pay))
 
-	fab, err := experiments.FabricComparison(n, []*traffic.Workload{
+	fab, err := experiments.FabricComparisonExec(ex, n, []*traffic.Workload{
 		traffic.OrderedMesh(n, 64, 1),
 		traffic.AllToAll(n, 64),
 		traffic.RandomMesh(n, 64, 10, seed),
@@ -179,7 +197,7 @@ func runAblations(seed int64) {
 	}
 	fmt.Println(experiments.FabricTable(fab))
 
-	omega, err := experiments.OmegaFabricStudy(n, []*traffic.Workload{
+	omega, err := experiments.OmegaFabricStudyExec(ex, n, []*traffic.Workload{
 		traffic.Shift(n, 64, experiments.MeshMsgs, 1),
 		traffic.BitReverse(n, 64, experiments.MeshMsgs),
 	})
@@ -192,7 +210,7 @@ func runAblations(seed int64) {
 		traffic.RandomMesh(n, 64, experiments.MeshMsgs, seed),
 		traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4),
 	} {
-		mb, err := experiments.ModernBaseline(n, wl)
+		mb, err := experiments.ModernBaselineExec(ex, n, wl)
 		if err != nil {
 			fatal(err)
 		}
@@ -202,14 +220,14 @@ func runAblations(seed int64) {
 
 	// The transpose permutation needs a square grid; run it on 100 routers
 	// (10x10) next to the 128-processor ordered mesh.
-	mh, err := experiments.MultiHopStudy(n, []*traffic.Workload{
+	mh, err := experiments.MultiHopStudyExec(ex, n, []*traffic.Workload{
 		traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4),
 	})
 	if err != nil {
 		fatal(err)
 	}
 	transpose := traffic.Transpose(100, 64, experiments.MeshMsgs)
-	mh2, err := experiments.MultiHopStudy(100, []*traffic.Workload{
+	mh2, err := experiments.MultiHopStudyExec(ex, 100, []*traffic.Workload{
 		transpose,
 		experiments.SparsePermutation(transpose, 2000),
 	})

@@ -5,9 +5,16 @@
 //
 //	pmsim -net tdm-dynamic -pattern random-mesh -n 128 -size 64 -k 4
 //	pmsim -net wormhole -trace workload.pms
+//	pmsim -net tdm-dynamic -pattern random-mesh -seeds 16 -parallel 8
 //
 // Networks: wormhole, circuit, tdm-dynamic, tdm-preload, tdm-hybrid.
 // Patterns: scatter, ordered-mesh, random-mesh, all-to-all, two-phase, mix.
+//
+// Multi-run mode (-seeds N) repeats the pattern at seeds seed..seed+N-1 and
+// prints one summary line per seed plus the aggregate. -parallel bounds how
+// many of those simulations run concurrently (0 = GOMAXPROCS, 1 = serial);
+// output is identical either way, since every run is deterministic and
+// results are collected in seed order.
 package main
 
 import (
@@ -39,6 +46,8 @@ func main() {
 		hist     = flag.Bool("hist", false, "print the latency histogram")
 		faults   = flag.String("faults", "", "fault plan, e.g. 'seed=7,mtbf=1ms,mttr=10us,corrupt=0.001,link=3@50us+20us,xpoint=1:2@80us'")
 		seed     = flag.Int64("seed", 1, "workload random seed")
+		seeds    = flag.Int("seeds", 1, "multi-run mode: repeat the pattern at this many consecutive seeds")
+		parallel = flag.Int("parallel", 0, "concurrent runs in multi-run mode (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -52,12 +61,23 @@ func main() {
 	}
 	cfg.AmplifyBytes = *amplify
 	cfg.OmegaFabric = *omega
+	cfg.Parallelism = *parallel
 	if *faults != "" {
 		plan, err := pmsnet.ParseFaults(*faults)
 		if err != nil {
 			fatal(err)
 		}
 		cfg.Faults = plan
+	}
+
+	if *seeds > 1 {
+		if *tracePth != "" {
+			fatal(fmt.Errorf("-seeds varies the workload seed and cannot be combined with -trace"))
+		}
+		if err := runSeeds(cfg, *pattern, *n, *size, *msgs, *rounds, *det, *think, *seed, *seeds); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	rep, err := pmsnet.Run(cfg, wl)
@@ -87,6 +107,47 @@ func main() {
 	if *hist {
 		fmt.Printf("latency histogram:\n%s", rep.LatencyHistogram)
 	}
+}
+
+// runSeeds is the multi-run mode: the same configuration and pattern at
+// `count` consecutive seeds, fanned out through pmsnet.RunMany, with a
+// per-seed summary line and the aggregate efficiency statistics.
+func runSeeds(cfg pmsnet.Config, pattern string, n, size, msgs, rounds int, det float64, think time.Duration, seed int64, count int) error {
+	wls := make([]*pmsnet.Workload, count)
+	for i := range wls {
+		wl, err := buildWorkload(pattern, "", n, size, msgs, rounds, det, think, seed+int64(i))
+		if err != nil {
+			return err
+		}
+		wls[i] = wl
+	}
+	start := time.Now()
+	reps, err := pmsnet.RunMany(cfg, wls)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("network:     %s\n", reps[0].Network)
+	fmt.Printf("workload:    %s x %d seeds (%d..%d)\n", pattern, count, seed, seed+int64(count)-1)
+	minEff, maxEff, sumEff := reps[0].Efficiency, reps[0].Efficiency, 0.0
+	var sumMakespan time.Duration
+	for i, rep := range reps {
+		fmt.Printf("seed %-6d efficiency %.3f  makespan %-12v p95 %v\n",
+			seed+int64(i), rep.Efficiency, rep.Makespan, rep.LatencyP95)
+		if rep.Efficiency < minEff {
+			minEff = rep.Efficiency
+		}
+		if rep.Efficiency > maxEff {
+			maxEff = rep.Efficiency
+		}
+		sumEff += rep.Efficiency
+		sumMakespan += rep.Makespan
+	}
+	fmt.Printf("aggregate:   efficiency mean %.3f min %.3f max %.3f  makespan mean %v\n",
+		sumEff/float64(count), minEff, maxEff, sumMakespan/time.Duration(count))
+	fmt.Fprintf(os.Stderr, "ran %d simulations in %v (parallelism %d)\n", count, wall.Round(time.Millisecond), cfg.Parallelism)
+	return nil
 }
 
 func buildWorkload(pattern, tracePath string, n, size, msgs, rounds int, det float64, think time.Duration, seed int64) (*pmsnet.Workload, error) {

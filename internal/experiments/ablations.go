@@ -22,12 +22,44 @@ type NamedResult struct {
 	Result metrics.Result
 }
 
+// tdmCase is one point of a TDM-configuration ablation: a label and the
+// configuration it stands for.
+type tdmCase struct {
+	label string
+	cfg   tdm.Config
+}
+
+// runTDMCases runs one workload through each configuration, fanning the
+// points out through the executor — the shared backbone of the ablation
+// sweeps. Each point constructs its own network from the (read-only) case
+// config, so points share nothing but the workload, which runs never
+// mutate.
+func runTDMCases(ex Exec, wl *traffic.Workload, cases []tdmCase) ([]NamedResult, error) {
+	return sweep(ex, len(cases), func(i int) (NamedResult, error) {
+		c := cases[i]
+		nw, err := tdm.New(c.cfg)
+		if err != nil {
+			return NamedResult{}, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return NamedResult{}, fmt.Errorf("experiments: %s on %s: %w", c.label, wl.Name, err)
+		}
+		return NamedResult{Label: c.label, Result: res}, nil
+	})
+}
+
 // PredictorAblation runs dynamic TDM over one workload under each eviction
 // policy: pure reactive release (no latching), the paper's timeout, the
 // counter predictor, never-evict, and the clairvoyant oracle.
 func PredictorAblation(n int, wl *traffic.Workload) ([]NamedResult, error) {
+	return PredictorAblationExec(Serial, n, wl)
+}
+
+// PredictorAblationExec is PredictorAblation with an explicit executor.
+func PredictorAblationExec(ex Exec, n int, wl *traffic.Workload) ([]NamedResult, error) {
 	uses := connUses(wl)
-	cases := []struct {
+	preds := []struct {
 		label string
 		pred  func() predictor.Predictor
 	}{
@@ -37,19 +69,11 @@ func PredictorAblation(n int, wl *traffic.Workload) ([]NamedResult, error) {
 		{"counter(8)", func() predictor.Predictor { return predictor.NewCounter(8) }},
 		{"oracle", func() predictor.Predictor { return predictor.NewOracle(uses) }},
 	}
-	var out []NamedResult
-	for _, c := range cases {
-		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, NewPredictor: c.pred})
-		if err != nil {
-			return nil, err
-		}
-		res, err := nw.Run(wl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: predictor %q: %w", c.label, err)
-		}
-		out = append(out, NamedResult{Label: c.label, Result: res})
+	cases := make([]tdmCase, len(preds))
+	for i, p := range preds {
+		cases[i] = tdmCase{label: p.label, cfg: tdm.Config{N: n, K: Fig4K, NewPredictor: p.pred}}
 	}
-	return out, nil
+	return runTDMCases(ex, wl, cases)
 }
 
 // connUses counts messages per connection — the oracle's plan.
@@ -74,20 +98,17 @@ func connUses(wl *traffic.Workload) map[topology.Conn]int {
 // trade-off the paper states in §2 — each connection gets 1/k of the link
 // bandwidth — so K far above the working-set degree wastes bandwidth too.
 func DegreeSweep(n int, ks []int, wl *traffic.Workload) ([]NamedResult, error) {
-	var out []NamedResult
-	for _, k := range ks {
-		nw, err := tdm.New(tdm.Config{N: n, K: k,
-			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) }})
-		if err != nil {
-			return nil, err
-		}
-		res, err := nw.Run(wl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: K=%d: %w", k, err)
-		}
-		out = append(out, NamedResult{Label: fmt.Sprintf("K=%d", k), Result: res})
+	return DegreeSweepExec(Serial, n, ks, wl)
+}
+
+// DegreeSweepExec is DegreeSweep with an explicit executor.
+func DegreeSweepExec(ex Exec, n int, ks []int, wl *traffic.Workload) ([]NamedResult, error) {
+	cases := make([]tdmCase, len(ks))
+	for i, k := range ks {
+		cases[i] = tdmCase{label: fmt.Sprintf("K=%d", k), cfg: tdm.Config{N: n, K: k,
+			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) }}}
 	}
-	return out, nil
+	return runTDMCases(ex, wl, cases)
 }
 
 // RotationAblation compares rotating vs fixed scheduling priority on a
@@ -95,20 +116,18 @@ func DegreeSweep(n int, ks []int, wl *traffic.Workload) ([]NamedResult, error) {
 // high-numbered ones. It reports per-configuration results; the interesting
 // output is the p95 latency spread.
 func RotationAblation(n int, wl *traffic.Workload) ([]NamedResult, error) {
-	var out []NamedResult
+	return RotationAblationExec(Serial, n, wl)
+}
+
+// RotationAblationExec is RotationAblation with an explicit executor.
+func RotationAblationExec(ex Exec, n int, wl *traffic.Workload) ([]NamedResult, error) {
+	var cases []tdmCase
 	for _, rot := range []bool{false, true} {
 		rot := rot
-		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, RotatePriority: &rot})
-		if err != nil {
-			return nil, err
-		}
-		res, err := nw.Run(wl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: rotate=%v: %w", rot, err)
-		}
-		out = append(out, NamedResult{Label: fmt.Sprintf("rotate=%v", rot), Result: res})
+		cases = append(cases, tdmCase{label: fmt.Sprintf("rotate=%v", rot),
+			cfg: tdm.Config{N: n, K: Fig4K, RotatePriority: &rot}})
 	}
-	return out, nil
+	return runTDMCases(ex, wl, cases)
 }
 
 // SkipEmptyAblation compares the TDM counter with and without empty-slot
@@ -117,38 +136,33 @@ func RotationAblation(n int, wl *traffic.Workload) ([]NamedResult, error) {
 // configurations and allows the scheduler to reduce the multiplexing
 // degrees").
 func SkipEmptyAblation(n, k int, wl *traffic.Workload) ([]NamedResult, error) {
-	var out []NamedResult
+	return SkipEmptyAblationExec(Serial, n, k, wl)
+}
+
+// SkipEmptyAblationExec is SkipEmptyAblation with an explicit executor.
+func SkipEmptyAblationExec(ex Exec, n, k int, wl *traffic.Workload) ([]NamedResult, error) {
+	var cases []tdmCase
 	for _, skip := range []bool{false, true} {
 		skip := skip
-		nw, err := tdm.New(tdm.Config{N: n, K: k, SkipEmptySlots: &skip})
-		if err != nil {
-			return nil, err
-		}
-		res, err := nw.Run(wl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: skip=%v: %w", skip, err)
-		}
-		out = append(out, NamedResult{Label: fmt.Sprintf("skip-empty=%v", skip), Result: res})
+		cases = append(cases, tdmCase{label: fmt.Sprintf("skip-empty=%v", skip),
+			cfg: tdm.Config{N: n, K: k, SkipEmptySlots: &skip}})
 	}
-	return out, nil
+	return runTDMCases(ex, wl, cases)
 }
 
 // SLCopiesSweep measures extension 1 (multiple scheduling-logic units) on a
 // scheduler-bound workload.
 func SLCopiesSweep(n int, copies []int, wl *traffic.Workload) ([]NamedResult, error) {
-	var out []NamedResult
-	for _, c := range copies {
-		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, SLCopies: c})
-		if err != nil {
-			return nil, err
-		}
-		res, err := nw.Run(wl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: SLCopies=%d: %w", c, err)
-		}
-		out = append(out, NamedResult{Label: fmt.Sprintf("sl-copies=%d", c), Result: res})
+	return SLCopiesSweepExec(Serial, n, copies, wl)
+}
+
+// SLCopiesSweepExec is SLCopiesSweep with an explicit executor.
+func SLCopiesSweepExec(ex Exec, n int, copies []int, wl *traffic.Workload) ([]NamedResult, error) {
+	cases := make([]tdmCase, len(copies))
+	for i, c := range copies {
+		cases[i] = tdmCase{label: fmt.Sprintf("sl-copies=%d", c), cfg: tdm.Config{N: n, K: Fig4K, SLCopies: c}}
 	}
-	return out, nil
+	return runTDMCases(ex, wl, cases)
 }
 
 // DecomposerRow compares the exact edge-coloring decomposer against the

@@ -84,30 +84,38 @@ func (p Panel) Workload(n, bytes int, seed int64) (*traffic.Workload, error) {
 	}
 }
 
+// fig4Builders returns one constructor per Figure-4 network, in legend
+// order: wormhole, circuit switching, dynamic TDM (K=4, time-out predictor)
+// and preload TDM (K=4). Sweep points build only their own network, so
+// nothing is shared between concurrently running points.
+func fig4Builders(n int) []func() (netmodel.Network, error) {
+	return []func() (netmodel.Network, error){
+		func() (netmodel.Network, error) { return wormhole.New(wormhole.Config{N: n}) },
+		func() (netmodel.Network, error) { return circuit.New(circuit.Config{N: n}) },
+		func() (netmodel.Network, error) {
+			return tdm.New(tdm.Config{
+				N: n, K: Fig4K,
+				NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) },
+			})
+		},
+		func() (netmodel.Network, error) { return tdm.New(tdm.Config{N: n, K: Fig4K, Mode: tdm.Preload}) },
+	}
+}
+
 // Fig4Networks returns the four networks of Figure 4 in legend order:
 // wormhole, circuit switching, dynamic TDM (K=4, time-out predictor) and
 // preload TDM (K=4).
 func Fig4Networks(n int) ([]netmodel.Network, error) {
-	wh, err := wormhole.New(wormhole.Config{N: n})
-	if err != nil {
-		return nil, err
+	builders := fig4Builders(n)
+	out := make([]netmodel.Network, 0, len(builders))
+	for _, build := range builders {
+		nw, err := build()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nw)
 	}
-	cs, err := circuit.New(circuit.Config{N: n})
-	if err != nil {
-		return nil, err
-	}
-	dyn, err := tdm.New(tdm.Config{
-		N: n, K: Fig4K,
-		NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) },
-	})
-	if err != nil {
-		return nil, err
-	}
-	pre, err := tdm.New(tdm.Config{N: n, K: Fig4K, Mode: tdm.Preload})
-	if err != nil {
-		return nil, err
-	}
-	return []netmodel.Network{wh, cs, dyn, pre}, nil
+	return out, nil
 }
 
 // SizeRow holds one Figure 4 x-axis point: the efficiency of each network at
@@ -118,30 +126,44 @@ type SizeRow struct {
 }
 
 // Fig4Panel regenerates one panel of Figure 4: for every message size, the
-// efficiency of each network.
+// efficiency of each network. It is the serial reference for
+// Fig4PanelExec.
 func Fig4Panel(p Panel, n int, sizes []int, seed int64) ([]SizeRow, error) {
+	return Fig4PanelExec(Serial, p, n, sizes, seed)
+}
+
+// Fig4PanelExec regenerates one Figure 4 panel with the sweep's points —
+// one (message size, network) pair each — fanned out through the executor.
+// Every point rebuilds its own workload and network from (p, n, size, seed),
+// so points share nothing and the assembled rows are bit-identical to a
+// serial run at any parallelism.
+func Fig4PanelExec(ex Exec, p Panel, n int, sizes []int, seed int64) ([]SizeRow, error) {
 	if len(sizes) == 0 {
 		sizes = Fig4Sizes()
 	}
-	rows := make([]SizeRow, 0, len(sizes))
-	for _, size := range sizes {
+	netCount := len(fig4Builders(n))
+	results, err := sweep(ex, len(sizes)*netCount, func(i int) (metrics.Result, error) {
+		size, net := sizes[i/netCount], i%netCount
 		wl, err := p.Workload(n, size, seed)
 		if err != nil {
-			return nil, err
+			return metrics.Result{}, err
 		}
-		nets, err := Fig4Networks(n)
+		nw, err := fig4Builders(n)[net]()
 		if err != nil {
-			return nil, err
+			return metrics.Result{}, err
 		}
-		row := SizeRow{Bytes: size}
-		for _, nw := range nets {
-			res, err := nw.Run(wl)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", nw.Name(), wl.Name, err)
-			}
-			row.Results = append(row.Results, res)
+		res, err := nw.Run(wl)
+		if err != nil {
+			return metrics.Result{}, fmt.Errorf("experiments: %s on %s: %w", nw.Name(), wl.Name, err)
 		}
-		rows = append(rows, row)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SizeRow, len(sizes))
+	for si, size := range sizes {
+		rows[si] = SizeRow{Bytes: size, Results: results[si*netCount : (si+1)*netCount]}
 	}
 	return rows, nil
 }
@@ -190,27 +212,40 @@ func Fig5Networks(n int) ([]netmodel.Network, error) {
 }
 
 // Fig5 regenerates Figure 5: preload/dynamic slot splits against traffic
-// determinism.
+// determinism. It is the serial reference for Fig5Exec.
 func Fig5(n int, dets []float64, seed int64) ([]Fig5Row, error) {
+	return Fig5Exec(Serial, n, dets, seed)
+}
+
+// Fig5Exec regenerates Figure 5 with the sweep's points — one (determinism
+// level, hybrid scheme) pair each — fanned out through the executor.
+func Fig5Exec(ex Exec, n int, dets []float64, seed int64) ([]Fig5Row, error) {
 	if len(dets) == 0 {
 		dets = Fig5Determinism()
 	}
-	rows := make([]Fig5Row, 0, len(dets))
-	for _, d := range dets {
+	const netCount = 3 // hybrid k = 0, 1, 2
+	results, err := sweep(ex, len(dets)*netCount, func(i int) (metrics.Result, error) {
+		d, k := dets[i/netCount], i%netCount
 		wl := traffic.Mix(n, Fig5Bytes, Fig5Msgs, d, Fig5Think, seed)
-		nets, err := Fig5Networks(n)
+		nw, err := tdm.New(tdm.Config{
+			N: n, K: Fig5K, Mode: tdm.Hybrid, PreloadSlots: k,
+			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig5Timeout) },
+		})
 		if err != nil {
-			return nil, err
+			return metrics.Result{}, err
 		}
-		row := Fig5Row{Determinism: d}
-		for _, nw := range nets {
-			res, err := nw.Run(wl)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s at d=%.2f: %w", nw.Name(), d, err)
-			}
-			row.Results = append(row.Results, res)
+		res, err := nw.Run(wl)
+		if err != nil {
+			return metrics.Result{}, fmt.Errorf("experiments: %s at d=%.2f: %w", nw.Name(), d, err)
 		}
-		rows = append(rows, row)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, len(dets))
+	for di, d := range dets {
+		rows[di] = Fig5Row{Determinism: d, Results: results[di*netCount : (di+1)*netCount]}
 	}
 	return rows, nil
 }

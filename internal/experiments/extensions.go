@@ -24,50 +24,44 @@ import (
 // amplification on a hotspot workload whose hot stream outruns a single
 // slot's share.
 func AmplifyAblation(n int, wl *traffic.Workload) ([]NamedResult, error) {
-	var out []NamedResult
+	return AmplifyAblationExec(Serial, n, wl)
+}
+
+// AmplifyAblationExec is AmplifyAblation with an explicit executor.
+func AmplifyAblationExec(ex Exec, n int, wl *traffic.Workload) ([]NamedResult, error) {
+	var cases []tdmCase
 	for _, amplify := range []int{0, 256} {
-		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, AmplifyBytes: amplify,
-			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) }})
-		if err != nil {
-			return nil, err
-		}
-		res, err := nw.Run(wl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: amplify=%d: %w", amplify, err)
-		}
 		label := "amplify=off"
 		if amplify > 0 {
 			label = fmt.Sprintf("amplify>%dB", amplify)
 		}
-		out = append(out, NamedResult{Label: label, Result: res})
+		cases = append(cases, tdmCase{label: label, cfg: tdm.Config{N: n, K: Fig4K, AmplifyBytes: amplify,
+			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) }}})
 	}
-	return out, nil
+	return runTDMCases(ex, wl, cases)
 }
 
 // PrefetchAblation compares the plain timeout predictor against the Markov
 // prefetching predictor on a workload with a learnable destination cycle
 // and inter-send compute gaps.
 func PrefetchAblation(n int, wl *traffic.Workload) ([]NamedResult, error) {
-	cases := []struct {
+	return PrefetchAblationExec(Serial, n, wl)
+}
+
+// PrefetchAblationExec is PrefetchAblation with an explicit executor.
+func PrefetchAblationExec(ex Exec, n int, wl *traffic.Workload) ([]NamedResult, error) {
+	preds := []struct {
 		label string
 		pred  func() predictor.Predictor
 	}{
 		{"timeout(2us)", func() predictor.Predictor { return predictor.NewTimeout(2000) }},
 		{"markov-prefetch(2us)", func() predictor.Predictor { return predictor.NewMarkov(2000, 1) }},
 	}
-	var out []NamedResult
-	for _, c := range cases {
-		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, NewPredictor: c.pred})
-		if err != nil {
-			return nil, err
-		}
-		res, err := nw.Run(wl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", c.label, err)
-		}
-		out = append(out, NamedResult{Label: c.label, Result: res})
+	cases := make([]tdmCase, len(preds))
+	for i, p := range preds {
+		cases[i] = tdmCase{label: p.label, cfg: tdm.Config{N: n, K: Fig4K, NewPredictor: p.pred}}
 	}
-	return out, nil
+	return runTDMCases(ex, wl, cases)
 }
 
 // CyclicWorkload builds the prefetch ablation's traffic: every processor
@@ -107,19 +101,17 @@ func CyclicWorkload(n, bytes, cycles int, gap sim.Time) *traffic.Workload {
 // A larger guard band wastes line rate; the sweep quantifies the
 // sensitivity.
 func PayloadSweep(n int, payloads []int, wl *traffic.Workload) ([]NamedResult, error) {
-	var out []NamedResult
-	for _, p := range payloads {
-		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, Mode: tdm.Preload, PayloadBytes: p})
-		if err != nil {
-			return nil, err
-		}
-		res, err := nw.Run(wl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: payload=%d: %w", p, err)
-		}
-		out = append(out, NamedResult{Label: fmt.Sprintf("payload=%dB", p), Result: res})
+	return PayloadSweepExec(Serial, n, payloads, wl)
+}
+
+// PayloadSweepExec is PayloadSweep with an explicit executor.
+func PayloadSweepExec(ex Exec, n int, payloads []int, wl *traffic.Workload) ([]NamedResult, error) {
+	cases := make([]tdmCase, len(payloads))
+	for i, p := range payloads {
+		cases[i] = tdmCase{label: fmt.Sprintf("payload=%dB", p),
+			cfg: tdm.Config{N: n, K: Fig4K, Mode: tdm.Preload, PayloadBytes: p}}
 	}
-	return out, nil
+	return runTDMCases(ex, wl, cases)
 }
 
 // SeedStats summarizes a metric across seeds.
@@ -131,16 +123,27 @@ type SeedStats struct {
 // SeedSweep runs fn for every seed and aggregates the efficiencies —
 // the robustness check that single-seed figures are representative.
 func SeedSweep(seeds []int64, fn func(seed int64) (metrics.Result, error)) (SeedStats, error) {
+	return SeedSweepExec(Serial, seeds, fn)
+}
+
+// SeedSweepExec is SeedSweep with an explicit executor: seeds run
+// independently, and the aggregation consumes them in seed order, so the
+// statistics are identical at any parallelism. fn must be safe for
+// concurrent calls when the executor is parallel (the harness closures in
+// this package all are: each call builds its own workload and network).
+func SeedSweepExec(ex Exec, seeds []int64, fn func(seed int64) (metrics.Result, error)) (SeedStats, error) {
 	if len(seeds) == 0 {
 		return SeedStats{}, fmt.Errorf("experiments: no seeds")
 	}
-	var values []float64
-	for _, s := range seeds {
-		res, err := fn(s)
+	values, err := sweep(ex, len(seeds), func(i int) (float64, error) {
+		res, err := fn(seeds[i])
 		if err != nil {
-			return SeedStats{}, fmt.Errorf("experiments: seed %d: %w", s, err)
+			return 0, fmt.Errorf("experiments: seed %d: %w", seeds[i], err)
 		}
-		values = append(values, res.Efficiency)
+		return res.Efficiency, nil
+	})
+	if err != nil {
+		return SeedStats{}, err
 	}
 	st := SeedStats{Seeds: len(values), Min: values[0], Max: values[0]}
 	var sum float64
@@ -169,26 +172,31 @@ func SeedSweep(seeds []int64, fn func(seed int64) (metrics.Result, error)) (Seed
 // wormhole, iSLIP, dynamic TDM (paper config) and preload TDM. This
 // comparison goes beyond the paper's evaluation; see internal/voq.
 func ModernBaseline(n int, wl *traffic.Workload) ([]NamedResult, error) {
-	islip, err := voq.New(voq.Config{N: n})
-	if err != nil {
-		return nil, err
-	}
-	nets, err := Fig4Networks(n)
-	if err != nil {
-		return nil, err
-	}
+	return ModernBaselineExec(Serial, n, wl)
+}
+
+// ModernBaselineExec is ModernBaseline with an explicit executor.
+func ModernBaselineExec(ex Exec, n int, wl *traffic.Workload) ([]NamedResult, error) {
+	fig4 := fig4Builders(n)
 	// wormhole, islip, dynamic, preload (skip the circuit baseline: it is
 	// dominated everywhere except very large messages).
-	ordered := []netmodel.Network{nets[0], islip, nets[2], nets[3]}
-	var out []NamedResult
-	for _, nw := range ordered {
+	builders := []func() (netmodel.Network, error){
+		fig4[0],
+		func() (netmodel.Network, error) { return voq.New(voq.Config{N: n}) },
+		fig4[2],
+		fig4[3],
+	}
+	return sweep(ex, len(builders), func(i int) (NamedResult, error) {
+		nw, err := builders[i]()
+		if err != nil {
+			return NamedResult{}, err
+		}
 		res, err := nw.Run(wl)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", nw.Name(), err)
+			return NamedResult{}, fmt.Errorf("experiments: %s: %w", nw.Name(), err)
 		}
-		out = append(out, NamedResult{Label: nw.Name(), Result: res})
-	}
-	return out, nil
+		return NamedResult{Label: nw.Name(), Result: res}, nil
+	})
 }
 
 // OmegaFabricStudy runs dynamic TDM on the crossbar and on the blocking
@@ -197,24 +205,28 @@ func ModernBaseline(n int, wl *traffic.Workload) ([]NamedResult, error) {
 // reversal conflicts heavily and must spread across TDM slots — the
 // crossbar treats both identically. n must be a power of two.
 func OmegaFabricStudy(n int, wls []*traffic.Workload) ([]NamedResult, error) {
-	var out []NamedResult
-	for _, wl := range wls {
-		for _, fab := range []tdm.FabricKind{tdm.CrossbarFabric, tdm.OmegaFabric} {
-			nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, Fabric: fab})
-			if err != nil {
-				return nil, err
-			}
-			res, err := nw.Run(wl)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", fab, wl.Name, err)
-			}
-			out = append(out, NamedResult{
-				Label:  fmt.Sprintf("%s on %s", wl.Name, fab),
-				Result: res,
-			})
+	return OmegaFabricStudyExec(Serial, n, wls)
+}
+
+// OmegaFabricStudyExec is OmegaFabricStudy with an explicit executor; each
+// (workload, fabric) pair is one sweep point.
+func OmegaFabricStudyExec(ex Exec, n int, wls []*traffic.Workload) ([]NamedResult, error) {
+	fabrics := []tdm.FabricKind{tdm.CrossbarFabric, tdm.OmegaFabric}
+	return sweep(ex, len(wls)*len(fabrics), func(i int) (NamedResult, error) {
+		wl, fab := wls[i/len(fabrics)], fabrics[i%len(fabrics)]
+		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, Fabric: fab})
+		if err != nil {
+			return NamedResult{}, err
 		}
-	}
-	return out, nil
+		res, err := nw.Run(wl)
+		if err != nil {
+			return NamedResult{}, fmt.Errorf("experiments: %s on %s: %w", fab, wl.Name, err)
+		}
+		return NamedResult{
+			Label:  fmt.Sprintf("%s on %s", wl.Name, fab),
+			Result: res,
+		}, nil
+	})
 }
 
 // SparsePermutation builds a light-load permutation workload: every
@@ -251,25 +263,28 @@ func SparsePermutation(base *traffic.Workload, gap sim.Time) *traffic.Workload {
 // end-to-end analog pipe pays ~20 ns per extra hop against wormhole's
 // ~100 ns of per-hop serdes + arbitration).
 func MultiHopStudy(n int, wls []*traffic.Workload) ([]NamedResult, error) {
-	wh, err := meshnet.NewWormhole(meshnet.WormholeConfig{N: n})
-	if err != nil {
-		return nil, err
+	return MultiHopStudyExec(Serial, n, wls)
+}
+
+// MultiHopStudyExec is MultiHopStudy with an explicit executor; each
+// (workload, mesh paradigm) pair is one sweep point building its own mesh.
+func MultiHopStudyExec(ex Exec, n int, wls []*traffic.Workload) ([]NamedResult, error) {
+	builders := []func() (netmodel.Network, error){
+		func() (netmodel.Network, error) { return meshnet.NewWormhole(meshnet.WormholeConfig{N: n}) },
+		func() (netmodel.Network, error) { return meshnet.NewTDM(meshnet.TDMConfig{N: n, K: Fig4K}) },
 	}
-	td, err := meshnet.NewTDM(meshnet.TDMConfig{N: n, K: Fig4K})
-	if err != nil {
-		return nil, err
-	}
-	var out []NamedResult
-	for _, wl := range wls {
-		for _, nw := range []netmodel.Network{wh, td} {
-			res, err := nw.Run(wl)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", nw.Name(), wl.Name, err)
-			}
-			out = append(out, NamedResult{Label: fmt.Sprintf("%s on %s", wl.Name, nw.Name()), Result: res})
+	return sweep(ex, len(wls)*len(builders), func(i int) (NamedResult, error) {
+		wl := wls[i/len(builders)]
+		nw, err := builders[i%len(builders)]()
+		if err != nil {
+			return NamedResult{}, err
 		}
-	}
-	return out, nil
+		res, err := nw.Run(wl)
+		if err != nil {
+			return NamedResult{}, fmt.Errorf("experiments: %s on %s: %w", nw.Name(), wl.Name, err)
+		}
+		return NamedResult{Label: fmt.Sprintf("%s on %s", wl.Name, nw.Name()), Result: res}, nil
+	})
 }
 
 // FabricRow compares fabric families on one working set: the slots a
@@ -291,31 +306,38 @@ type FabricRow struct {
 // the extra stages a non-blocking Benes fabric pays. n must be a power of
 // two.
 func FabricComparison(n int, wls []*traffic.Workload) ([]FabricRow, error) {
-	omega, err := multistage.NewOmega(n)
-	if err != nil {
-		return nil, err
-	}
-	benes, err := multistage.NewBenes(n)
-	if err != nil {
-		return nil, err
-	}
-	var out []FabricRow
-	for _, wl := range wls {
+	return FabricComparisonExec(Serial, n, wls)
+}
+
+// FabricComparisonExec is FabricComparison with an explicit executor; each
+// workload's decompositions are one sweep point (pure computation, but the
+// exact edge coloring is expensive enough on dense working sets to be worth
+// fanning out).
+func FabricComparisonExec(ex Exec, n int, wls []*traffic.Workload) ([]FabricRow, error) {
+	return sweep(ex, len(wls), func(i int) (FabricRow, error) {
+		wl := wls[i]
+		omega, err := multistage.NewOmega(n)
+		if err != nil {
+			return FabricRow{}, err
+		}
+		benes, err := multistage.NewBenes(n)
+		if err != nil {
+			return FabricRow{}, err
+		}
 		ws := wl.ConnSet()
 		oc, err := multistage.DecomposeOmega(ws, omega)
 		if err != nil {
-			return nil, err
+			return FabricRow{}, err
 		}
-		out = append(out, FabricRow{
+		return FabricRow{
 			Workload:      wl.Name,
 			Degree:        ws.Degree(),
 			CrossbarSlots: len(topology.Decompose(ws)),
 			OmegaSlots:    len(oc),
 			OmegaStages:   omega.Stages(),
 			BenesStages:   benes.Stages(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FabricTable renders fabric-comparison rows.

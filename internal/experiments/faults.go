@@ -43,29 +43,25 @@ func FaultLevels() []FaultLevel {
 	}
 }
 
-// faultNetworks builds the paper's four Figure-4 paradigms with the given
-// fault plan attached.
-func faultNetworks(n int, plan *fault.Plan) ([]netmodel.Network, error) {
-	wh, err := wormhole.New(wormhole.Config{N: n, Faults: plan})
-	if err != nil {
-		return nil, err
+// faultBuilders returns one constructor per paradigm of the robustness
+// sweep (the paper's four Figure-4 paradigms) with the given fault plan
+// attached. The plan is read-only configuration — each Run realizes it
+// through its own seeded injector — so concurrently running points may
+// share it.
+func faultBuilders(n int, plan *fault.Plan) []func() (netmodel.Network, error) {
+	return []func() (netmodel.Network, error){
+		func() (netmodel.Network, error) { return wormhole.New(wormhole.Config{N: n, Faults: plan}) },
+		func() (netmodel.Network, error) { return circuit.New(circuit.Config{N: n, Faults: plan}) },
+		func() (netmodel.Network, error) {
+			return tdm.New(tdm.Config{
+				N: n, K: Fig4K, Faults: plan,
+				NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) },
+			})
+		},
+		func() (netmodel.Network, error) {
+			return tdm.New(tdm.Config{N: n, K: Fig4K, Mode: tdm.Preload, Faults: plan})
+		},
 	}
-	cs, err := circuit.New(circuit.Config{N: n, Faults: plan})
-	if err != nil {
-		return nil, err
-	}
-	dyn, err := tdm.New(tdm.Config{
-		N: n, K: Fig4K, Faults: plan,
-		NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) },
-	})
-	if err != nil {
-		return nil, err
-	}
-	pre, err := tdm.New(tdm.Config{N: n, K: Fig4K, Mode: tdm.Preload, Faults: plan})
-	if err != nil {
-		return nil, err
-	}
-	return []netmodel.Network{wh, cs, dyn, pre}, nil
 }
 
 // FaultRow holds one sweep point: each network's result under one fault
@@ -78,31 +74,42 @@ type FaultRow struct {
 
 // FaultSweep runs the workload through every network at every fault level.
 // It verifies the exact message-accounting invariant on every run: each
-// injected message must end up delivered or explicitly dropped.
+// injected message must end up delivered or explicitly dropped. It is the
+// serial reference for FaultSweepExec.
 func FaultSweep(n int, wl *traffic.Workload, levels []FaultLevel) ([]FaultRow, error) {
+	return FaultSweepExec(Serial, n, wl, levels)
+}
+
+// FaultSweepExec runs the robustness sweep with the points — one (fault
+// level, network) pair each — fanned out through the executor.
+func FaultSweepExec(ex Exec, n int, wl *traffic.Workload, levels []FaultLevel) ([]FaultRow, error) {
 	if len(levels) == 0 {
 		levels = FaultLevels()
 	}
-	rows := make([]FaultRow, 0, len(levels))
-	for _, lv := range levels {
-		nets, err := faultNetworks(n, lv.Plan)
+	netCount := len(faultBuilders(n, nil))
+	results, err := sweep(ex, len(levels)*netCount, func(i int) (metrics.Result, error) {
+		lv, net := levels[i/netCount], i%netCount
+		nw, err := faultBuilders(n, lv.Plan)[net]()
 		if err != nil {
-			return nil, err
+			return metrics.Result{}, err
 		}
-		row := FaultRow{Level: lv}
-		for _, nw := range nets {
-			res, err := nw.Run(wl)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s under %q: %w", nw.Name(), wl.Name, lv.Label, err)
-			}
-			if !res.Stats.Faults.Reconciles() {
-				f := res.Stats.Faults
-				return nil, fmt.Errorf("experiments: %s under %q: accounting broken: %d injected != %d delivered + %d dropped",
-					nw.Name(), lv.Label, f.Injected, f.Delivered, f.Dropped)
-			}
-			row.Results = append(row.Results, res)
+		res, err := nw.Run(wl)
+		if err != nil {
+			return metrics.Result{}, fmt.Errorf("experiments: %s on %s under %q: %w", nw.Name(), wl.Name, lv.Label, err)
 		}
-		rows = append(rows, row)
+		if !res.Stats.Faults.Reconciles() {
+			f := res.Stats.Faults
+			return metrics.Result{}, fmt.Errorf("experiments: %s under %q: accounting broken: %d injected != %d delivered + %d dropped",
+				nw.Name(), lv.Label, f.Injected, f.Delivered, f.Dropped)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FaultRow, len(levels))
+	for li, lv := range levels {
+		rows[li] = FaultRow{Level: lv, Results: results[li*netCount : (li+1)*netCount]}
 	}
 	return rows, nil
 }

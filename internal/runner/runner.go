@@ -1,0 +1,132 @@
+// Package runner is the deterministic parallel sweep executor behind every
+// multi-point experiment harness (cmd/figures -j, cmd/pmsim --parallel,
+// pmsnet.Config.Parallelism).
+//
+// A sweep is a list of independent points — each a pure function of its
+// index, like one (network, workload, size, seed) simulation — so the points
+// can fan out across a worker pool while the collected output stays
+// bit-identical to a serial run: results are keyed by point index and
+// returned in index order, never in completion order. Parallelism 1 is not
+// merely "one worker": it degenerates to a plain serial loop in the calling
+// goroutine, which is the reference semantics the parallel path is tested
+// against.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point reports one completed sweep point to a progress callback.
+type Point struct {
+	// Index is the point's position in the sweep.
+	Index int
+	// Wall is the host wall-clock time the point's function took.
+	Wall time.Duration
+	// Err is the point's error, nil on success.
+	Err error
+}
+
+// Options configure a Map call.
+type Options struct {
+	// Parallelism is the worker count: 1 runs the points serially in the
+	// calling goroutine (the reference path), anything <= 0 defaults to
+	// GOMAXPROCS, and larger values bound the number of points in flight.
+	Parallelism int
+	// OnPoint, when non-nil, observes every completed point (including
+	// failed ones). Calls are serialized by the runner, so the callback may
+	// update shared progress state without locking; it must not block for
+	// long or it throttles the pool.
+	OnPoint func(Point)
+}
+
+// Workers resolves the option to an actual worker count.
+func (o Options) Workers() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+// Map runs fn(i) for every i in [0, n) and returns the n results in index
+// order. With Parallelism 1 the points run serially and the first error
+// stops the sweep immediately. Otherwise a pool of workers pulls point
+// indices in order; the first error cancels all not-yet-started points
+// (points already in flight run to completion, their results are discarded)
+// and Map returns the error of the lowest-index failed point, which is the
+// error the serial path would have hit first among those observed.
+func Map[T any](opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := opts.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return mapSerial(opts, n, fn)
+	}
+
+	results := make([]T, n)
+	var (
+		next     atomic.Int64 // next point index to claim
+		stop     atomic.Bool  // set on first error: no new points start
+		mu       sync.Mutex   // guards firstErr/firstIdx and OnPoint calls
+		firstErr error
+		firstIdx int
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				start := time.Now()
+				res, err := fn(i)
+				wall := time.Since(start)
+				if err != nil {
+					stop.Store(true)
+				} else {
+					results[i] = res
+				}
+				mu.Lock()
+				if err != nil && (firstErr == nil || i < firstIdx) {
+					firstErr, firstIdx = err, i
+				}
+				if opts.OnPoint != nil {
+					opts.OnPoint(Point{Index: i, Wall: wall, Err: err})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// mapSerial is the reference path: points run one at a time, in order, in
+// the calling goroutine, and the first error stops the sweep.
+func mapSerial[T any](opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		res, err := fn(i)
+		if opts.OnPoint != nil {
+			opts.OnPoint(Point{Index: i, Wall: time.Since(start), Err: err})
+		}
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}

@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapReturnsResultsInIndexOrder(t *testing.T) {
+	const n = 64
+	got, err := Map(Options{Parallelism: 8}, n, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapOrderingUnderAdversarialLatencies(t *testing.T) {
+	// Early points are the slowest, so completion order is roughly the
+	// reverse of index order — the collected results must not care.
+	const n = 16
+	got, err := Map(Options{Parallelism: 4}, n, func(i int) (string, error) {
+		time.Sleep(time.Duration(n-i) * time.Millisecond)
+		return fmt.Sprintf("point-%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if want := fmt.Sprintf("point-%d", i); v != want {
+			t.Fatalf("got[%d] = %q, want %q", i, v, want)
+		}
+	}
+}
+
+func TestMapFirstErrorCancelsOutstandingPoints(t *testing.T) {
+	boom := errors.New("boom")
+	const n = 1000
+	var started atomic.Int64
+	_, err := Map(Options{Parallelism: 2}, n, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Point 0 fails immediately; with 2 workers and 1 ms per surviving
+	// point, dispatch must stop long before the full sweep.
+	if s := started.Load(); s >= n/2 {
+		t.Fatalf("%d of %d points started after the first error; cancellation is not working", s, n)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	// Every point fails; whatever interleaving the pool produces, the
+	// reported error must be the lowest-index one among those observed —
+	// with every point failing, that is always point 0's.
+	_, err := Map(Options{Parallelism: 4}, 4, func(i int) (int, error) {
+		return 0, fmt.Errorf("point %d failed", i)
+	})
+	if err == nil || err.Error() != "point 0 failed" {
+		t.Fatalf("err = %v, want point 0's error", err)
+	}
+}
+
+func TestMapParallelismOneIsStrictlySerial(t *testing.T) {
+	boom := errors.New("boom")
+	var calls []int
+	_, err := Map(Options{Parallelism: 1}, 10, func(i int) (int, error) {
+		calls = append(calls, i) // no locking: the serial path runs in one goroutine
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if len(calls) != 4 {
+		t.Fatalf("calls = %v: serial path must stop at the first error", calls)
+	}
+	for i, v := range calls {
+		if v != i {
+			t.Fatalf("calls = %v: serial path must run points in order", calls)
+		}
+	}
+}
+
+func TestMapSerialAndParallelAgree(t *testing.T) {
+	fn := func(i int) (int, error) { return 3*i + 1, nil }
+	serial, err := Map(Options{Parallelism: 1}, 33, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(Options{Parallelism: 7}, 33, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("results diverge at %d: %d vs %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapOnPointProgress(t *testing.T) {
+	var pts []Point
+	_, err := Map(Options{Parallelism: 4, OnPoint: func(p Point) {
+		pts = append(pts, p) // OnPoint calls are serialized by the runner
+	}}, 20, func(i int) (int, error) {
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 20 {
+		t.Fatalf("OnPoint fired %d times, want 20", len(pts))
+	}
+	seen := make(map[int]bool)
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Fatalf("point %d reported err %v", p.Index, p.Err)
+		}
+		if p.Wall < 0 {
+			t.Fatalf("point %d reported negative wall time", p.Index)
+		}
+		if seen[p.Index] {
+			t.Fatalf("point %d reported twice", p.Index)
+		}
+		seen[p.Index] = true
+	}
+}
+
+func TestMapZeroPoints(t *testing.T) {
+	got, err := Map(Options{}, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty sweep: got %v, %v", got, err)
+	}
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if w := (Options{}).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS = %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := (Options{Parallelism: 3}).Workers(); w != 3 {
+		t.Fatalf("Workers() = %d, want 3", w)
+	}
+}

@@ -51,12 +51,19 @@ type event struct {
 	seq     uint64 // FIFO tie-break for equal timestamps
 	handler Handler
 	label   string
-	dead    bool
-	index   int // heap index, -1 when popped
+	gen     uint64 // recycling generation, invalidates stale EventIDs
+	index   int    // heap index, -1 when popped
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. Fired and
+// cancelled events are recycled through a free list, so the ID carries the
+// event's generation: an ID that outlives its event (and any later reuse of
+// the underlying storage) simply stops matching instead of cancelling an
+// unrelated event.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 type eventHeap []*event
 
@@ -89,11 +96,13 @@ func (h *eventHeap) Pop() any {
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; models are sequential by design so that runs are
-// reproducible.
+// reproducible. Distinct engines share nothing, so independent runs can
+// execute on separate goroutines (see internal/runner).
 type Engine struct {
 	now       Time
 	seq       uint64
 	queue     eventHeap
+	free      []*event // recycled event structs; the schedule/fire hot path is amortized zero-alloc
 	processed uint64
 	stopped   bool
 	check     func() error
@@ -111,16 +120,9 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events still queued.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of events still queued. Cancelled events are
+// removed from the queue eagerly, so this is O(1).
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // At schedules handler to run at absolute time at. Scheduling in the past
 // panics: it would silently corrupt causality in a model.
@@ -131,10 +133,29 @@ func (e *Engine) At(at Time, label string, handler Handler) EventID {
 	if handler == nil {
 		panic(fmt.Sprintf("sim: event %q has nil handler", label))
 	}
-	ev := &event{at: at, seq: e.seq, handler: handler, label: label}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.handler, ev.label = at, e.seq, handler, label
+	} else {
+		ev = &event{at: at, seq: e.seq, handler: handler, label: label}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return EventID{ev}
+	return EventID{ev, ev.gen}
+}
+
+// release recycles a fired or cancelled event. Bumping the generation
+// invalidates every outstanding EventID for it before the struct is reused;
+// dropping the handler reference frees the captured closure state now
+// instead of at the next reuse.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.handler = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
 }
 
 // After schedules handler to run d nanoseconds from now.
@@ -145,13 +166,15 @@ func (e *Engine) After(d Time, label string, handler Handler) EventID {
 	return e.At(e.now+d, label, handler)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op and reports false.
+// Cancel removes a scheduled event from the queue eagerly (so long fault
+// runs that cancel many timers never accumulate dead entries). Cancelling an
+// already-fired or already-cancelled event is a no-op and reports false.
 func (e *Engine) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.dead || id.ev.index < 0 {
+	if id.ev == nil || id.gen != id.ev.gen || id.ev.index < 0 {
 		return false
 	}
-	id.ev.dead = true
+	heap.Remove(&e.queue, id.ev.index)
+	e.release(id.ev)
 	return true
 }
 
@@ -192,9 +215,6 @@ func (e *Engine) Run(horizon Time) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
 		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
-			continue
-		}
 		if ev.at > horizon {
 			// Put it back for a later Run call with a larger horizon.
 			heap.Push(&e.queue, ev)
@@ -205,6 +225,7 @@ func (e *Engine) Run(horizon Time) Time {
 		e.processed++
 		ev.handler()
 		e.afterEvent(ev)
+		e.release(ev)
 	}
 	return e.now
 }
@@ -214,18 +235,16 @@ func (e *Engine) RunAll() Time { return e.Run(MaxTime) }
 
 // Step executes exactly one event and reports whether one was available.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.at
-		e.processed++
-		ev.handler()
-		e.afterEvent(ev)
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.processed++
+	ev.handler()
+	e.afterEvent(ev)
+	e.release(ev)
+	return true
 }
 
 // Ticker repeatedly schedules a handler with a fixed period. It is the shape
@@ -235,6 +254,7 @@ type Ticker struct {
 	period  Time
 	label   string
 	handler Handler
+	fireFn  Handler // cached t.fire method value so rescheduling allocates nothing per tick
 	next    EventID
 	active  bool
 }
@@ -244,7 +264,9 @@ func (e *Engine) NewTicker(period Time, label string, handler Handler) *Ticker {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: ticker %q period %v must be positive", label, period))
 	}
-	return &Ticker{engine: e, period: period, label: label, handler: handler}
+	t := &Ticker{engine: e, period: period, label: label, handler: handler}
+	t.fireFn = t.fire
+	return t
 }
 
 // Start begins ticking; the first tick fires after one full period. Starting
@@ -263,11 +285,11 @@ func (t *Ticker) StartAt(first Time) {
 		return
 	}
 	t.active = true
-	t.next = t.engine.At(first, t.label, t.fire)
+	t.next = t.engine.At(first, t.label, t.fireFn)
 }
 
 func (t *Ticker) schedule() {
-	t.next = t.engine.After(t.period, t.label, t.fire)
+	t.next = t.engine.After(t.period, t.label, t.fireFn)
 }
 
 func (t *Ticker) fire() {

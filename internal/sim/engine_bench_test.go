@@ -1,0 +1,122 @@
+package sim
+
+import "testing"
+
+// The schedule/fire path is amortized zero-alloc: fired and cancelled event
+// structs are recycled through the engine's free list, so steady-state
+// simulation allocates only what the model's own handlers allocate. The
+// benchmarks report allocs/op; TestEngineSteadyStateZeroAlloc enforces zero.
+
+// BenchmarkEngineScheduleFire measures the steady-state schedule-then-fire
+// cycle, the inner loop of every simulation run.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	h := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(1, "warm", h)
+	}
+	e.RunAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, "x", h)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule-then-cancel cycle —
+// the shape of every retry/timeout timer that is disarmed before firing.
+// Cancel removes the event from the queue eagerly, so a long run that arms
+// and disarms millions of timers holds no dead entries.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	h := func() {}
+	for i := 0; i < 64; i++ {
+		e.Cancel(e.After(1, "warm", h))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(e.After(1, "x", h))
+	}
+}
+
+// BenchmarkEngineTicker measures steady-state ticking (the TDM slot clock
+// and the scheduler's SL clock): one fire plus one reschedule per tick.
+func BenchmarkEngineTicker(b *testing.B) {
+	e := NewEngine()
+	ticks := 0
+	tk := e.NewTicker(100, "slot", func() {
+		ticks++
+		if ticks >= b.N {
+			e.Stop()
+		}
+	})
+	tk.Start()
+	e.Run(100) // warm up one tick's allocations
+	b.ReportAllocs()
+	b.ResetTimer()
+	if ticks < b.N {
+		e.RunAll()
+	}
+}
+
+// BenchmarkEngineMixedQueue measures fire/cancel against a populated queue,
+// where heap sift costs are visible.
+func BenchmarkEngineMixedQueue(b *testing.B) {
+	e := NewEngine()
+	h := func() {}
+	for i := 0; i < 1024; i++ {
+		e.After(Time(1+i%97), "bg", h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := e.After(Time(1+i%13), "x", h)
+		if i%3 == 0 {
+			e.Cancel(id)
+		} else {
+			e.Step()
+		}
+	}
+}
+
+// TestEngineSteadyStateZeroAlloc is the hard guarantee behind the
+// benchmarks: after warm-up, a schedule/fire/cancel mix allocates nothing.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	h := func() {}
+	for i := 0; i < 256; i++ {
+		e.After(Time(1+i%17), "warm", h)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			id := e.After(Time(1+i%7), "x", h)
+			if i%4 == 0 {
+				e.Cancel(id)
+			}
+		}
+		e.RunAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/fire/cancel allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestTickerSteadyStateZeroAlloc covers the ticker reschedule path, which
+// must not allocate a fresh fire closure per tick.
+func TestTickerSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	tk := e.NewTicker(10, "slot", func() {})
+	tk.Start()
+	e.Run(1000) // warm up
+	horizon := e.Now()
+	allocs := testing.AllocsPerRun(100, func() {
+		horizon += 1000
+		e.Run(horizon)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ticking allocated %.1f times per run, want 0", allocs)
+	}
+}

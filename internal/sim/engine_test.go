@@ -119,6 +119,86 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestCancelRemovesEagerly(t *testing.T) {
+	e := NewEngine()
+	ids := make([]EventID, 0, 8)
+	for i := 0; i < 8; i++ {
+		ids = append(ids, e.At(Time(10+i), "x", func() {}))
+	}
+	for _, id := range ids[:5] {
+		if !e.Cancel(id) {
+			t.Fatal("cancel of a pending event should succeed")
+		}
+	}
+	// Cancelled events leave the queue immediately instead of lingering as
+	// dead entries until their timestamp.
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3 right after cancelling", e.Pending())
+	}
+	e.RunAll()
+	if e.Processed() != 3 {
+		t.Fatalf("processed = %d, want 3", e.Processed())
+	}
+}
+
+func TestStaleEventIDDoesNotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	stale := e.At(1, "first", func() {})
+	e.RunAll() // fires "first"; its storage returns to the free list
+	e.At(2, "second", func() { fired = true })
+	if e.Cancel(stale) {
+		t.Fatal("stale ID of a fired event must not cancel anything")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("second event was cancelled through a stale ID of a recycled event")
+	}
+}
+
+func TestCancelFromOwnHandlerIsNoop(t *testing.T) {
+	e := NewEngine()
+	var id EventID
+	id = e.At(1, "self", func() {
+		if e.Cancel(id) {
+			t.Error("cancelling the currently firing event must report false")
+		}
+	})
+	e.RunAll()
+	if e.Processed() != 1 {
+		t.Fatalf("processed = %d, want 1", e.Processed())
+	}
+}
+
+func TestEventStormRecycles(t *testing.T) {
+	// A long run of schedule/fire/cancel churn must keep working through
+	// the free list: ordering, cancellation and the processed count all
+	// stay exact.
+	e := NewEngine()
+	var fired, cancelled int
+	for round := 0; round < 50; round++ {
+		ids := make([]EventID, 0, 40)
+		for i := 0; i < 40; i++ {
+			ids = append(ids, e.After(Time(1+(i*7)%23), "storm", func() { fired++ }))
+		}
+		for i, id := range ids {
+			if i%3 == 0 {
+				if !e.Cancel(id) {
+					t.Fatal("cancel of pending event failed")
+				}
+				cancelled++
+			}
+		}
+		e.RunAll()
+	}
+	if want := 50*40 - cancelled; fired != want {
+		t.Fatalf("fired = %d, want %d (cancelled %d)", fired, want, cancelled)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0 after drain", e.Pending())
+	}
+}
+
 func TestHorizonStopsAndResumes(t *testing.T) {
 	e := NewEngine()
 	var fired []Time

@@ -44,6 +44,7 @@ import (
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
 	"pmsnet/internal/predictor"
+	"pmsnet/internal/runner"
 	"pmsnet/internal/sim"
 	"pmsnet/internal/tdm"
 	"pmsnet/internal/trace"
@@ -167,6 +168,13 @@ type Config struct {
 	// inactive plan leaves every run bit-identical to the fault-free
 	// simulation. Build plans directly or with ParseFaults.
 	Faults *fault.Plan
+	// Parallelism is the worker count for the multi-run entry points
+	// (RunMany): 0 defaults to GOMAXPROCS, 1 runs serially, larger values
+	// bound the number of simulations in flight. A single Run ignores it —
+	// each simulation is single-threaded by design so that runs stay
+	// reproducible; parallelism comes from running independent simulations
+	// concurrently, with results always in input order.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -394,6 +402,31 @@ func Run(cfg Config, wl *Workload) (Report, error) {
 		return Report{}, err
 	}
 	return toReport(res), nil
+}
+
+// RunMany simulates every workload under the same configuration, fanning the
+// runs across cfg.Parallelism workers (0 = GOMAXPROCS). Each run builds its
+// own network instance, so runs share nothing but the read-only workloads and
+// fault plan; reports come back in workload order and are bit-identical to
+// running each workload through Run serially. The first error cancels the
+// remaining runs and is returned.
+func RunMany(cfg Config, wls []*Workload) ([]Report, error) {
+	for i, wl := range wls {
+		if wl == nil || wl.w == nil {
+			return nil, fmt.Errorf("pmsnet: nil workload at index %d", i)
+		}
+	}
+	return runner.Map(runner.Options{Parallelism: cfg.Parallelism}, len(wls), func(i int) (Report, error) {
+		nw, err := cfg.network()
+		if err != nil {
+			return Report{}, err
+		}
+		res, err := nw.Run(wls[i].w)
+		if err != nil {
+			return Report{}, err
+		}
+		return toReport(res), nil
+	})
 }
 
 // --- workload constructors (paper §5 patterns) ---

@@ -222,3 +222,41 @@ func TestConcatWorkloadsFacade(t *testing.T) {
 	}()
 	ConcatWorkloads("bad", nil)
 }
+
+func TestRunManyMatchesRunAndIsOrderIdentical(t *testing.T) {
+	cfg := Config{Switching: DynamicTDM, N: 16, K: 4}
+	var wls []*Workload
+	for seed := int64(1); seed <= 4; seed++ {
+		wls = append(wls, RandomMesh(16, 64, 5, seed))
+	}
+	var want []Report
+	for _, wl := range wls {
+		rep, err := Run(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rep)
+	}
+	for _, par := range []int{0, 1, 3} {
+		cfg.Parallelism = par
+		got, err := RunMany(cfg, wls)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: %d reports, want %d", par, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: report %d differs from serial Run", par, i)
+			}
+		}
+	}
+}
+
+func TestRunManyRejectsNilWorkload(t *testing.T) {
+	cfg := Config{Switching: Wormhole, N: 8}
+	if _, err := RunMany(cfg, []*Workload{OrderedMesh(8, 64, 1), nil}); err == nil {
+		t.Fatal("expected error for nil workload")
+	}
+}
