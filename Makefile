@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz bench figures clean
+.PHONY: all build test check vet race fuzz bench bench-compare figures clean
 
 all: build test
 
@@ -29,9 +29,19 @@ race:
 # iteration and run once either way); BENCHTIME=1x does a fastest-possible
 # smoke pass.
 BENCHTIME ?= 1s
+# BENCHOUT is where the fresh capture lands; BENCH_1.json is the committed
+# pre-optimization baseline and stays untouched so runs can diff against it.
+BENCHOUT ?= BENCH_2.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
-		| $(GO) run ./cmd/benchjson -o BENCH_1.json
+		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
+
+# Regression gate: rerun the suite and fail if any benchmark got more than
+# 20% worse than the baseline in ns/op or allocs/op.
+BASELINE ?= BENCH_1.json
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson -compare $(BASELINE)
 
 # Short fuzzing passes over the text-format parsers.
 fuzz:

@@ -8,6 +8,11 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_1.json
+//
+// With -compare BASELINE.json it additionally diffs the fresh run against a
+// previously captured JSON document and exits non-zero when any benchmark
+// regressed by more than -threshold percent (default 20) in ns/op or
+// allocs/op — the regression gate behind `make bench-compare`.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -34,25 +40,126 @@ type Benchmark struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON here (default stdout, after the echoed input)")
+	compareWith := flag.String("compare", "", "baseline JSON to diff the fresh run against")
+	threshold := flag.Float64("threshold", 20, "regression threshold in percent for -compare")
 	flag.Parse()
 
 	benches, err := parse(os.Stdin, os.Stdout)
 	if err != nil {
 		fatal(err)
 	}
-	doc, err := json.MarshalIndent(map[string]any{"benchmarks": benches}, "", "  ")
+	if *out != "" || *compareWith == "" {
+		doc, err := json.MarshalIndent(map[string]any{"benchmarks": benches}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		doc = append(doc, '\n')
+		if *out == "" {
+			os.Stdout.Write(doc)
+		} else {
+			if err := os.WriteFile(*out, doc, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(benches), *out)
+		}
+	}
+	if *compareWith != "" {
+		baseline, err := loadBaseline(*compareWith)
+		if err != nil {
+			fatal(err)
+		}
+		regressions := compare(baseline, benches, *threshold, os.Stderr)
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %g%% vs %s\n",
+				regressions, *threshold, *compareWith)
+			os.Exit(1)
+		}
+	}
+}
+
+// loadBaseline reads a JSON document previously written by benchjson.
+func loadBaseline(path string) ([]Benchmark, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	doc = append(doc, '\n')
-	if *out == "" {
-		os.Stdout.Write(doc)
-		return
+	var doc struct {
+		Benchmarks []Benchmark `json:"benchmarks"`
 	}
-	if err := os.WriteFile(*out, doc, 0o644); err != nil {
-		fatal(err)
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(benches), *out)
+	return doc.Benchmarks, nil
+}
+
+// comparedMetrics are the units the regression gate watches. Custom
+// ReportMetric units (efficiencies) are figures, not costs, so they are
+// reported informally but never gate.
+var comparedMetrics = []string{"ns/op", "allocs/op"}
+
+// compare diffs the fresh run against the baseline and reports every shared
+// benchmark whose ns/op or allocs/op grew by more than threshold percent.
+// It returns the number of regressed (benchmark, metric) pairs. Benchmarks
+// present on only one side are noted but never count as regressions —
+// renames and new benchmarks must not break the gate.
+func compare(baseline, fresh []Benchmark, threshold float64, w io.Writer) int {
+	base := make(map[string]Benchmark, len(baseline))
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+	regressions := 0
+	shared := 0
+	for _, f := range fresh {
+		b, ok := base[f.Name]
+		if !ok {
+			fmt.Fprintf(w, "  new: %s (not in baseline)\n", f.Name)
+			continue
+		}
+		shared++
+		delete(base, f.Name)
+		for _, unit := range comparedMetrics {
+			old, haveOld := b.Metrics[unit]
+			now, haveNow := f.Metrics[unit]
+			if !haveOld || !haveNow {
+				continue
+			}
+			pct := deltaPercent(old, now)
+			switch {
+			case pct > threshold:
+				regressions++
+				fmt.Fprintf(w, "  REGRESSION %s %s: %s -> %s (%+.1f%%)\n", f.Name, unit, fmtNum(old), fmtNum(now), pct)
+			case pct < -threshold:
+				fmt.Fprintf(w, "  improved   %s %s: %s -> %s (%+.1f%%)\n", f.Name, unit, fmtNum(old), fmtNum(now), pct)
+			}
+		}
+	}
+	for name := range base {
+		fmt.Fprintf(w, "  gone: %s (baseline only)\n", name)
+	}
+	fmt.Fprintf(w, "compared %d shared benchmarks, %d regression(s)\n", shared, regressions)
+	return regressions
+}
+
+// fmtNum renders a metric value without scientific notation: integral
+// values as plain integers, fractional ones with two decimals.
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// deltaPercent returns the relative growth from old to now in percent. A
+// zero baseline only regresses when the fresh value is non-zero (reported as
+// +Inf%); 0 -> 0 is unchanged.
+func deltaPercent(old, now float64) float64 {
+	if old == 0 {
+		if now == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (now - old) / old * 100
 }
 
 // parse scans `go test -bench` output, copying every line to echo and

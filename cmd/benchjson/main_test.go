@@ -1,6 +1,8 @@
 package main
 
 import (
+	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -38,6 +40,91 @@ ok  	pmsnet	1.234s
 	fig5 := benches[1]
 	if fig5.Metrics["k=1-eff"] != 0.95 || fig5.Metrics["k=2-eff"] != 0.87 {
 		t.Errorf("custom ReportMetric units not parsed: %v", fig5.Metrics)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	baseline := []Benchmark{
+		{Name: "BenchmarkFast", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 10}},
+		{Name: "BenchmarkSteady", Metrics: map[string]float64{"ns/op": 200, "allocs/op": 4}},
+		{Name: "BenchmarkRemoved", Metrics: map[string]float64{"ns/op": 50}},
+	}
+	fresh := []Benchmark{
+		// 50% slower and 2x the allocations: two regressed metrics.
+		{Name: "BenchmarkFast", Metrics: map[string]float64{"ns/op": 150, "allocs/op": 20}},
+		// Within the 20% threshold either way.
+		{Name: "BenchmarkSteady", Metrics: map[string]float64{"ns/op": 230, "allocs/op": 4}},
+		// Not in the baseline: must not count as a regression.
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 1e9}},
+	}
+	var report strings.Builder
+	if got := compare(baseline, fresh, 20, &report); got != 2 {
+		t.Fatalf("compare returned %d regressions, want 2\nreport:\n%s", got, report.String())
+	}
+	out := report.String()
+	for _, want := range []string{
+		"REGRESSION BenchmarkFast ns/op",
+		"REGRESSION BenchmarkFast allocs/op",
+		"new: BenchmarkNew",
+		"gone: BenchmarkRemoved",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BenchmarkSteady ns/op") {
+		t.Errorf("within-threshold drift reported as notable:\n%s", out)
+	}
+}
+
+func TestCompareImprovementsDoNotGate(t *testing.T) {
+	baseline := []Benchmark{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 100}},
+	}
+	fresh := []Benchmark{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"ns/op": 400, "allocs/op": 0}},
+	}
+	var report strings.Builder
+	if got := compare(baseline, fresh, 20, &report); got != 0 {
+		t.Fatalf("improvement counted as regression (%d)\n%s", got, report.String())
+	}
+	if !strings.Contains(report.String(), "improved") {
+		t.Errorf("improvement not reported:\n%s", report.String())
+	}
+}
+
+func TestDeltaPercentZeroBaseline(t *testing.T) {
+	if d := deltaPercent(0, 0); d != 0 {
+		t.Errorf("0 -> 0 = %v, want 0", d)
+	}
+	if d := deltaPercent(0, 5); !math.IsInf(d, 1) {
+		t.Errorf("0 -> 5 = %v, want +Inf", d)
+	}
+	// A zero-alloc benchmark that starts allocating must gate at any
+	// threshold.
+	base := []Benchmark{{Name: "BenchmarkZeroAlloc", Metrics: map[string]float64{"allocs/op": 0}}}
+	fresh := []Benchmark{{Name: "BenchmarkZeroAlloc", Metrics: map[string]float64{"allocs/op": 1}}}
+	var report strings.Builder
+	if got := compare(base, fresh, 20, &report); got != 1 {
+		t.Fatalf("0 -> 1 allocs/op not flagged\n%s", report.String())
+	}
+}
+
+func TestLoadBaselineRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	doc := `{"benchmarks":[{"name":"BenchmarkX","iterations":7,"metrics":{"ns/op":42}}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	benches, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 || benches[0].Name != "BenchmarkX" || benches[0].Metrics["ns/op"] != 42 {
+		t.Fatalf("loadBaseline = %+v", benches)
+	}
+	if _, err := loadBaseline(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing baseline file did not error")
 	}
 }
 

@@ -276,19 +276,111 @@ func (m *Matrix) ColAny(j int) bool {
 
 // RowOnes returns the column indices of set bits in row i, ascending.
 func (m *Matrix) RowOnes(i int) []int {
+	return m.AppendRowOnes(nil, i)
+}
+
+// AppendRowOnes appends the column indices of set bits in row i to dst,
+// ascending, and returns the extended slice. Hot paths pass a reusable
+// buffer (dst[:0]) to avoid the per-call allocation of RowOnes.
+func (m *Matrix) AppendRowOnes(dst []int, i int) []int {
 	if i < 0 || i >= m.rows {
 		panic(fmt.Sprintf("bitmat: row %d out of range %d", i, m.rows))
 	}
-	var out []int
 	row := m.bits[i*m.wordsPerRow : (i+1)*m.wordsPerRow]
 	for w, word := range row {
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
-			out = append(out, w*wordBits+b)
+			dst = append(dst, w*wordBits+b)
 			word &= word - 1
 		}
 	}
-	return out
+	return dst
+}
+
+// AppendRowOnesFrom appends the set columns of row i to dst in rotated
+// order: columns [from, cols) ascending, then [0, from) ascending. This is
+// the scheduling array's rotated-priority column scan done word-at-a-time
+// instead of bit-at-a-time.
+func (m *Matrix) AppendRowOnesFrom(dst []int, i, from int) []int {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("bitmat: row %d out of range %d", i, m.rows))
+	}
+	if from < 0 || from >= m.cols {
+		panic(fmt.Sprintf("bitmat: column origin %d out of range %d", from, m.cols))
+	}
+	row := m.bits[i*m.wordsPerRow : (i+1)*m.wordsPerRow]
+	wFrom := from / wordBits
+	lowMask := (uint64(1) << (uint(from) % wordBits)) - 1
+	// Segment 1: columns [from, cols).
+	for w := wFrom; w < len(row); w++ {
+		word := row[w]
+		if w == wFrom {
+			word &^= lowMask
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, w*wordBits+b)
+			word &= word - 1
+		}
+	}
+	// Segment 2: columns [0, from).
+	for w := 0; w <= wFrom && from > 0; w++ {
+		word := row[w]
+		if w == wFrom {
+			word &= lowMask
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, w*wordBits+b)
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// ColumnUnion ORs every row of m into dst, a bitmask with bit j set when
+// any row has column j set — the paper's AO occupancy vector for a
+// configuration, computed word-parallel. dst is grown if needed and
+// returned; contents are overwritten.
+func (m *Matrix) ColumnUnion(dst []uint64) []uint64 {
+	if cap(dst) < m.wordsPerRow {
+		dst = make([]uint64, m.wordsPerRow)
+	}
+	dst = dst[:m.wordsPerRow]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.rows; r++ {
+		row := m.bits[r*m.wordsPerRow : (r+1)*m.wordsPerRow]
+		for w, word := range row {
+			dst[w] |= word
+		}
+	}
+	return dst
+}
+
+// RowOccupancy writes a bitmask with bit i set when row i has any bit set —
+// the paper's AI occupancy vector for a configuration. dst is grown if
+// needed and returned; contents are overwritten.
+func (m *Matrix) RowOccupancy(dst []uint64) []uint64 {
+	words := (m.rows + wordBits - 1) / wordBits
+	if cap(dst) < words {
+		dst = make([]uint64, words)
+	}
+	dst = dst[:words]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.rows; r++ {
+		row := m.bits[r*m.wordsPerRow : (r+1)*m.wordsPerRow]
+		for _, word := range row {
+			if word != 0 {
+				dst[r/wordBits] |= 1 << (uint(r) % wordBits)
+				break
+			}
+		}
+	}
+	return dst
 }
 
 // FirstInRow returns the first set column in row i, or -1 if the row is
@@ -354,15 +446,93 @@ func (m *Matrix) IsPartialPermutation() bool {
 }
 
 // Ones calls fn for every set bit in row-major order. If fn returns false the
-// iteration stops.
+// iteration stops. The scan is word-level and does not allocate.
 func (m *Matrix) Ones(fn func(i, j int) bool) {
 	for i := 0; i < m.rows; i++ {
-		for _, j := range m.RowOnes(i) {
-			if !fn(i, j) {
-				return
+		row := m.bits[i*m.wordsPerRow : (i+1)*m.wordsPerRow]
+		for w, word := range row {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				if !fn(i, w*wordBits+b) {
+					return
+				}
+				word &= word - 1
 			}
 		}
 	}
+}
+
+// OrAndNot sets m to m | (a &^ b) element-wise in one fused scan. The
+// pre-scheduling logic uses it to build the change matrix
+// L = (B(s) &^ Reff) | (Reff &^ B*) without temporaries. Shapes must match.
+func (m *Matrix) OrAndNot(a, b *Matrix) {
+	m.sameShape(a)
+	m.sameShape(b)
+	for i := range m.bits {
+		m.bits[i] |= a.bits[i] &^ b.bits[i]
+	}
+}
+
+// fnv64 constants (FNV-1a).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash64 returns a 64-bit FNV-1a hash of the matrix contents, folding seed
+// in first. Word positions are implicit (every word is hashed, zeros
+// included), so equal-shape matrices hash equally iff their bits match.
+// Callers that need exact matching (the scheduling cache) must still verify
+// with MatchesPacked or Equal; the hash only buckets.
+func (m *Matrix) Hash64(seed uint64) uint64 {
+	h := uint64(fnvOffset)
+	h = (h ^ seed) * fnvPrime
+	for _, w := range m.bits {
+		h = (h ^ w) * fnvPrime
+	}
+	return h
+}
+
+// AppendPacked appends every set bit as a packed uint32 (i<<16 | j) in
+// row-major order and returns the extended slice — a compact exact
+// fingerprint of a sparse matrix. It panics if either dimension exceeds
+// 65535.
+func (m *Matrix) AppendPacked(dst []uint32) []uint32 {
+	if m.rows > 1<<16 || m.cols > 1<<16 {
+		panic(fmt.Sprintf("bitmat: %dx%d too large to pack into uint32 pairs", m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.bits[i*m.wordsPerRow : (i+1)*m.wordsPerRow]
+		for w, word := range row {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				dst = append(dst, uint32(i)<<16|uint32(w*wordBits+b))
+				word &= word - 1
+			}
+		}
+	}
+	return dst
+}
+
+// MatchesPacked reports whether the set bits of m are exactly the packed
+// (i<<16 | j) entries, which must be in row-major order as produced by
+// AppendPacked. It walks m's words and never allocates.
+func (m *Matrix) MatchesPacked(packed []uint32) bool {
+	idx := 0
+	for i := 0; i < m.rows; i++ {
+		row := m.bits[i*m.wordsPerRow : (i+1)*m.wordsPerRow]
+		for w, word := range row {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				if idx >= len(packed) || packed[idx] != uint32(i)<<16|uint32(w*wordBits+b) {
+					return false
+				}
+				idx++
+				word &= word - 1
+			}
+		}
+	}
+	return idx == len(packed)
 }
 
 // ContainedIn reports whether every set bit of m is also set in o.

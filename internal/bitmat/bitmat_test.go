@@ -422,3 +422,189 @@ func BenchmarkOr128(b *testing.B) {
 		m.Or(o)
 	}
 }
+
+// --- word-level iteration and fingerprint APIs ---
+
+func TestAppendRowOnesFromRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		cols := 1 + rng.Intn(200)
+		m := randomMatrix(rng, 3, cols, 0.2)
+		i := rng.Intn(3)
+		from := rng.Intn(cols)
+
+		// Naive reference: scan columns (from+j)%cols for j=0..cols-1.
+		var want []int
+		for j := 0; j < cols; j++ {
+			v := (from + j) % cols
+			if m.Get(i, v) {
+				want = append(want, v)
+			}
+		}
+		got := m.AppendRowOnesFrom(nil, i, from)
+		if len(got) != len(want) {
+			t.Fatalf("cols=%d from=%d: got %v, want %v", cols, from, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("cols=%d from=%d: got %v, want %v", cols, from, got, want)
+			}
+		}
+		// from=0 must agree with the plain ascending scan.
+		asc := m.AppendRowOnes(nil, i)
+		zero := m.AppendRowOnesFrom(nil, i, 0)
+		if len(asc) != len(zero) {
+			t.Fatalf("from=0 disagrees with AppendRowOnes: %v vs %v", zero, asc)
+		}
+		for k := range asc {
+			if asc[k] != zero[k] {
+				t.Fatalf("from=0 disagrees with AppendRowOnes: %v vs %v", zero, asc)
+			}
+		}
+	}
+}
+
+func TestAppendRowOnesReusesBuffer(t *testing.T) {
+	m := New(2, 70)
+	m.Set(0, 3)
+	m.Set(0, 69)
+	buf := make([]int, 0, 8)
+	got := m.AppendRowOnes(buf, 0)
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendRowOnes did not reuse the provided buffer")
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 69 {
+		t.Fatalf("AppendRowOnes = %v, want [3 69]", got)
+	}
+}
+
+func TestColumnUnionAndRowOccupancy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		rows := 1 + rng.Intn(80)
+		cols := 1 + rng.Intn(200)
+		m := randomMatrix(rng, rows, cols, 0.1)
+
+		colOcc := m.ColumnUnion(nil)
+		for j := 0; j < cols; j++ {
+			got := colOcc[j/64]&(1<<(uint(j)%64)) != 0
+			if got != m.ColAny(j) {
+				t.Fatalf("ColumnUnion bit %d = %v, ColAny = %v", j, got, m.ColAny(j))
+			}
+		}
+		rowOcc := m.RowOccupancy(nil)
+		for i := 0; i < rows; i++ {
+			got := rowOcc[i/64]&(1<<(uint(i)%64)) != 0
+			if got != m.RowAny(i) {
+				t.Fatalf("RowOccupancy bit %d = %v, RowAny = %v", i, got, m.RowAny(i))
+			}
+		}
+	}
+}
+
+func TestOrAndNotFused(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(150)
+		m := randomMatrix(rng, rows, cols, 0.3)
+		a := randomMatrix(rng, rows, cols, 0.3)
+		b := randomMatrix(rng, rows, cols, 0.3)
+
+		want := m.Clone()
+		diff := a.Clone()
+		diff.AndNot(b)
+		want.Or(diff)
+
+		m.OrAndNot(a, b)
+		if !m.Equal(want) {
+			t.Fatalf("OrAndNot disagrees with Or(AndNot) composition")
+		}
+	}
+}
+
+func TestHash64AndPackedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 1+rng.Intn(40), 1+rng.Intn(150)
+		m := randomMatrix(rng, rows, cols, 0.15)
+		c := m.Clone()
+		if m.Hash64(42) != c.Hash64(42) {
+			t.Fatal("equal matrices hash differently")
+		}
+		if m.Hash64(1) == m.Hash64(2) && !m.IsZero() {
+			// Different seeds should almost surely differ; tolerate the
+			// astronomically unlikely collision only for the zero matrix.
+			t.Fatal("seed does not perturb hash")
+		}
+
+		packed := m.AppendPacked(nil)
+		if len(packed) != m.Count() {
+			t.Fatalf("packed %d entries, Count = %d", len(packed), m.Count())
+		}
+		if !m.MatchesPacked(packed) {
+			t.Fatal("matrix does not match its own packing")
+		}
+		// Any single-bit perturbation must break the match.
+		i, j := rng.Intn(rows), rng.Intn(cols)
+		before := m.Get(i, j)
+		m.Toggle(i, j)
+		if m.MatchesPacked(packed) {
+			t.Fatalf("MatchesPacked true after toggling (%d,%d)", i, j)
+		}
+		m.Toggle(i, j)
+		if m.Get(i, j) != before {
+			t.Fatal("toggle round trip failed")
+		}
+		if !m.MatchesPacked(packed) {
+			t.Fatal("restore did not restore the match")
+		}
+	}
+}
+
+func TestMatchesPackedPrefixAndSuffix(t *testing.T) {
+	m := New(4, 4)
+	m.Set(1, 2)
+	m.Set(3, 0)
+	packed := m.AppendPacked(nil)
+	if !m.MatchesPacked(packed) {
+		t.Fatal("self match failed")
+	}
+	if m.MatchesPacked(packed[:1]) {
+		t.Fatal("matched a strict prefix")
+	}
+	if m.MatchesPacked(append(append([]uint32{}, packed...), 3<<16|3)) {
+		t.Fatal("matched a strict superset")
+	}
+	if m.MatchesPacked(nil) {
+		t.Fatal("non-empty matrix matched empty packing")
+	}
+	if !New(4, 4).MatchesPacked(nil) {
+		t.Fatal("empty matrix should match empty packing")
+	}
+}
+
+func TestOnesWordLevelMatchesGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randomMatrix(rng, 9, 131, 0.2)
+	var got [][2]int
+	m.Ones(func(i, j int) bool {
+		got = append(got, [2]int{i, j})
+		return true
+	})
+	var want [][2]int
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 131; j++ {
+			if m.Get(i, j) {
+				want = append(want, [2]int{i, j})
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Ones visited %d bits, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("Ones order mismatch at %d: %v vs %v", k, got[k], want[k])
+		}
+	}
+}

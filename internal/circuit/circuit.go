@@ -69,10 +69,6 @@ func New(cfg Config) (*Network, error) {
 // Name implements netmodel.Network.
 func (n *Network) Name() string { return "circuit" }
 
-type request struct {
-	msg *nic.Message
-}
-
 type run struct {
 	cfg       Config
 	eng       *sim.Engine
@@ -81,11 +77,22 @@ type run struct {
 	schedNs   sim.Time
 	ctrlNs    sim.Time
 	dataPipe  sim.Time
-	outQueue  [][]*request
+	// outQueue holds pending circuit requests per output port; messages
+	// queue directly (the request token carries no other state).
+	outQueue  [][]*nic.Message
 	outBusy   []bool
 	srcActive []bool
 	stats     metrics.NetStats
 	inj       *fault.Injector
+
+	// Cached ArgHandler method values: the fault-free per-message event
+	// chain schedules through these instead of allocating closures.
+	requestArrivedFn sim.ArgHandler
+	scheduledFn      sim.ArgHandler
+	grantArrivedFn   sim.ArgHandler
+	deliverFn        sim.ArgHandler
+	teardownFn       sim.ArgHandler
+	sourceNextFn     sim.ArgHandler
 }
 
 // Run implements netmodel.Network.
@@ -101,10 +108,16 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		// Source serdes + wire to switch + (LVDS switch: 0) + wire to
 		// destination + destination serdes: 30+20+20+30.
 		dataPipe:  lm.SerializeNs + lm.WireNs + n.xbarDelay() + lm.WireNs + lm.DeserializeNs,
-		outQueue:  make([][]*request, n.cfg.N),
+		outQueue:  make([][]*nic.Message, n.cfg.N),
 		outBusy:   make([]bool, n.cfg.N),
 		srcActive: make([]bool, n.cfg.N),
 	}
+	r.requestArrivedFn = r.requestArrived
+	r.scheduledFn = r.scheduled
+	r.grantArrivedFn = r.grantArrived
+	r.deliverFn = r.deliver
+	r.teardownFn = r.teardown
+	r.sourceNextFn = r.sourceNext
 	driver, err := netmodel.NewDriver(eng, lm, wl, netmodel.Hooks{
 		OnEnqueue: func(m *nic.Message) { r.kickSource(m.Src) },
 	})
@@ -148,21 +161,31 @@ func (r *run) startMessage(s int) {
 // requestCircuit sends the circuit-request token toward the scheduler. With
 // fault injection the token can be lost in transit; the NIC detects the
 // missing grant by timeout and re-requests after an exponential backoff
-// (attempt is the backoff exponent).
+// (attempt is the backoff exponent). Fault-free runs take the closure-free
+// path: the message pointer rides the event, the handler is cached.
 func (r *run) requestCircuit(m *nic.Message, attempt int) {
 	// The request token travels to the scheduler over a control line.
+	if r.inj == nil {
+		r.eng.AfterArg(r.ctrlNs, "request-at-scheduler", r.requestArrivedFn, m)
+		return
+	}
 	r.eng.After(r.ctrlNs, "request-at-scheduler", func() {
-		if r.inj != nil && r.inj.DrawRequestLoss() {
+		if r.inj.DrawRequestLoss() {
 			r.eng.After(r.inj.RetryDelay(attempt), "request-retry", func() {
 				r.driver.CountRetry()
 				r.requestCircuit(m, attempt+1)
 			})
 			return
 		}
-		req := &request{msg: m}
-		r.outQueue[m.Dst] = append(r.outQueue[m.Dst], req)
-		r.kickOutput(m.Dst)
+		r.requestArrived(m)
 	})
+}
+
+// requestArrived queues the request token at the scheduler.
+func (r *run) requestArrived(arg any) {
+	m := arg.(*nic.Message)
+	r.outQueue[m.Dst] = append(r.outQueue[m.Dst], m)
+	r.kickOutput(m.Dst)
 }
 
 // kickOutput grants the circuit for the next queued request once the output
@@ -171,14 +194,20 @@ func (r *run) kickOutput(v int) {
 	if r.outBusy[v] || len(r.outQueue[v]) == 0 {
 		return
 	}
-	req := r.outQueue[v][0]
+	m := r.outQueue[v][0]
 	r.outQueue[v] = r.outQueue[v][1:]
 	r.outBusy[v] = true
-	m := req.msg
 	r.stats.SchedulerPasses++
 	r.stats.Established++
 	// 80 ns to schedule, then the grant token travels back to the NIC.
-	r.eng.After(r.schedNs, "circuit-scheduled", func() { r.sendGrant(m, v, 0) })
+	r.eng.AfterArg(r.schedNs, "circuit-scheduled", r.scheduledFn, m)
+}
+
+// scheduled fires when the scheduler has allocated the circuit; the grant
+// token starts its trip back to the source NIC.
+func (r *run) scheduled(arg any) {
+	m := arg.(*nic.Message)
+	r.sendGrant(m, 0)
 }
 
 // sendGrant carries the grant token from the scheduler back to the source
@@ -186,33 +215,50 @@ func (r *run) kickOutput(v int) {
 // scheduler detects the unused circuit by timeout and re-sends the grant
 // after an exponential backoff. The circuit's output port stays reserved
 // throughout — a lost grant wastes port time, which is the point.
-func (r *run) sendGrant(m *nic.Message, v, attempt int) {
+func (r *run) sendGrant(m *nic.Message, attempt int) {
+	if r.inj == nil {
+		r.eng.AfterArg(r.ctrlNs, "grant-at-nic", r.grantArrivedFn, m)
+		return
+	}
 	r.eng.After(r.ctrlNs, "grant-at-nic", func() {
-		if r.inj != nil && r.inj.DrawGrantLoss() {
+		if r.inj.DrawGrantLoss() {
 			r.eng.After(r.inj.RetryDelay(attempt), "grant-retry", func() {
 				r.driver.CountRetry()
-				r.sendGrant(m, v, attempt+1)
+				r.sendGrant(m, attempt+1)
 			})
 			return
 		}
-		ser := r.cfg.Link.SerializationTime(m.Bytes)
-		// The last byte leaves the source at +ser and reaches the
-		// destination NIC one data-pipe latency later.
-		r.eng.After(ser+r.dataPipe+nic.RecvOverhead, "deliver", func() {
-			r.driver.Arrive(m)
-		})
-		// The circuit (and its output port) is held until the tail has
-		// cleared the fabric; then it is torn down and the port can be
-		// granted again.
-		r.eng.After(ser+r.cfg.Link.SerializeNs+r.cfg.Link.WireNs, "teardown", func() {
-			r.stats.Released++
-			r.outBusy[v] = false
-			r.kickOutput(v)
-		})
-		// The source NIC is free to request its next circuit as soon as it
-		// has pushed the last byte into the serializer.
-		r.eng.After(ser+nic.SendOverhead, "source-next", func() {
-			r.startMessage(m.Src)
-		})
+		r.grantArrived(m)
 	})
+}
+
+// grantArrived starts the transfer: the source NIC holds the circuit and
+// streams the whole message through it.
+func (r *run) grantArrived(arg any) {
+	m := arg.(*nic.Message)
+	ser := r.cfg.Link.SerializationTime(m.Bytes)
+	// The last byte leaves the source at +ser and reaches the destination
+	// NIC one data-pipe latency later.
+	r.eng.AfterArg(ser+r.dataPipe+nic.RecvOverhead, "deliver", r.deliverFn, m)
+	// The circuit (and its output port) is held until the tail has cleared
+	// the fabric; then it is torn down and the port can be granted again.
+	r.eng.AfterArg(ser+r.cfg.Link.SerializeNs+r.cfg.Link.WireNs, "teardown", r.teardownFn, m)
+	// The source NIC is free to request its next circuit as soon as it has
+	// pushed the last byte into the serializer.
+	r.eng.AfterArg(ser+nic.SendOverhead, "source-next", r.sourceNextFn, m)
+}
+
+func (r *run) deliver(arg any) {
+	r.driver.Arrive(arg.(*nic.Message))
+}
+
+func (r *run) teardown(arg any) {
+	v := arg.(*nic.Message).Dst
+	r.stats.Released++
+	r.outBusy[v] = false
+	r.kickOutput(v)
+}
+
+func (r *run) sourceNext(arg any) {
+	r.startMessage(arg.(*nic.Message).Src)
 }

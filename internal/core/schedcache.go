@@ -1,0 +1,161 @@
+// Scheduling-pass memoization: the software analogue of the paper's
+// working-set caching. The predictive switch keeps the hot communication
+// pattern resident in its configuration registers; this cache keeps the hot
+// *scheduling decisions* resident, so a request matrix the scheduler has
+// already resolved from the current state replays its recorded grant set
+// instead of re-running the O(N²) scheduling array.
+//
+// Soundness rests on the state-ID chain. A Scheduler's observable state is
+// (configs, latch, pinned); stateID names it injectively over the
+// scheduler's lifetime:
+//
+//   - Out-of-band mutators (Evict, EvictPort, AddBandwidth, LoadConfig,
+//     PinSlot, Flush, FlushAll, a direct ScheduleSlot that changed
+//     anything) mint a fresh, never-reused ID.
+//   - A computed pass that changed state mints a fresh ID; a no-change pass
+//     keeps its ID (only the SL/rotation cursors moved, and those are part
+//     of the key).
+//   - A replayed pass applies the exact recorded config/latch deltas —
+//     reproducing the recorded post-state bit for bit — and adopts the
+//     recorded post-state ID.
+//
+// A pass is a deterministic function of (state, slCursor, rot, R) — the
+// CanEstablish hook is required to be pure — so a key match implies the
+// recorded outcome is exactly what recomputation would produce. Entries are
+// bucketed by a 64-bit FNV-1a hash but verified against an exact packed
+// copy of R's set bits, so hash collisions cost a lookup, never
+// correctness.
+package core
+
+import "pmsnet/internal/bitmat"
+
+// maxCacheEntries bounds cache memory. When the cap is reached the cache
+// stops recording (rather than evicting) so that behaviour stays a
+// deterministic function of the run prefix and steady-state passes stay
+// allocation-free.
+const maxCacheEntries = 4096
+
+// passKey identifies a pass's full input: scheduler state (by ID), both
+// scheduling cursors, and the request matrix (by hash; verified exactly
+// against passEntry.reqBits).
+type passKey struct {
+	stateID  uint64
+	slCursor int
+	rot      int
+	reqHash  uint64
+}
+
+// passEntry is one recorded pass transition.
+type passEntry struct {
+	key     passKey
+	reqBits []uint32 // exact packed set bits of R (AppendPacked order)
+
+	// Recorded outcome: the PassResult slices (owned by the entry) double
+	// as the config deltas — Established bits are set, Released bits
+	// cleared, and under latching Established bits are latched.
+	slots    []int
+	est, rel []Change
+	latchClr []uint32 // packed latch clears (released and gone everywhere)
+
+	// Post-state.
+	nextStateID uint64
+	nextSL      int
+	nextRot     int
+}
+
+type passCache struct {
+	buckets map[uint64][]*passEntry
+	n       int
+}
+
+func newPassCache() *passCache {
+	return &passCache{buckets: make(map[uint64][]*passEntry)}
+}
+
+// passKey builds the lookup key for a pass over request matrix r from the
+// scheduler's current state.
+func (s *Scheduler) passKey(r *bitmat.Matrix) passKey {
+	// Fold the state ID and cursors into the seed so the bucket hash
+	// separates states as well as request patterns.
+	seed := s.stateID*0x9e3779b97f4a7c15 ^ uint64(s.slCursor)<<32 ^ uint64(s.rot)
+	return passKey{
+		stateID:  s.stateID,
+		slCursor: s.slCursor,
+		rot:      s.rot,
+		reqHash:  r.Hash64(seed),
+	}
+}
+
+// lookup returns the recorded transition for (key, r), or nil. Candidates
+// matching the hash are verified against the exact request bits.
+func (c *passCache) lookup(key passKey, r *bitmat.Matrix) *passEntry {
+	for _, e := range c.buckets[key.reqHash] {
+		if e.key == key && r.MatchesPacked(e.reqBits) {
+			return e
+		}
+	}
+	return nil
+}
+
+// record stores the pass the scheduler just computed into its scratch
+// buffers, copying them into entry-owned slices. It is a no-op once the
+// cache is full.
+func (c *passCache) record(key passKey, r *bitmat.Matrix, s *Scheduler) {
+	if c.n >= maxCacheEntries {
+		return
+	}
+	e := &passEntry{
+		key:         key,
+		reqBits:     r.AppendPacked(make([]uint32, 0, r.Count())),
+		slots:       append([]int(nil), s.slotsBuf...),
+		est:         append([]Change(nil), s.estBuf...),
+		rel:         append([]Change(nil), s.relBuf...),
+		latchClr:    append([]uint32(nil), s.latchClrBuf...),
+		nextStateID: s.stateID,
+		nextSL:      s.slCursor,
+		nextRot:     s.rot,
+	}
+	c.buckets[key.reqHash] = append(c.buckets[key.reqHash], e)
+	c.n++
+}
+
+// replay applies a recorded transition: the config and latch deltas, the
+// cursor and state-ID advances, and the activity counters — everything a
+// computed pass would have done, without touching the scheduling array.
+// Every est/rel cell is distinct within one pass (a connection released in
+// one slot cannot be re-established in another during the same pass, and
+// vice versa), so the deltas commute and replay order is immaterial.
+func (s *Scheduler) replay(e *passEntry) PassResult {
+	for _, c := range e.est {
+		s.configs[c.Slot].Set(c.Src, c.Dst)
+	}
+	for _, c := range e.rel {
+		s.configs[c.Slot].Clear(c.Src, c.Dst)
+	}
+	if s.p.LatchRequests {
+		for _, c := range e.est {
+			s.latch.Set(c.Src, c.Dst)
+		}
+		for _, p := range e.latchClr {
+			s.latch.Clear(int(p>>16), int(p&0xffff))
+		}
+	}
+	if len(e.est)+len(e.rel) > 0 {
+		s.dirty = true
+	}
+	s.stats.Established += uint64(len(e.est))
+	s.stats.Released += uint64(len(e.rel))
+	s.slCursor = e.nextSL
+	s.rot = e.nextRot
+	s.stateID = e.nextStateID
+	return PassResult{Slots: e.slots, Established: e.est, Released: e.rel}
+}
+
+// CacheSize returns the number of recorded pass transitions (zero unless
+// Params.Memoize).
+func (s *Scheduler) CacheSize() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.n
+}

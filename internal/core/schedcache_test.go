@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmsnet/internal/bitmat"
+)
+
+// twin drives a memoized and an unmemoized scheduler through the same
+// operation sequence and fails the test at the first behavioural
+// divergence — the cache must be observationally invisible.
+type twin struct {
+	t      *testing.T
+	cached *Scheduler
+	plain  *Scheduler
+}
+
+func newTwin(t *testing.T, p Params) *twin {
+	t.Helper()
+	pc := p
+	pc.Memoize = true
+	pp := p
+	pp.Memoize = false
+	return &twin{t: t, cached: MustScheduler(pc), plain: MustScheduler(pp)}
+}
+
+func sameChanges(a, b []Change) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pass runs one Pass on both schedulers and demands identical results and
+// identical post-state.
+func (tw *twin) pass(r *bitmat.Matrix) {
+	tw.t.Helper()
+	rc, rp := tw.cached.Pass(r), tw.plain.Pass(r)
+	if !sameInts(rc.Slots, rp.Slots) {
+		tw.t.Fatalf("slot divergence: cached %v, plain %v", rc.Slots, rp.Slots)
+	}
+	if !sameChanges(rc.Established, rp.Established) {
+		tw.t.Fatalf("establish divergence: cached %v, plain %v", rc.Established, rp.Established)
+	}
+	if !sameChanges(rc.Released, rp.Released) {
+		tw.t.Fatalf("release divergence: cached %v, plain %v", rc.Released, rp.Released)
+	}
+	tw.checkState()
+}
+
+func (tw *twin) checkState() {
+	tw.t.Helper()
+	k := tw.cached.Params().K
+	for slot := 0; slot < k; slot++ {
+		if !tw.cached.Config(slot).Equal(tw.plain.Config(slot)) {
+			tw.t.Fatalf("B(%d) divergence:\ncached:\n%v\nplain:\n%v",
+				slot, tw.cached.Config(slot), tw.plain.Config(slot))
+		}
+		if tw.cached.Pinned(slot) != tw.plain.Pinned(slot) {
+			tw.t.Fatalf("pinned(%d) divergence", slot)
+		}
+	}
+	if !tw.cached.BStar().Equal(tw.plain.BStar()) {
+		tw.t.Fatal("B* divergence")
+	}
+	n := tw.cached.Params().N
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if tw.cached.Latched(u, v) != tw.plain.Latched(u, v) {
+				tw.t.Fatalf("latch divergence at (%d,%d)", u, v)
+			}
+		}
+	}
+	sc, sp := tw.cached.Stats(), tw.plain.Stats()
+	sc.CacheHits, sc.CacheMisses = 0, 0
+	if sc != sp {
+		tw.t.Fatalf("stats divergence: cached %+v, plain %+v", sc, sp)
+	}
+	if err := tw.cached.CheckInvariants(); err != nil {
+		tw.t.Fatalf("cached invariants: %v", err)
+	}
+	if err := tw.plain.CheckInvariants(); err != nil {
+		tw.t.Fatalf("plain invariants: %v", err)
+	}
+}
+
+func TestCacheHitsReplayIdentically(t *testing.T) {
+	// K=1, no rotation: a steady request pattern reaches a fixed point
+	// after one pass, so from the third pass on every pass is a cache hit.
+	tw := newTwin(t, Params{N: 8, K: 1})
+	r := req(8, [2]int{0, 1}, [2]int{2, 3}, [2]int{4, 5})
+	for i := 0; i < 10; i++ {
+		tw.pass(r)
+	}
+	st := tw.cached.Stats()
+	if st.CacheHits == 0 {
+		t.Fatalf("expected cache hits on a steady pattern, stats %+v", st)
+	}
+	if st.CacheHits+st.CacheMisses != st.Passes {
+		t.Fatalf("hits+misses = %d, passes = %d", st.CacheHits+st.CacheMisses, st.Passes)
+	}
+	if tw.plain.Stats().CacheHits != 0 || tw.plain.Stats().CacheMisses != 0 {
+		t.Fatal("unmemoized scheduler reported cache activity")
+	}
+}
+
+func TestCacheRotationCyclesStillHit(t *testing.T) {
+	// With rotation the key includes rot, so a steady pattern only repeats
+	// after the rot/slCursor cycle closes — but then it must hit.
+	n, k := 6, 2
+	tw := newTwin(t, Params{N: n, K: k, RotatePriority: true, SkipEmptySlots: true})
+	r := req(n, [2]int{0, 1}, [2]int{1, 0}, [2]int{3, 4})
+	cycle := n * k // lcm(n, k) divides n*k
+	for i := 0; i < 3*cycle; i++ {
+		tw.pass(r)
+	}
+	if tw.cached.Stats().CacheHits == 0 {
+		t.Fatalf("no hits after %d steady passes, stats %+v", 3*cycle, tw.cached.Stats())
+	}
+}
+
+func TestEvictInvalidatesCachedPasses(t *testing.T) {
+	tw := newTwin(t, Params{N: 8, K: 2, LatchRequests: true})
+	r := req(8, [2]int{0, 1}, [2]int{2, 3})
+	for i := 0; i < 8; i++ {
+		tw.pass(r)
+	}
+	if tw.cached.Stats().CacheHits == 0 {
+		t.Fatal("cache never warmed up")
+	}
+	// Evict one connection out-of-band (the predictor's move) and keep
+	// passing a request matrix that no longer asks for it: a stale cached
+	// replay would resurrect the old grant set.
+	if got := tw.cached.Evict(0, 1); got != tw.plain.Evict(0, 1) {
+		t.Fatal("evict count divergence")
+	}
+	tw.checkState()
+	r2 := req(8, [2]int{2, 3})
+	for i := 0; i < 8; i++ {
+		tw.pass(r2)
+	}
+	if tw.cached.Connected(0, 1) {
+		t.Fatal("evicted connection came back without a request")
+	}
+}
+
+// TestEvictPortPinnedSlotsAndCacheEpoch covers the EvictPort/AddBandwidth
+// interaction with pinned slots and the cache epoch: a pinned preloaded
+// slot survives both operations, dynamic slots are cleaned, and every
+// cached pass recorded before the mutation is invalidated.
+func TestEvictPortPinnedSlotsAndCacheEpoch(t *testing.T) {
+	n, k := 8, 3
+	tw := newTwin(t, Params{N: n, K: k, LatchRequests: true})
+
+	// Slot 0 is a pinned preload containing 1→2; slots 1, 2 stay dynamic.
+	pre := bitmat.NewSquare(n)
+	pre.Set(1, 2)
+	for _, s := range []*Scheduler{tw.cached, tw.plain} {
+		if err := s.LoadConfig(0, pre, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tw.checkState()
+
+	// Establish 1→2 dynamically too (AddBandwidth needs an established
+	// connection) plus 4→5, then warm the cache.
+	r := req(n, [2]int{1, 2}, [2]int{4, 5})
+	for i := 0; i < 3*k; i++ {
+		tw.pass(r)
+	}
+	warmHits := tw.cached.Stats().CacheHits
+	if warmHits == 0 {
+		t.Fatal("cache never warmed up with a pinned slot present")
+	}
+
+	// AddBandwidth must mutate only dynamic slots and invalidate the epoch.
+	if ac, ap := tw.cached.AddBandwidth(4, 5, k), tw.plain.AddBandwidth(4, 5, k); ac != ap {
+		t.Fatalf("AddBandwidth divergence: cached %d, plain %d", ac, ap)
+	}
+	tw.checkState()
+	for i := 0; i < 2; i++ {
+		tw.pass(r)
+	}
+
+	// EvictPort(2) hits both the dynamic copies using port 2; the pinned
+	// preload keeps its 1→2 entry.
+	ec, ep := tw.cached.EvictPort(2), tw.plain.EvictPort(2)
+	if !sameChanges(ec, ep) {
+		t.Fatalf("EvictPort divergence: cached %v, plain %v", ec, ep)
+	}
+	for _, c := range ec {
+		if c.Slot == 0 {
+			t.Fatalf("EvictPort touched pinned slot: %+v", c)
+		}
+	}
+	if !tw.cached.Config(0).Get(1, 2) {
+		t.Fatal("pinned preload lost its connection")
+	}
+	tw.checkState()
+
+	// Passes after the mutation must not replay pre-mutation transitions:
+	// behaviour has to keep matching the unmemoized twin exactly.
+	for i := 0; i < 3*k; i++ {
+		tw.pass(r)
+	}
+}
+
+func TestCacheStopsRecordingAtCapacity(t *testing.T) {
+	s := MustScheduler(Params{N: 16, K: 2, Memoize: true})
+	rng := rand.New(rand.NewSource(5))
+	r := bitmat.NewSquare(16)
+	for i := 0; i < 2*maxCacheEntries; i++ {
+		// Ever-changing requests: nearly every pass is a distinct key.
+		r.Toggle(rng.Intn(16), rng.Intn(16))
+		s.Pass(r)
+	}
+	if s.CacheSize() > maxCacheEntries {
+		t.Fatalf("cache grew past its cap: %d > %d", s.CacheSize(), maxCacheEntries)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCachedPassIdentity drives random operation sequences — passes,
+// evictions, flushes, preloads, bandwidth changes — through the twin pair
+// and demands bit-identity throughout.
+func TestQuickCachedPassIdentity(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		k := 1 + rng.Intn(3)
+		p := Params{
+			N:              n,
+			K:              k,
+			RotatePriority: rng.Intn(2) == 0,
+			SkipEmptySlots: rng.Intn(2) == 0,
+			SLCopies:       1 + rng.Intn(k),
+			LatchRequests:  rng.Intn(2) == 0,
+		}
+		tw := newTwin(t, p)
+		r := bitmat.NewSquare(n)
+		for step := 0; step < 200; step++ {
+			switch op := rng.Intn(10); {
+			case op < 6: // mutate the request matrix a little and pass
+				for m := rng.Intn(3); m >= 0; m-- {
+					u, v := rng.Intn(n), rng.Intn(n)
+					if u != v {
+						r.Toggle(u, v)
+					}
+				}
+				tw.pass(r)
+			case op < 7: // repeat the same request (the cache's bread and butter)
+				tw.pass(r)
+			case op < 8:
+				u, v := rng.Intn(n), rng.Intn(n)
+				if tw.cached.Evict(u, v) != tw.plain.Evict(u, v) {
+					t.Fatalf("seed %d: evict divergence", seed)
+				}
+				tw.checkState()
+			case op < 9:
+				u, v, extra := rng.Intn(n), rng.Intn(n), 1+rng.Intn(k)
+				if tw.cached.AddBandwidth(u, v, extra) != tw.plain.AddBandwidth(u, v, extra) {
+					t.Fatalf("seed %d: AddBandwidth divergence", seed)
+				}
+				tw.checkState()
+			default:
+				tw.cached.Flush()
+				tw.plain.Flush()
+				tw.checkState()
+			}
+		}
+	}
+}
+
+// FuzzSchedCache feeds arbitrary operation tapes to the twin pair: cached
+// and uncached Pass results must stay identical across request-matrix
+// mutations interleaved with evictions and flushes.
+func FuzzSchedCache(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x10, 0x93, 0x07})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00})
+	f.Add([]byte("steady state then evict"))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) == 0 {
+			return
+		}
+		n := 2 + int(tape[0]%8)
+		k := 1 + int(tape[0]>>4%3)
+		p := Params{
+			N:              n,
+			K:              k,
+			RotatePriority: tape[0]&1 != 0,
+			SkipEmptySlots: tape[0]&2 != 0,
+			LatchRequests:  tape[0]&4 != 0,
+		}
+		tw := newTwin(t, p)
+		r := bitmat.NewSquare(n)
+		next := func(i int) byte { return tape[i%len(tape)] }
+		for i := 1; i < len(tape); i++ {
+			b := tape[i]
+			u, v := int(next(i+1))%n, int(next(i+2))%n
+			switch b % 5 {
+			case 0, 1:
+				if u != v {
+					r.Toggle(u, v)
+				}
+				tw.pass(r)
+			case 2:
+				tw.pass(r)
+			case 3:
+				if tw.cached.Evict(u, v) != tw.plain.Evict(u, v) {
+					t.Fatal("evict divergence")
+				}
+				tw.checkState()
+			default:
+				tw.cached.Flush()
+				tw.plain.Flush()
+				tw.checkState()
+			}
+		}
+	})
+}

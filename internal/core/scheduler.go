@@ -65,7 +65,16 @@ type Params struct {
 	// fabrics with limited permutation capability — multistage networks —
 	// use this hook (paper §4: "more complicated constraints may be derived
 	// for fabrics that have limited permutation capabilities").
+	//
+	// With Memoize the hook must be a pure function of (b, u, v): cached
+	// passes replay recorded decisions without re-invoking it.
 	CanEstablish func(b *bitmat.Matrix, u, v int) bool
+	// Memoize enables the scheduling-pass cache: passes whose full scheduler
+	// state and request matrix have been seen before replay the recorded
+	// grant set instead of re-running the scheduling array. The cache is
+	// exact (results are bit-identical with and without it) — see
+	// schedcache.go.
+	Memoize bool
 }
 
 // withDefaults normalizes zero values.
@@ -96,7 +105,10 @@ type Change struct {
 	Slot     int
 }
 
-// PassResult summarizes one scheduling pass.
+// PassResult summarizes one scheduling pass. Its slices are owned by the
+// Scheduler (scratch buffers on a computed pass, cache entries on a replayed
+// one): they are valid until the next Pass or ScheduleSlot call and must not
+// be mutated or retained by the caller.
 type PassResult struct {
 	// Slots lists the slot indices the pass scheduled into (SLCopies long,
 	// unless fewer dynamic slots exist).
@@ -113,6 +125,11 @@ type Stats struct {
 	Released    uint64
 	Flushes     uint64
 	Evictions   uint64
+	// CacheHits and CacheMisses count memoized-pass lookups (zero unless
+	// Params.Memoize). They are the only counters allowed to differ between
+	// cache-on and cache-off runs.
+	CacheHits   uint64
+	CacheMisses uint64
 }
 
 // Scheduler is the TDM connection scheduler. It is not safe for concurrent
@@ -130,6 +147,28 @@ type Scheduler struct {
 	rot       int
 
 	stats Stats
+
+	// Reusable scratch, sized once at construction so the per-pass hot path
+	// stays allocation-free after warmup.
+	effBuf      *bitmat.Matrix // effectiveRequests result under latching
+	lBuf        *bitmat.Matrix // PreSchedule change matrix
+	occOut      []uint64       // AO bitmask: output v occupied in the slot
+	occIn       []uint64       // AI bitmask: input u occupied in the slot
+	colBuf      []int          // rotated set-column scan of one L row
+	estBuf      []Change       // established changes of the current pass
+	relBuf      []Change       // released changes of the current pass
+	slotsBuf    []int          // slots visited by the current pass
+	latchClrBuf []uint32       // packed latch clears of the current pass
+	fabricBuf   *bitmat.Matrix // NextFabricSlot result
+	invBuf      *bitmat.Matrix // CheckInvariants B* recomputation
+
+	// Memoized-pass state (nil cache when Params.Memoize is off). stateID
+	// names the current observable scheduler state (configs, latch, pinned);
+	// every mutation mints a fresh ID from nextID, so a recorded transition
+	// keyed on a stateID can never be replayed against a different state.
+	cache   *passCache
+	stateID uint64
+	nextID  uint64
 }
 
 // NewScheduler builds a scheduler. Invalid Params return an error with the
@@ -147,9 +186,19 @@ func NewScheduler(p Params) (*Scheduler, error) {
 		pinned:  make([]bool, p.K),
 		latch:   bitmat.NewSquare(p.N),
 		bstar:   bitmat.NewSquare(p.N),
+		lBuf:    bitmat.NewSquare(p.N),
 	}
 	for i := range s.configs {
 		s.configs[i] = bitmat.NewSquare(p.N)
+	}
+	if p.LatchRequests {
+		s.effBuf = bitmat.NewSquare(p.N)
+	}
+	occWords := (p.N + 63) / 64
+	s.occOut = make([]uint64, occWords)
+	s.occIn = make([]uint64, occWords)
+	if p.Memoize {
+		s.cache = newPassCache()
 	}
 	return s, nil
 }
@@ -204,13 +253,31 @@ func (s *Scheduler) Connected(src, dst int) bool {
 // SlotsOf returns the slots in which src→dst is established (more than one
 // under AddBandwidth).
 func (s *Scheduler) SlotsOf(src, dst int) []int {
-	var out []int
+	return s.AppendSlotsOf(nil, src, dst)
+}
+
+// AppendSlotsOf appends the slots in which src→dst is established to dst
+// and returns the extended slice — the allocation-free variant of SlotsOf
+// for hot paths that hold a reusable buffer.
+func (s *Scheduler) AppendSlotsOf(dst []int, src, dstPort int) []int {
 	for i, c := range s.configs {
-		if c.Get(src, dst) {
-			out = append(out, i)
+		if c.Get(src, dstPort) {
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
+}
+
+// slotCountOf returns the number of slots holding src→dst without
+// materializing the slot list.
+func (s *Scheduler) slotCountOf(src, dst int) int {
+	n := 0
+	for _, c := range s.configs {
+		if c.Get(src, dst) {
+			n++
+		}
+	}
+	return n
 }
 
 // Connections returns the number of distinct established connections.
@@ -223,13 +290,30 @@ func (s *Scheduler) Connections() int {
 // the effective multiplexing degree the TDM counter cycles through when
 // empty-slot skipping is on.
 func (s *Scheduler) ActiveSlots() []int {
-	var out []int
+	return s.AppendActiveSlots(nil)
+}
+
+// AppendActiveSlots appends the active slot indices to dst and returns the
+// extended slice — the allocation-free variant of ActiveSlots.
+func (s *Scheduler) AppendActiveSlots(dst []int) []int {
 	for i, c := range s.configs {
 		if !c.IsZero() {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
+}
+
+// ActiveSlotCount returns the number of non-empty slots without
+// materializing the index list.
+func (s *Scheduler) ActiveSlotCount() int {
+	n := 0
+	for _, c := range s.configs {
+		if !c.IsZero() {
+			n++
+		}
+	}
+	return n
 }
 
 func (s *Scheduler) checkSlot(slot int) {
@@ -250,7 +334,8 @@ func (s *Scheduler) checkPort(u int) {
 // configuration should be copied to the fabric for the next time slot. With
 // SkipEmptySlots it skips all-zero configurations (paper §4, Figure 2); if
 // every configuration is empty it reports ok=false and the fabric stays
-// idle.
+// idle. The returned matrix is a scheduler-owned scratch copy: it is valid
+// until the next NextFabricSlot call and must not be mutated or retained.
 func (s *Scheduler) NextFabricSlot() (slot int, cfg *bitmat.Matrix, ok bool) {
 	for tried := 0; tried < s.p.K; tried++ {
 		t := s.tdmCursor
@@ -258,7 +343,11 @@ func (s *Scheduler) NextFabricSlot() (slot int, cfg *bitmat.Matrix, ok bool) {
 		if s.p.SkipEmptySlots && s.configs[t].IsZero() {
 			continue
 		}
-		return t, s.configs[t].Clone(), true
+		if s.fabricBuf == nil {
+			s.fabricBuf = bitmat.NewSquare(s.p.N)
+		}
+		s.fabricBuf.CopyFrom(s.configs[t])
+		return t, s.fabricBuf, true
 	}
 	return -1, nil, false
 }
@@ -277,34 +366,35 @@ func (s *Scheduler) GrantRow(slot, u int) int {
 
 // effectiveRequests returns R | latch when latching is on, otherwise R.
 // The latch matrix holds requests the scheduler has decided to remember
-// after the NIC dropped them (extension 3).
+// after the NIC dropped them (extension 3). Under latching the result is
+// the scheduler's effBuf scratch, valid until the next call.
 func (s *Scheduler) effectiveRequests(r *bitmat.Matrix) *bitmat.Matrix {
 	if !s.p.LatchRequests {
 		return r
 	}
-	eff := r.Clone()
-	eff.Or(s.latch)
-	return eff
+	s.effBuf.CopyFrom(r)
+	s.effBuf.Or(s.latch)
+	return s.effBuf
 }
 
 // PreSchedule computes the change matrix L of Table 1 for slot `slot` given
 // request matrix r: L(u,v)=1 when the connection should be released from the
 // slot (not requested but realized there) or established (requested and
-// realized nowhere).
+// realized nowhere). The result is a scheduler-owned scratch matrix, valid
+// until the next PreSchedule, ScheduleSlot or Pass call.
 func (s *Scheduler) PreSchedule(r *bitmat.Matrix, slot int) *bitmat.Matrix {
 	s.checkSlot(slot)
 	s.checkShape(r)
 	s.refreshBStar()
 	eff := s.effectiveRequests(r)
-	b := s.configs[slot]
 
 	// Release term: not requested, realized in slot s -> B(s) &^ Reff.
-	l := b.Clone()
+	l := s.lBuf
+	l.CopyFrom(s.configs[slot])
 	l.AndNot(eff)
-	// Establish term: requested, realized nowhere -> Reff &^ B*.
-	est := eff.Clone()
-	est.AndNot(s.bstar)
-	l.Or(est)
+	// Establish term: requested, realized nowhere -> Reff &^ B*, fused into
+	// the same scan.
+	l.OrAndNot(eff, s.bstar)
 	return l
 }
 
@@ -315,31 +405,52 @@ func (s *Scheduler) checkShape(m *bitmat.Matrix) {
 }
 
 // ScheduleSlot runs one SL-array evaluation (Table 2) against slot `slot`,
-// mutating B(slot). It returns the changes it made. The array is scanned in
-// the rotated priority order: rows from origin a, columns from origin b,
-// with the availability signals A (per output column) and D (per input row)
-// initialized from AO/AI and updated as connections are released and
-// established, exactly as the propagating hardware signals would be.
+// mutating B(slot). It returns the changes it made in scheduler-owned
+// scratch slices, valid until the next ScheduleSlot or Pass call. The array
+// is scanned in the rotated priority order: rows from origin a, columns from
+// origin b, with the availability signals A (per output column) and D (per
+// input row) initialized from AO/AI and updated as connections are released
+// and established, exactly as the propagating hardware signals would be.
 func (s *Scheduler) ScheduleSlot(r *bitmat.Matrix, slot int) (established, released []Change) {
+	s.estBuf = s.estBuf[:0]
+	s.relBuf = s.relBuf[:0]
+	s.latchClrBuf = s.latchClrBuf[:0]
+	s.scheduleSlot(r, slot)
+	if len(s.estBuf)+len(s.relBuf) > 0 {
+		// A direct caller mutated scheduler state outside Pass's cache
+		// bookkeeping; retire the current state ID so no stale cached
+		// transition can be replayed against the new state.
+		s.invalidate()
+	}
+	return s.estBuf, s.relBuf
+}
+
+// occupancy bitmask helpers for the AO/AI vectors.
+func maskTest(m []uint64, i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
+func maskSet(m []uint64, i int)       { m[i>>6] |= 1 << (uint(i) & 63) }
+func maskClear(m []uint64, i int)     { m[i>>6] &^= 1 << (uint(i) & 63) }
+
+// scheduleSlot is the allocation-free SL-array evaluation shared by
+// ScheduleSlot and Pass. It appends changes to estBuf/relBuf (without
+// resetting them, so one Pass accumulates across its SLCopies slots) and
+// records latch clears in latchClrBuf for the memo cache.
+func (s *Scheduler) scheduleSlot(r *bitmat.Matrix, slot int) {
 	s.checkSlot(slot)
 	if s.pinned[slot] {
 		panic(fmt.Sprintf("core: ScheduleSlot on pinned slot %d", slot))
 	}
 	l := s.PreSchedule(r, slot)
 	if l.IsZero() {
-		return nil, nil
+		return
 	}
 	b := s.configs[slot]
 	n := s.p.N
+	estStart, relStart := len(s.estBuf), len(s.relBuf)
 
 	// A[v]: output v occupied in this slot (paper's AO). D[u]: input u
-	// occupied (paper's AI).
-	occOut := make([]bool, n)
-	occIn := make([]bool, n)
-	for p := 0; p < n; p++ {
-		occOut[p] = b.ColAny(p)
-		occIn[p] = b.RowAny(p)
-	}
+	// occupied (paper's AI). Both are word-parallel bitmask scans of B(s).
+	s.occOut = b.ColumnUnion(s.occOut)
+	s.occIn = b.RowOccupancy(s.occIn)
 
 	a, bo := 0, 0
 	if s.p.RotatePriority {
@@ -348,16 +459,12 @@ func (s *Scheduler) ScheduleSlot(r *bitmat.Matrix, slot int) (established, relea
 
 	for i := 0; i < n; i++ {
 		u := (a + i) % n
-		rowOnes := l.RowOnes(u)
-		if len(rowOnes) == 0 {
+		if !l.RowAny(u) {
 			continue
 		}
-		// Visit this row's L=1 cells in rotated column order.
-		for j := 0; j < n; j++ {
-			v := (bo + j) % n
-			if !l.Get(u, v) {
-				continue
-			}
+		// Visit this row's L=1 cells in rotated column order, word-at-a-time.
+		s.colBuf = l.AppendRowOnesFrom(s.colBuf[:0], u, bo)
+		for _, v := range s.colBuf {
 			// Each SL cell holds its own register bit B(s)(u,v), so it can
 			// distinguish the release case (bit set, ports necessarily
 			// occupied by this very connection) from an establish request
@@ -365,10 +472,10 @@ func (s *Scheduler) ScheduleSlot(r *bitmat.Matrix, slot int) (established, relea
 			if b.Get(u, v) {
 				// Table 2 row (L=1, A=1, D=1): release, ports become free.
 				b.Clear(u, v)
-				occOut[v] = false
-				occIn[u] = false
-				released = append(released, Change{Src: u, Dst: v, Slot: slot})
-			} else if !occOut[v] && !occIn[u] {
+				maskClear(s.occOut, v)
+				maskClear(s.occIn, u)
+				s.relBuf = append(s.relBuf, Change{Src: u, Dst: v, Slot: slot})
+			} else if !maskTest(s.occOut, v) && !maskTest(s.occIn, u) {
 				if s.p.CanEstablish != nil && !s.p.CanEstablish(b, u, v) {
 					// Fabric constraint: the connection would make this
 					// slot's configuration unrealizable; treat it like a
@@ -377,15 +484,17 @@ func (s *Scheduler) ScheduleSlot(r *bitmat.Matrix, slot int) (established, relea
 				}
 				// Table 2 row (L=1, A=0, D=0): establish, ports become busy.
 				b.Set(u, v)
-				occOut[v] = true
-				occIn[u] = true
-				established = append(established, Change{Src: u, Dst: v, Slot: slot})
+				maskSet(s.occOut, v)
+				maskSet(s.occIn, u)
+				s.estBuf = append(s.estBuf, Change{Src: u, Dst: v, Slot: slot})
 			}
 			// Mixed availability (Table 2 middle rows): no change; the
 			// signals pass through unchanged.
 		}
 	}
 
+	established := s.estBuf[estStart:]
+	released := s.relBuf[relStart:]
 	if len(established) > 0 || len(released) > 0 {
 		s.dirty = true
 	}
@@ -396,31 +505,49 @@ func (s *Scheduler) ScheduleSlot(r *bitmat.Matrix, slot int) (established, relea
 		for _, c := range released {
 			// Released connections (evicted or flushed) lose their latch if
 			// they are gone from every slot.
-			if len(s.SlotsOf(c.Src, c.Dst)) == 0 {
+			if s.slotCountOf(c.Src, c.Dst) == 0 {
 				s.latch.Clear(c.Src, c.Dst)
+				s.latchClrBuf = append(s.latchClrBuf, uint32(c.Src)<<16|uint32(c.Dst))
 			}
 		}
 	}
 	s.stats.Established += uint64(len(established))
 	s.stats.Released += uint64(len(released))
-	return established, released
 }
 
 // Pass runs one scheduler pass: SLCopies scheduling-logic evaluations on the
 // next dynamic (unpinned) slots in SL-counter order, then advances the
 // priority rotation. It is the unit of work that costs PassLatency() in
-// simulated time.
+// simulated time. With Params.Memoize a pass whose (state, cursors, request
+// matrix) triple was seen before replays the recorded outcome instead of
+// re-running the array; results are bit-identical either way. The returned
+// slices are scheduler-owned and valid until the next Pass or ScheduleSlot
+// call.
 func (s *Scheduler) Pass(r *bitmat.Matrix) PassResult {
 	s.stats.Passes++
-	res := PassResult{}
-	dyn := s.dynamicSlots()
-	if len(dyn) == 0 {
-		return res
+	dyn := s.DynamicSlotCount()
+	if dyn == 0 {
+		return PassResult{}
 	}
+
+	var key passKey
+	if s.cache != nil {
+		key = s.passKey(r)
+		if e := s.cache.lookup(key, r); e != nil {
+			s.stats.CacheHits++
+			return s.replay(e)
+		}
+		s.stats.CacheMisses++
+	}
+
 	copies := s.p.SLCopies
-	if copies > len(dyn) {
-		copies = len(dyn)
+	if copies > dyn {
+		copies = dyn
 	}
+	s.estBuf = s.estBuf[:0]
+	s.relBuf = s.relBuf[:0]
+	s.slotsBuf = s.slotsBuf[:0]
+	s.latchClrBuf = s.latchClrBuf[:0]
 	for c := 0; c < copies; c++ {
 		// Advance the SL cursor to the next dynamic slot.
 		var slot int
@@ -431,30 +558,49 @@ func (s *Scheduler) Pass(r *bitmat.Matrix) PassResult {
 				break
 			}
 		}
-		est, rel := s.ScheduleSlot(r, slot)
-		res.Slots = append(res.Slots, slot)
-		res.Established = append(res.Established, est...)
-		res.Released = append(res.Released, rel...)
+		s.scheduleSlot(r, slot)
+		s.slotsBuf = append(s.slotsBuf, slot)
 	}
 	if s.p.RotatePriority {
 		s.rot = (s.rot + 1) % s.p.N
 	}
-	return res
-}
-
-func (s *Scheduler) dynamicSlots() []int {
-	var out []int
-	for i, p := range s.pinned {
-		if !p {
-			out = append(out, i)
+	res := PassResult{Slots: s.slotsBuf, Established: s.estBuf, Released: s.relBuf}
+	if s.cache != nil {
+		if len(s.estBuf)+len(s.relBuf) > 0 {
+			// The pass changed observable state: mint the ID that names the
+			// post-state. A no-change pass keeps its ID (only the cursors
+			// moved, and those are part of the cache key).
+			s.nextID++
+			s.stateID = s.nextID
 		}
+		s.cache.record(key, r, s)
 	}
-	return out
+	return res
 }
 
 // DynamicSlotCount returns the number of slots available to reactive
 // scheduling (K minus pinned slots).
-func (s *Scheduler) DynamicSlotCount() int { return len(s.dynamicSlots()) }
+func (s *Scheduler) DynamicSlotCount() int {
+	n := 0
+	for _, p := range s.pinned {
+		if !p {
+			n++
+		}
+	}
+	return n
+}
+
+// invalidate retires the current state ID after an out-of-band state
+// mutation (eviction, preload, flush, bandwidth change, direct
+// ScheduleSlot). Cache entries keyed on older IDs can then never match
+// again, so stale grants are structurally unable to replay.
+func (s *Scheduler) invalidate() {
+	if s.cache == nil {
+		return
+	}
+	s.nextID++
+	s.stateID = s.nextID
+}
 
 // --- extensions ---
 
@@ -473,13 +619,17 @@ func (s *Scheduler) LoadConfig(slot int, cfg *bitmat.Matrix, pin bool) error {
 	s.configs[slot].CopyFrom(cfg)
 	s.pinned[slot] = pin
 	s.dirty = true
+	s.invalidate()
 	return nil
 }
 
 // PinSlot marks a slot as preloaded so dynamic scheduling leaves it alone.
 func (s *Scheduler) PinSlot(slot int, pin bool) {
 	s.checkSlot(slot)
-	s.pinned[slot] = pin
+	if s.pinned[slot] != pin {
+		s.pinned[slot] = pin
+		s.invalidate()
+	}
 }
 
 // Pinned reports whether a slot is pinned.
@@ -518,6 +668,7 @@ func (s *Scheduler) AddBandwidth(src, dst, extra int) int {
 	}
 	if added > 0 {
 		s.dirty = true
+		s.invalidate()
 	}
 	return added
 }
@@ -539,11 +690,15 @@ func (s *Scheduler) Evict(src, dst int) int {
 			removed++
 		}
 	}
+	latched := s.latch.Get(src, dst)
 	s.latch.Clear(src, dst)
 	if removed > 0 {
 		s.dirty = true
 		s.stats.Evictions += uint64(removed)
 		s.stats.Released += uint64(removed)
+	}
+	if removed > 0 || latched {
+		s.invalidate()
 	}
 	return removed
 }
@@ -566,9 +721,11 @@ func (s *Scheduler) EvictPort(p int) []Change {
 			c.Clear(p, v)
 			out = append(out, Change{Src: p, Dst: v, Slot: slot})
 		}
-		for _, u := range s.usersOfOutput(slot, p) {
-			c.Clear(u, p)
-			out = append(out, Change{Src: u, Dst: p, Slot: slot})
+		for u := 0; u < s.p.N; u++ {
+			if c.Get(u, p) {
+				c.Clear(u, p)
+				out = append(out, Change{Src: u, Dst: p, Slot: slot})
+			}
 		}
 	}
 	for _, ch := range out {
@@ -578,18 +735,7 @@ func (s *Scheduler) EvictPort(p int) []Change {
 		s.dirty = true
 		s.stats.Evictions += uint64(len(out))
 		s.stats.Released += uint64(len(out))
-	}
-	return out
-}
-
-// usersOfOutput returns the inputs connected to output v in a slot (at most
-// one on a healthy partial permutation).
-func (s *Scheduler) usersOfOutput(slot, v int) []int {
-	var out []int
-	for u := 0; u < s.p.N; u++ {
-		if s.configs[slot].Get(u, v) {
-			out = append(out, u)
-		}
+		s.invalidate()
 	}
 	return out
 }
@@ -606,6 +752,7 @@ func (s *Scheduler) Flush() {
 	s.latch.Reset()
 	s.dirty = true
 	s.stats.Flushes++
+	s.invalidate()
 }
 
 // FlushAll clears everything, including pinned slots, and unpins them.
@@ -617,6 +764,7 @@ func (s *Scheduler) FlushAll() {
 	s.latch.Reset()
 	s.dirty = true
 	s.stats.Flushes++
+	s.invalidate()
 }
 
 // Latched reports whether a dropped request for src→dst is being held.
@@ -634,7 +782,11 @@ func (s *Scheduler) CheckInvariants() error {
 			return fmt.Errorf("core: B(%d) is not a partial permutation", i)
 		}
 	}
-	want := bitmat.NewSquare(s.p.N)
+	if s.invBuf == nil {
+		s.invBuf = bitmat.NewSquare(s.p.N)
+	}
+	want := s.invBuf
+	want.Reset()
 	for _, c := range s.configs {
 		want.Or(c)
 	}

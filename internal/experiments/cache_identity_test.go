@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"pmsnet/internal/fault"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/traffic"
+)
+
+// Cache-on vs cache-off bit-identity: the scheduler's memoized-pass cache is
+// an exact memoization, so every figure, ablation and fault sweep must
+// produce byte-for-byte the same rows with the cache enabled as with the raw
+// scheduling array — the only permitted difference is the SchedCacheHits /
+// SchedCacheMisses performance counters, which these tests zero before
+// comparing. This is the contract DESIGN.md §10 states and the reason
+// pmsnet.Config.SchedCache can default to on.
+//
+// The tests flip the package-level SchedCacheOverride, so they must not run
+// in parallel with each other or with the rest of the package (no
+// t.Parallel here).
+
+// withSchedCache runs fn once with the pass cache forced off and once forced
+// on, restoring the override afterwards.
+func withSchedCache(t *testing.T, fn func() any) (off, on any) {
+	t.Helper()
+	prev := SchedCacheOverride
+	defer func() { SchedCacheOverride = prev }()
+	v := false
+	SchedCacheOverride = &v
+	off = fn()
+	v2 := true
+	SchedCacheOverride = &v2
+	on = fn()
+	return off, on
+}
+
+// scrubResults zeroes the cache performance counters in place so DeepEqual
+// compares only model-observable state.
+func scrubResults(rs []metrics.Result) {
+	for i := range rs {
+		rs[i].Stats.SchedCacheHits = 0
+		rs[i].Stats.SchedCacheMisses = 0
+	}
+}
+
+func scrubSizeRows(rows []SizeRow) {
+	for i := range rows {
+		scrubResults(rows[i].Results)
+	}
+}
+
+func scrubNamed(rows []NamedResult) {
+	for i := range rows {
+		rows[i].Result.Stats.SchedCacheHits = 0
+		rows[i].Result.Stats.SchedCacheMisses = 0
+	}
+}
+
+func TestFig4PanelCacheIdentity(t *testing.T) {
+	sizes := []int{8, 64}
+	for _, panel := range Panels() {
+		panel := panel
+		t.Run(string(panel), func(t *testing.T) {
+			off, on := withSchedCache(t, func() any {
+				rows, err := Fig4Panel(panel, identityN, sizes, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scrubSizeRows(rows)
+				return rows
+			})
+			if !reflect.DeepEqual(off, on) {
+				t.Fatalf("panel %s: cached rows differ from uncached rows", panel)
+			}
+		})
+	}
+}
+
+func TestFig4PanelParallelCacheIdentity(t *testing.T) {
+	// The parallel runner with the cache on must still match an uncached
+	// serial run: each point owns its scheduler (and thus its cache), so
+	// parallelism cannot leak cache state between points.
+	sizes := []int{8, 64}
+	off, on := withSchedCache(t, func() any {
+		rows, err := Fig4PanelExec(Parallel(4), OrderedMesh, identityN, sizes, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scrubSizeRows(rows)
+		return rows
+	})
+	if !reflect.DeepEqual(off, on) {
+		t.Fatal("parallel cached rows differ from parallel uncached rows")
+	}
+	serial, err := Fig4Panel(OrderedMesh, identityN, sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrubSizeRows(serial)
+	if !reflect.DeepEqual(on, any(serial)) {
+		t.Fatal("parallel cached rows differ from serial rows")
+	}
+}
+
+func TestFig5CacheIdentity(t *testing.T) {
+	dets := []float64{0.5, 0.85, 1.0}
+	off, on := withSchedCache(t, func() any {
+		rows, err := Fig5(identityN, dets, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			scrubResults(rows[i].Results)
+		}
+		return rows
+	})
+	if !reflect.DeepEqual(off, on) {
+		t.Fatal("cached Fig5 rows differ from uncached rows")
+	}
+}
+
+func TestAblationsCacheIdentity(t *testing.T) {
+	wl := traffic.RandomMesh(identityN, 64, 10, 1)
+	cases := []struct {
+		name string
+		run  func() ([]NamedResult, error)
+	}{
+		{"predictor", func() ([]NamedResult, error) { return PredictorAblation(identityN, wl) }},
+		{"degree", func() ([]NamedResult, error) { return DegreeSweep(identityN, []int{2, 4}, wl) }},
+		{"rotation", func() ([]NamedResult, error) { return RotationAblation(identityN, wl) }},
+		{"sl-copies", func() ([]NamedResult, error) { return SLCopiesSweep(identityN, []int{1, 2}, wl) }},
+		{"amplify", func() ([]NamedResult, error) { return AmplifyAblation(identityN, wl) }},
+		{"prefetch", func() ([]NamedResult, error) { return PrefetchAblation(identityN, wl) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			off, on := withSchedCache(t, func() any {
+				rows, err := tc.run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				scrubNamed(rows)
+				return rows
+			})
+			if !reflect.DeepEqual(off, on) {
+				t.Fatalf("%s ablation: cached rows differ from uncached rows", tc.name)
+			}
+		})
+	}
+}
+
+func TestFaultSweepCacheIdentity(t *testing.T) {
+	// Fault masking evicts connections mid-run — the hardest invalidation
+	// case for the pass cache, since a masked grant changes scheduler state
+	// outside a normal pass.
+	levels := []FaultLevel{
+		{"none", nil},
+		{"corrupt 1%", &fault.Plan{Seed: 1, CorruptProb: 0.01}},
+		{"link churn", &fault.Plan{Seed: 1, LinkMTBF: 200 * sim.Microsecond, LinkMTTR: 2 * sim.Microsecond}},
+	}
+	wl := traffic.RandomMesh(identityN, 64, 10, 1)
+	off, on := withSchedCache(t, func() any {
+		rows, err := FaultSweep(identityN, wl, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			scrubResults(rows[i].Results)
+		}
+		return rows
+	})
+	if !reflect.DeepEqual(off, on) {
+		t.Fatal("cached fault-sweep rows differ from uncached rows")
+	}
+}

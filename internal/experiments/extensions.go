@@ -214,7 +214,7 @@ func OmegaFabricStudyExec(ex Exec, n int, wls []*traffic.Workload) ([]NamedResul
 	fabrics := []tdm.FabricKind{tdm.CrossbarFabric, tdm.OmegaFabric}
 	return sweep(ex, len(wls)*len(fabrics), func(i int) (NamedResult, error) {
 		wl, fab := wls[i/len(fabrics)], fabrics[i%len(fabrics)]
-		nw, err := tdm.New(tdm.Config{N: n, K: Fig4K, Fabric: fab})
+		nw, err := newTDM(tdm.Config{N: n, K: Fig4K, Fabric: fab})
 		if err != nil {
 			return NamedResult{}, err
 		}

@@ -112,6 +112,10 @@ type tdmRun struct {
 	slotTicker *sim.Ticker
 	slTicker   *sim.Ticker
 	stats      metrics.NetStats
+
+	// Reusable scratch for the per-pass and per-slot scans.
+	connBuf [][2]int
+	rowBuf  []int
 }
 
 // Run implements netmodel.Network.
@@ -196,7 +200,8 @@ func (r *tdmRun) onPass() {
 	r.slCursor = (r.slCursor + 1) % r.cfg.K
 
 	// Releases, in deterministic connection order.
-	for _, key := range sortedConns(r.estab[s]) {
+	r.connBuf = appendSortedConns(r.connBuf[:0], r.estab[s])
+	for _, key := range r.connBuf {
 		pc := r.estab[s][key]
 		if !r.reqView.Get(pc.src, pc.dst) {
 			for _, h := range pc.path {
@@ -207,9 +212,11 @@ func (r *tdmRun) onPass() {
 			r.stats.Released++
 		}
 	}
-	// Establishments: scan requests in row-major order (the hardware scan).
+	// Establishments: scan requests in row-major order (the hardware scan),
+	// word-level through a reusable column buffer.
 	for u := 0; u < r.cfg.N; u++ {
-		for _, v := range r.reqView.RowOnes(u) {
+		r.rowBuf = r.reqView.AppendRowOnes(r.rowBuf[:0], u)
+		for _, v := range r.rowBuf {
 			key := [2]int{u, v}
 			if _, ok := r.slotOf[key]; ok {
 				continue
@@ -254,7 +261,8 @@ func (r *tdmRun) onSlot() {
 	}
 	slotStart := r.eng.Now()
 	used := false
-	for _, key := range sortedConns(r.estab[s]) {
+	r.connBuf = appendSortedConns(r.connBuf[:0], r.estab[s])
+	for _, key := range r.connBuf {
 		pc := r.estab[s][key]
 		sent, done := r.driver.Buffers[pc.src].TransmitTo(pc.dst, r.cfg.PayloadBytes)
 		if sent == 0 {
@@ -284,18 +292,19 @@ func (r *tdmRun) onSlot() {
 	}
 }
 
-// sortedConns returns the map's connection keys in (src, dst) order so every
-// pass and slot iterates deterministically.
-func sortedConns(m map[[2]int]*pathConn) [][2]int {
-	keys := make([][2]int, 0, len(m))
+// appendSortedConns appends the map's connection keys to dst in (src, dst)
+// order so every pass and slot iterates deterministically; callers pass a
+// reusable buffer to keep the per-tick scans allocation-free.
+func appendSortedConns(dst [][2]int, m map[[2]int]*pathConn) [][2]int {
+	dst = dst[:0]
 	for k := range m {
-		keys = append(keys, k)
+		dst = append(dst, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i][0] != dst[j][0] {
+			return dst[i][0] < dst[j][0]
 		}
-		return keys[i][1] < keys[j][1]
+		return dst[i][1] < dst[j][1]
 	})
-	return keys
+	return dst
 }

@@ -35,6 +35,12 @@ type NetStats struct {
 	// they reached the head of their queue; Misses counts those that had to
 	// wait for scheduling. Their ratio is the connection-cache hit rate.
 	Hits, Misses uint64
+	// SchedCacheHits / SchedCacheMisses count memoized scheduling passes:
+	// hits replayed a recorded grant set, misses ran the scheduling array.
+	// Zero when the pass cache is disabled. These are performance counters,
+	// not model state — every other field is bit-identical whether the
+	// cache is on or off.
+	SchedCacheHits, SchedCacheMisses uint64
 	// SlotsUsed / SlotsTotal measure TDM slot utilization: a used slot
 	// carried at least one byte.
 	SlotsUsed, SlotsTotal uint64

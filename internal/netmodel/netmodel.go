@@ -65,9 +65,15 @@ type Driver struct {
 	nextID    int
 	remaining int
 	records   []metrics.Record
-	// resume maps a blocking message's ID to the program continuation that
-	// runs when it is delivered.
-	resume map[int]func()
+	// progIdx is each processor's program counter. Programs are sequential —
+	// at most one continuation per processor is ever outstanding — so one
+	// cursor plus one cached step closure (stepFns) per processor replaces a
+	// closure allocation per executed op.
+	progIdx []int
+	stepFns []func()
+	// resume maps a blocking message's ID to the processor whose program
+	// continues when it is delivered.
+	resume map[int]int
 
 	// inj is the run's fault injector (nil for fault-free runs); retries and
 	// dropped tally the driver-level recovery accounting.
@@ -91,10 +97,14 @@ func NewDriver(engine *sim.Engine, lm link.Model, wl *traffic.Workload, hooks Ho
 		wl:        wl,
 		hooks:     hooks,
 		remaining: wl.MessageCount(),
-		resume:    make(map[int]func()),
+		progIdx:   make([]int, wl.N),
+		stepFns:   make([]func(), wl.N),
+		resume:    make(map[int]int),
 	}
 	for p := 0; p < wl.N; p++ {
 		d.Buffers[p] = nic.NewOutBuffer(p, wl.N)
+		p := p
+		d.stepFns[p] = func() { d.step(p) }
 	}
 	return d, nil
 }
@@ -102,23 +112,27 @@ func NewDriver(engine *sim.Engine, lm link.Model, wl *traffic.Workload, hooks Ho
 // Start schedules every processor's program from time zero.
 func (d *Driver) Start() {
 	for p := range d.wl.Programs {
-		p := p
 		if len(d.wl.Programs[p].Ops) > 0 {
-			d.Engine.At(0, "program-start", func() { d.step(p, 0) })
+			d.Engine.At(0, "program-start", d.stepFns[p])
 		}
 	}
 }
 
-// step executes op idx of processor p's program and schedules the next one.
-func (d *Driver) step(p, idx int) {
+// advance schedules processor p's next program step.
+func (d *Driver) advance(p int, after sim.Time) {
+	d.Engine.After(after, "program-step", d.stepFns[p])
+}
+
+// step executes the next op of processor p's program and schedules the one
+// after it.
+func (d *Driver) step(p int) {
 	ops := d.wl.Programs[p].Ops
+	idx := d.progIdx[p]
 	if idx >= len(ops) {
 		return
 	}
+	d.progIdx[p] = idx + 1
 	op := ops[idx]
-	next := func(after sim.Time) {
-		d.Engine.After(after, "program-step", func() { d.step(p, idx+1) })
-	}
 	switch op.Kind {
 	case traffic.OpSend, traffic.OpSendWait:
 		m := &nic.Message{
@@ -131,27 +145,27 @@ func (d *Driver) step(p, idx int) {
 		d.nextID++
 		d.Buffers[p].Enqueue(m)
 		if op.Kind == traffic.OpSendWait {
-			// Block: the continuation runs when the message is delivered.
-			d.resume[m.ID] = func() { next(nic.SendOverhead) }
+			// Block: the program continues when the message is delivered.
+			d.resume[m.ID] = p
 		}
 		if d.hooks.OnEnqueue != nil {
 			d.hooks.OnEnqueue(m)
 		}
 		if op.Kind == traffic.OpSend {
-			next(nic.SendOverhead)
+			d.advance(p, nic.SendOverhead)
 		}
 	case traffic.OpDelay:
-		next(op.Delay)
+		d.advance(p, op.Delay)
 	case traffic.OpFlush:
 		if d.hooks.OnFlush != nil {
 			d.hooks.OnFlush(p)
 		}
-		next(0)
+		d.advance(p, 0)
 	case traffic.OpPhase:
 		if d.hooks.OnPhase != nil {
 			d.hooks.OnPhase(p, op.Arg)
 		}
-		next(0)
+		d.advance(p, 0)
 	default:
 		panic(fmt.Sprintf("netmodel: unknown op kind %d", int(op.Kind)))
 	}
@@ -186,9 +200,9 @@ func (d *Driver) Deliver(m *nic.Message) {
 		Created: m.Created, Delivered: m.Delivered,
 	})
 	d.remaining--
-	if cont, ok := d.resume[m.ID]; ok {
+	if p, ok := d.resume[m.ID]; ok {
 		delete(d.resume, m.ID)
-		cont()
+		d.advance(p, nic.SendOverhead)
 	}
 	if d.remaining == 0 && d.hooks.OnIdle != nil {
 		d.hooks.OnIdle()
@@ -205,9 +219,9 @@ func (d *Driver) Drop(m *nic.Message) {
 	}
 	d.dropped++
 	d.remaining--
-	if cont, ok := d.resume[m.ID]; ok {
+	if p, ok := d.resume[m.ID]; ok {
 		delete(d.resume, m.ID)
-		cont()
+		d.advance(p, nic.SendOverhead)
 	}
 	if d.remaining == 0 && d.hooks.OnIdle != nil {
 		d.hooks.OnIdle()

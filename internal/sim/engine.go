@@ -46,13 +46,32 @@ func (t Time) String() string {
 // clock set to the event's timestamp.
 type Handler func()
 
+// ArgHandler is a callback that receives the value it was scheduled with.
+// Together with AtArg/AfterArg it lets a model schedule per-message events
+// through one long-lived handler (a method value cached at run setup)
+// instead of allocating a fresh closure per event — the argument rides in
+// the recycled event struct. Passing a pointer as the argument does not
+// allocate.
+type ArgHandler func(arg any)
+
 type event struct {
 	at      Time
 	seq     uint64 // FIFO tie-break for equal timestamps
 	handler Handler
+	argFn   ArgHandler // set instead of handler for AtArg/AfterArg events
+	arg     any
 	label   string
 	gen     uint64 // recycling generation, invalidates stale EventIDs
 	index   int    // heap index, -1 when popped
+}
+
+// fire runs the event's callback, whichever form it carries.
+func (ev *event) fire() {
+	if ev.argFn != nil {
+		ev.argFn(ev.arg)
+		return
+	}
+	ev.handler()
 }
 
 // EventID identifies a scheduled event so it can be cancelled. Fired and
@@ -133,18 +152,50 @@ func (e *Engine) At(at Time, label string, handler Handler) EventID {
 	if handler == nil {
 		panic(fmt.Sprintf("sim: event %q has nil handler", label))
 	}
+	ev := e.alloc(at, label)
+	ev.handler = handler
+	heap.Push(&e.queue, ev)
+	return EventID{ev, ev.gen}
+}
+
+// AtArg schedules handler(arg) at absolute time at. See ArgHandler: the
+// handler is typically a method value created once per run, so the schedule
+// path allocates nothing beyond the recycled event struct.
+func (e *Engine) AtArg(at Time, label string, handler ArgHandler, arg any) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", label, at, e.now))
+	}
+	if handler == nil {
+		panic(fmt.Sprintf("sim: event %q has nil handler", label))
+	}
+	ev := e.alloc(at, label)
+	ev.argFn, ev.arg = handler, arg
+	heap.Push(&e.queue, ev)
+	return EventID{ev, ev.gen}
+}
+
+// AfterArg schedules handler(arg) d nanoseconds from now.
+func (e *Engine) AfterArg(d Time, label string, handler ArgHandler, arg any) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, label))
+	}
+	return e.AtArg(e.now+d, label, handler, arg)
+}
+
+// alloc takes an event struct off the free list (or makes one) with the
+// callback fields cleared.
+func (e *Engine) alloc(at Time, label string) *event {
 	var ev *event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.handler, ev.label = at, e.seq, handler, label
+		ev.at, ev.seq, ev.label = at, e.seq, label
 	} else {
-		ev = &event{at: at, seq: e.seq, handler: handler, label: label}
+		ev = &event{at: at, seq: e.seq, label: label}
 	}
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return EventID{ev, ev.gen}
+	return ev
 }
 
 // release recycles a fired or cancelled event. Bumping the generation
@@ -154,6 +205,7 @@ func (e *Engine) At(at Time, label string, handler Handler) EventID {
 func (e *Engine) release(ev *event) {
 	ev.gen++
 	ev.handler = nil
+	ev.argFn, ev.arg = nil, nil
 	ev.index = -1
 	e.free = append(e.free, ev)
 }
@@ -223,7 +275,7 @@ func (e *Engine) Run(horizon Time) Time {
 		}
 		e.now = ev.at
 		e.processed++
-		ev.handler()
+		ev.fire()
 		e.afterEvent(ev)
 		e.release(ev)
 	}
@@ -241,7 +293,7 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	e.processed++
-	ev.handler()
+	ev.fire()
 	e.afterEvent(ev)
 	e.release(ev)
 	return true

@@ -126,6 +126,12 @@ type Config struct {
 	RotatePriority *bool
 	// SkipEmptySlots enables TDM-counter empty-slot skipping (default on).
 	SkipEmptySlots *bool
+	// SchedCache enables the scheduler's memoized-pass cache (default on):
+	// passes repeating a previously seen (state, request-matrix) pair replay
+	// the recorded grant set instead of re-running the scheduling array.
+	// Results are bit-identical either way; turn it off to benchmark the
+	// raw array or to bisect a suspected cache defect.
+	SchedCache *bool
 	// SLCopies is the number of scheduling-logic units (extension 1);
 	// zero means 1.
 	SLCopies int
@@ -164,6 +170,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SkipEmptySlots == nil {
 		c.SkipEmptySlots = boolPtr(true)
+	}
+	if c.SchedCache == nil {
+		c.SchedCache = boolPtr(true)
 	}
 	if c.SLCopies == 0 {
 		c.SLCopies = 1
@@ -263,6 +272,9 @@ type run struct {
 	// matrix until the connection establishes, then cleared — the latch
 	// keeps the connection alive from there.
 	specReq *bitmat.Matrix
+	// reqMerge is the reusable scratch for reqView|specReq so the per-pass
+	// merge does not allocate.
+	reqMerge *bitmat.Matrix
 	// queued[u][v] counts messages pending from u to v.
 	queued [][]int
 	// grantAt[u][v] is the earliest time NIC u may use a dynamically
@@ -319,8 +331,12 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		if err != nil {
 			return metrics.Result{}, err
 		}
+		// One reusable trial matrix: the hook stays a pure function of
+		// (b, u, v) — required by the scheduler's memoized-pass cache —
+		// while avoiding a clone per realizability probe.
+		trial := bitmat.NewSquare(cfg.N)
 		canEstablish = func(b *bitmat.Matrix, u, v int) bool {
-			trial := b.Clone()
+			trial.CopyFrom(b)
 			trial.Set(u, v)
 			return omega.CanRealize(trial)
 		}
@@ -333,6 +349,7 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		SLCopies:       cfg.SLCopies,
 		LatchRequests:  pred != nil,
 		CanEstablish:   canEstablish,
+		Memoize:        *cfg.SchedCache,
 	})
 	if err != nil {
 		return metrics.Result{}, err
@@ -344,8 +361,9 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		sched:   sched,
 		xbar:    fabric.NewCrossbar(cfg.N, fabric.LVDS, 0),
 		pred:    pred,
-		reqView: bitmat.NewSquare(cfg.N),
-		specReq: bitmat.NewSquare(cfg.N),
+		reqView:  bitmat.NewSquare(cfg.N),
+		specReq:  bitmat.NewSquare(cfg.N),
+		reqMerge: bitmat.NewSquare(cfg.N),
 		queued:  make([][]int, cfg.N),
 		grantAt: make([][]sim.Time, cfg.N),
 	}
@@ -419,6 +437,8 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 	r.stats.Released = st.Released
 	r.stats.Evictions = st.Evictions
 	r.stats.Flushes = st.Flushes
+	r.stats.SchedCacheHits = st.CacheHits
+	r.stats.SchedCacheMisses = st.CacheMisses
 	if r.inj != nil {
 		fs := driver.FaultStats()
 		fs.Reschedules = r.reschedules
@@ -554,8 +574,9 @@ func (r *run) onSLPass() {
 		}
 	}
 	if !r.specReq.IsZero() {
-		req = r.reqView.Clone()
-		req.Or(r.specReq)
+		r.reqMerge.CopyFrom(r.reqView)
+		r.reqMerge.Or(r.specReq)
+		req = r.reqMerge
 	}
 	res := r.sched.Pass(req)
 	for _, c := range res.Established {

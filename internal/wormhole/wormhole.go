@@ -92,12 +92,18 @@ func New(cfg Config) (*Network, error) {
 // Name implements netmodel.Network.
 func (n *Network) Name() string { return "wormhole" }
 
-// worm is one in-flight segment of a message.
+// worm is one in-flight segment of a message. Worm structs are recycled
+// through the run's free list: a worm's last event is its switch traversal
+// completing, after which the struct returns to the pool.
 type worm struct {
-	bytes   int
-	msg     *nic.Message
-	last    bool
-	onStart func() // called when the worm begins moving through the switch
+	bytes int
+	msg   *nic.Message
+	idx   int // worm index within the message
+	last  bool
+	// pending counts the conditions gating the source's next worm: the
+	// current worm fully serialized, and its switch traversal begun.
+	pending int
+	readyAt sim.Time
 }
 
 type run struct {
@@ -120,6 +126,17 @@ type run struct {
 	inputPipe sim.Time
 	// outputPipe is switch-output to destination-NIC latency.
 	outputPipe sim.Time
+
+	// wormFree recycles worm structs; waitScratch is reused when draining a
+	// blocked-output list. The cached ArgHandler method values carry each
+	// worm through its event chain without per-event closures.
+	wormFree    []*worm
+	waitScratch []int
+	condMetFn   sim.ArgHandler
+	atSwitchFn  sim.ArgHandler
+	wormNextFn  sim.ArgHandler
+	throughFn   sim.ArgHandler
+	deliverFn   sim.ArgHandler
 }
 
 // Run implements netmodel.Network.
@@ -138,6 +155,11 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 	lm := n.cfg.Link
 	r.inputPipe = lm.SerializeNs + lm.WireNs + lm.DeserializeNs
 	r.outputPipe = lm.SerializeNs + lm.WireNs + lm.DeserializeNs
+	r.condMetFn = r.conditionMet
+	r.atSwitchFn = r.atSwitch
+	r.wormNextFn = r.wormNext
+	r.throughFn = r.throughSwitch
+	r.deliverFn = r.deliver
 
 	driver, err := netmodel.NewDriver(eng, lm, wl, netmodel.Hooks{
 		OnEnqueue: func(m *nic.Message) { r.kickSource(m.Src) },
@@ -174,56 +196,95 @@ func (r *run) startMessage(s int) {
 		r.srcActive[s] = false
 		return
 	}
-	r.sendWorm(s, m, splitWorms(m.Bytes), 0)
+	r.sendWorm(s, m, 0)
 }
 
-// splitWorms segments a message into worm sizes.
+// wormCount returns the number of worms a message of the given size splits
+// into; wormBytes returns the size of worm i. Pure index math — the hot
+// path never materializes the split as a slice.
+func wormCount(bytes int) int { return (bytes + MaxWormBytes - 1) / MaxWormBytes }
+
+func wormBytes(bytes, i int) int {
+	w := bytes - i*MaxWormBytes
+	if w > MaxWormBytes {
+		w = MaxWormBytes
+	}
+	return w
+}
+
+// splitWorms segments a message into worm sizes — the reference form of the
+// wormCount/wormBytes index math, kept for tests and documentation.
 func splitWorms(bytes int) []int {
 	var out []int
-	for bytes > 0 {
-		w := bytes
-		if w > MaxWormBytes {
-			w = MaxWormBytes
-		}
-		out = append(out, w)
-		bytes -= w
+	for i := 0; i < wormCount(bytes); i++ {
+		out = append(out, wormBytes(bytes, i))
 	}
 	return out
 }
 
-// sendWorm transmits worm i of the message from source s. The source may
+// newWorm takes a worm struct off the free list or makes one.
+func (r *run) newWorm() *worm {
+	if n := len(r.wormFree); n > 0 {
+		w := r.wormFree[n-1]
+		r.wormFree = r.wormFree[:n-1]
+		return w
+	}
+	return &worm{}
+}
+
+// freeWorm recycles a worm whose last event has fired.
+func (r *run) freeWorm(w *worm) {
+	w.msg = nil
+	r.wormFree = append(r.wormFree, w)
+}
+
+// sendWorm transmits worm i of the message from its source. The source may
 // move to the next worm only when (a) the current worm has fully left the
 // source link and (b) it has begun its switch traversal, freeing the input
 // buffer.
-func (r *run) sendWorm(s int, m *nic.Message, worms []int, i int) {
-	bytes := worms[i]
+func (r *run) sendWorm(s int, m *nic.Message, i int) {
+	bytes := wormBytes(m.Bytes, i)
 	serDone := r.eng.Now() + r.cfg.Link.SerializationTime(bytes)
 	headArrives := r.eng.Now() + r.inputPipe
 
-	pendingConditions := 2
-	var readyAt sim.Time
-	conditionMet := func() {
-		if now := r.eng.Now(); now > readyAt {
-			readyAt = now
-		}
-		pendingConditions--
-		if pendingConditions == 0 {
-			r.eng.At(readyAt, "worm-next", func() {
-				if i+1 < len(worms) {
-					r.sendWorm(s, m, worms, i+1)
-				} else {
-					r.startMessage(s)
-				}
-			})
-		}
-	}
+	w := r.newWorm()
+	w.bytes, w.msg, w.idx = bytes, m, i
+	w.last = i == wormCount(m.Bytes)-1
+	w.pending, w.readyAt = 2, 0
+	r.eng.AtArg(serDone, "worm-serialized", r.condMetFn, w)
+	r.eng.AtArg(headArrives, "worm-at-switch", r.atSwitchFn, w)
+}
 
-	w := &worm{bytes: bytes, msg: m, last: i == len(worms)-1, onStart: conditionMet}
-	r.eng.At(serDone, "worm-serialized", conditionMet)
-	r.eng.At(headArrives, "worm-at-switch", func() {
-		r.outQueue[m.Dst] = append(r.outQueue[m.Dst], w)
-		r.kickOutput(m.Dst)
-	})
+// conditionMet retires one of the worm's two source-gating conditions; when
+// both have passed, the source's next step runs at the later of the two.
+func (r *run) conditionMet(arg any) {
+	w := arg.(*worm)
+	if now := r.eng.Now(); now > w.readyAt {
+		w.readyAt = now
+	}
+	w.pending--
+	if w.pending == 0 {
+		r.eng.AtArg(w.readyAt, "worm-next", r.wormNextFn, w)
+	}
+}
+
+// wormNext advances the source: the next worm of the same message, or the
+// next message.
+func (r *run) wormNext(arg any) {
+	w := arg.(*worm)
+	m := w.msg
+	if w.idx+1 < wormCount(m.Bytes) {
+		r.sendWorm(m.Src, m, w.idx+1)
+	} else {
+		r.startMessage(m.Src)
+	}
+}
+
+// atSwitch queues the worm's head at its output port.
+func (r *run) atSwitch(arg any) {
+	w := arg.(*worm)
+	r.outQueue[w.msg.Dst] = append(r.outQueue[w.msg.Dst], w)
+	r.kickOutput(w.msg.Dst)
 }
 
 // kickOutput serves the next waiting worm on an idle output port. The worm
@@ -242,27 +303,40 @@ func (r *run) kickOutput(v int) {
 	r.outQueue[v] = r.outQueue[v][1:]
 	r.outBusy[v] = true
 	r.inBusy[u] = true
-	w.onStart()
+	r.conditionMet(w) // traversal begins: the source input buffer frees
 	// Scheduling the head flit (80 ns) + one switch traversal per flit.
 	flits := (w.bytes + FlitBytes - 1) / FlitBytes
 	xfer := ArbitrationNs + sim.Time(flits)*r.xbar.TraversalDelay()
-	r.eng.After(xfer, "worm-through-switch", func() {
-		r.outBusy[v] = false
-		r.inBusy[u] = false
-		if w.last {
-			// Remaining path: switch output to destination NIC, plus the
-			// NIC's receive operation.
-			r.eng.After(r.outputPipe+nic.RecvOverhead, "deliver", func() {
-				// Arrive runs the end-to-end CRC/fault check; a failed
-				// check retransmits the whole message from the source.
-				r.driver.Arrive(w.msg)
-			})
-		}
-		waiting := r.waitingOnInput[u]
-		r.waitingOnInput[u] = nil
-		r.kickOutput(v)
-		for _, wv := range waiting {
-			r.kickOutput(wv)
-		}
-	})
+	r.eng.AfterArg(xfer, "worm-through-switch", r.throughFn, w)
+}
+
+// throughSwitch fires when the worm's tail clears the crossbar: both ports
+// free, the last worm heads for the destination NIC, and any outputs that
+// stalled on this input get another chance. This is the worm's final event,
+// so the struct returns to the pool here.
+func (r *run) throughSwitch(arg any) {
+	w := arg.(*worm)
+	u, v := w.msg.Src, w.msg.Dst
+	r.outBusy[v] = false
+	r.inBusy[u] = false
+	if w.last {
+		// Remaining path: switch output to destination NIC, plus the NIC's
+		// receive operation. Arrive runs the end-to-end CRC/fault check; a
+		// failed check retransmits the whole message from the source.
+		r.eng.AfterArg(r.outputPipe+nic.RecvOverhead, "deliver", r.deliverFn, w.msg)
+	}
+	r.freeWorm(w)
+	// Drain the blocked-output list through the reusable scratch buffer:
+	// kickOutput may re-append to waitingOnInput[u] while we iterate.
+	waiting := append(r.waitScratch[:0], r.waitingOnInput[u]...)
+	r.waitScratch = waiting
+	r.waitingOnInput[u] = r.waitingOnInput[u][:0]
+	r.kickOutput(v)
+	for _, wv := range waiting {
+		r.kickOutput(wv)
+	}
+}
+
+func (r *run) deliver(arg any) {
+	r.driver.Arrive(arg.(*nic.Message))
 }

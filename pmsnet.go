@@ -175,6 +175,15 @@ type Config struct {
 	// reproducible; parallelism comes from running independent simulations
 	// concurrently, with results always in input order.
 	Parallelism int
+	// SchedCache controls the TDM scheduler's memoized-pass cache: passes
+	// repeating a previously seen (scheduler state, request matrix) pair
+	// replay the recorded grant set instead of re-running the scheduling
+	// array. nil (the default) enables it. Results are bit-identical with
+	// the cache on or off — only the Report's SchedCacheHits/Misses
+	// counters and the wall-clock cost differ — so disabling it is only
+	// useful for benchmarking the raw array or bisecting a suspected cache
+	// defect. Ignored by the non-TDM baselines.
+	SchedCache *bool
 }
 
 func (c Config) withDefaults() Config {
@@ -232,7 +241,7 @@ func (c Config) network() (netmodel.Network, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := tdm.Config{N: c.N, K: c.K, NewPredictor: pf, AmplifyBytes: c.AmplifyBytes, Faults: c.Faults}
+		cfg := tdm.Config{N: c.N, K: c.K, NewPredictor: pf, AmplifyBytes: c.AmplifyBytes, Faults: c.Faults, SchedCache: c.SchedCache}
 		if c.OmegaFabric {
 			cfg.Fabric = tdm.OmegaFabric
 		}
@@ -298,6 +307,12 @@ type Report struct {
 	Released        uint64
 	Evictions       uint64
 	Preloads        uint64
+	// SchedCacheHits / SchedCacheMisses count memoized scheduling passes
+	// (Config.SchedCache): hits replayed a recorded grant set instead of
+	// re-running the scheduling array. Performance counters only — all
+	// other Report fields are bit-identical with the cache on or off.
+	SchedCacheHits   uint64
+	SchedCacheMisses uint64
 
 	// Faults carries the fault-injection and recovery accounting; nil when
 	// the run had no active fault plan.
@@ -355,6 +370,8 @@ func toReport(r metrics.Result) Report {
 		Released:         r.Stats.Released,
 		Evictions:        r.Stats.Evictions,
 		Preloads:         r.Stats.Preloads,
+		SchedCacheHits:   r.Stats.SchedCacheHits,
+		SchedCacheMisses: r.Stats.SchedCacheMisses,
 		Faults:           toFaultReport(r.Stats.Faults),
 	}
 }
