@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz bench bench-compare figures clean
+.PHONY: all build test check vet race fuzz bench bench-compare trace-smoke figures clean
 
 all: build test
 
@@ -42,6 +42,14 @@ BASELINE ?= BENCH_1.json
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
 		| $(GO) run ./cmd/benchjson -compare $(BASELINE)
+
+# End-to-end trace check: run a small probed simulation through pmsim
+# -trace and make sure the output parses as a Chrome trace-event JSON array
+# with a sane event count.
+trace-smoke:
+	$(GO) run ./cmd/pmsim -net tdm-dynamic -pattern random-mesh -n 16 -msgs 10 \
+		-trace /tmp/pmsnet-trace-smoke.json > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/pmsnet-trace-smoke.json
 
 # Short fuzzing passes over the text-format parsers.
 fuzz:

@@ -14,6 +14,7 @@
 //	figures -faults    # only the fault-injection robustness sweep
 //	figures -quick     # reduced size sweep for a fast look
 //	figures -j 8       # run up to 8 simulations in parallel
+//	figures -timeline -net tdm-dynamic   # slot-utilization/backlog timeline
 //
 // Parallel runs (-j, default GOMAXPROCS; -j 1 forces serial) produce
 // byte-identical tables: every simulation is a pure function of its inputs
@@ -27,7 +28,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
+	"pmsnet"
 	"pmsnet/internal/experiments"
 	"pmsnet/internal/runner"
 	"pmsnet/internal/traffic"
@@ -45,8 +49,18 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload random seed")
 		jobs      = flag.Int("j", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
 		progress  = flag.Bool("progress", false, "report per-point completion and wall time on stderr")
+		timeline  = flag.Bool("timeline", false, "print a slot-utilization/queue-depth timeline of one run (probed)")
+		netName   = flag.String("net", "tdm-dynamic", "network for -timeline (see pmsim -net)")
+		interval  = flag.Duration("interval", time.Microsecond, "bucket width for -timeline")
 	)
 	flag.Parse()
+
+	if *timeline {
+		if err := runTimeline(*netName, *interval, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	all := !*fig4 && !*fig5 && !*table3 && !*ablations && !*faults
 
 	ex := experiments.Exec{Parallelism: *jobs}
@@ -236,6 +250,36 @@ func runAblations(ex experiments.Exec, seed int64) {
 	}
 	fmt.Println(experiments.AblationTable(
 		"Multi-hop mesh: wormhole routers vs end-to-end TDM circuits", append(mh, mh2...)))
+}
+
+// runTimeline runs one probed random-mesh simulation and prints the sampled
+// slot-utilization and queue-depth curves — the timeline view of a run that
+// the aggregate tables flatten away.
+func runTimeline(netName string, interval time.Duration, seed int64) error {
+	sw, err := pmsnet.ParseSwitching(netName)
+	if err != nil {
+		return err
+	}
+	n := experiments.N
+	wl := pmsnet.RandomMesh(n, 64, experiments.MeshMsgs, seed)
+	tl := pmsnet.NewTimelineSink(interval)
+	cfg := pmsnet.Config{Switching: sw, N: n, Probe: pmsnet.NewProbe(tl)}
+	rep, err := pmsnet.Run(cfg, wl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Timeline: %s on random mesh (%d processors, %v buckets) ==\n",
+		rep.Network, n, interval)
+	fmt.Printf("%-10s %-7s %-7s %-6s %-22s %-8s %-9s %s\n",
+		"t", "slots", "used", "util", "", "created", "delivered", "backlog")
+	for _, s := range tl.Samples() {
+		bar := strings.Repeat("#", int(s.Utilization*20+0.5))
+		fmt.Printf("%-10v %-7d %-7d %-6.3f %-22s %-8d %-9d %d\n",
+			time.Duration(s.Start), s.Slots, s.SlotsUsed, s.Utilization,
+			"|"+bar+strings.Repeat(".", 20-len(bar))+"|", s.Created, s.Delivered, s.MaxDepth)
+	}
+	fmt.Printf("\nmakespan %v  efficiency %.3f  (%d messages)\n", rep.Makespan, rep.Efficiency, rep.Messages)
+	return nil
 }
 
 func writeCSV(dir, name string, write func(*os.File) error) {

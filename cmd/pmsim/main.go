@@ -4,8 +4,9 @@
 // Usage:
 //
 //	pmsim -net tdm-dynamic -pattern random-mesh -n 128 -size 64 -k 4
-//	pmsim -net wormhole -trace workload.pms
+//	pmsim -net wormhole -workload workload.pms
 //	pmsim -net tdm-dynamic -pattern random-mesh -seeds 16 -parallel 8
+//	pmsim -net tdm-dynamic -pattern random-mesh -trace run.trace.json
 //
 // Networks: wormhole, circuit, tdm-dynamic, tdm-preload, tdm-hybrid.
 // Patterns: scatter, ordered-mesh, random-mesh, all-to-all, two-phase, mix.
@@ -15,6 +16,11 @@
 // many of those simulations run concurrently (0 = GOMAXPROCS, 1 = serial);
 // output is identical either way, since every run is deterministic and
 // results are collected in seed order.
+//
+// Tracing (-trace FILE) attaches a probe to the run and writes every slot,
+// scheduler, connection, message and fault event as Chrome trace-event JSON;
+// open the file in Perfetto (ui.perfetto.dev) or chrome://tracing. Tracing
+// observes a single run, so it cannot be combined with -seeds.
 package main
 
 import (
@@ -30,7 +36,8 @@ func main() {
 	var (
 		netName  = flag.String("net", "tdm-dynamic", "network: wormhole|circuit|voq-islip|tdm-dynamic|tdm-preload|tdm-hybrid|mesh-wormhole|mesh-tdm")
 		pattern  = flag.String("pattern", "random-mesh", "workload: scatter|ordered-mesh|random-mesh|all-to-all|two-phase|mix|transpose|bit-reverse|hotspot")
-		tracePth = flag.String("trace", "", "run a PMSTRACE command file instead of a built-in pattern")
+		workload = flag.String("workload", "", "run a PMSTRACE command file instead of a built-in pattern")
+		tracePth = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file")
 		n        = flag.Int("n", 128, "processor count")
 		size     = flag.Int("size", 64, "message size in bytes")
 		msgs     = flag.Int("msgs", 50, "messages per processor (random-mesh, mix)")
@@ -51,7 +58,7 @@ func main() {
 	)
 	flag.Parse()
 
-	wl, err := buildWorkload(*pattern, *tracePth, *n, *size, *msgs, *rounds, *det, *think, *seed)
+	wl, err := buildWorkload(*pattern, *workload, *n, *size, *msgs, *rounds, *det, *think, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,8 +78,11 @@ func main() {
 	}
 
 	if *seeds > 1 {
+		if *workload != "" {
+			fatal(fmt.Errorf("-seeds varies the workload seed and cannot be combined with -workload"))
+		}
 		if *tracePth != "" {
-			fatal(fmt.Errorf("-seeds varies the workload seed and cannot be combined with -trace"))
+			fatal(fmt.Errorf("-trace observes a single run and cannot be combined with -seeds"))
 		}
 		if err := runSeeds(cfg, *pattern, *n, *size, *msgs, *rounds, *det, *think, *seed, *seeds); err != nil {
 			fatal(err)
@@ -80,9 +90,29 @@ func main() {
 		return
 	}
 
+	var traceWriter *pmsnet.TraceWriter
+	var traceFile *os.File
+	if *tracePth != "" {
+		traceFile, err = os.Create(*tracePth)
+		if err != nil {
+			fatal(err)
+		}
+		traceWriter = pmsnet.NewTraceWriter(traceFile)
+		cfg.Probe = pmsnet.NewProbe(traceWriter)
+	}
+
 	rep, err := pmsnet.Run(cfg, wl)
 	if err != nil {
 		fatal(err)
+	}
+	if traceWriter != nil {
+		if err := traceWriter.Close(); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s (load in ui.perfetto.dev or chrome://tracing)\n", *tracePth)
 	}
 	fmt.Printf("network:     %s\n", rep.Network)
 	fmt.Printf("workload:    %s (%d processors, %d messages, %d bytes)\n",
@@ -91,9 +121,9 @@ func main() {
 	fmt.Printf("efficiency:  %.3f\n", rep.Efficiency)
 	fmt.Printf("latency:     mean %v  p50 %v  p95 %v  max %v\n",
 		rep.LatencyMean, rep.LatencyP50, rep.LatencyP95, rep.LatencyMax)
-	if rep.SchedulerPasses > 0 || rep.Preloads > 0 {
+	if s := rep.Sched; s.Passes > 0 || s.Preloads > 0 {
 		fmt.Printf("scheduler:   %d passes, %d established, %d released, %d evicted, %d preloads\n",
-			rep.SchedulerPasses, rep.Established, rep.Released, rep.Evictions, rep.Preloads)
+			s.Passes, s.Established, s.Released, s.Evictions, s.Preloads)
 		fmt.Printf("hit rate:    %.3f\n", rep.HitRate)
 	}
 	if f := rep.Faults; f != nil {
@@ -179,39 +209,12 @@ func buildWorkload(pattern, tracePath string, n, size, msgs, rounds int, det flo
 
 func buildConfig(netName, eviction string, n, k, preload int, timeout time.Duration) (pmsnet.Config, error) {
 	cfg := pmsnet.Config{N: n, K: k, PreloadSlots: preload, EvictionTimeout: timeout}
-	switch netName {
-	case "wormhole":
-		cfg.Switching = pmsnet.Wormhole
-	case "circuit":
-		cfg.Switching = pmsnet.CircuitSwitching
-	case "voq-islip":
-		cfg.Switching = pmsnet.VOQISLIP
-	case "mesh-wormhole":
-		cfg.Switching = pmsnet.MeshWormhole
-	case "mesh-tdm":
-		cfg.Switching = pmsnet.MeshTDM
-	case "tdm-dynamic":
-		cfg.Switching = pmsnet.DynamicTDM
-	case "tdm-preload":
-		cfg.Switching = pmsnet.PreloadTDM
-	case "tdm-hybrid":
-		cfg.Switching = pmsnet.HybridTDM
-	default:
-		return cfg, fmt.Errorf("unknown network %q", netName)
+	var err error
+	if cfg.Switching, err = pmsnet.ParseSwitching(netName); err != nil {
+		return cfg, err
 	}
-	switch eviction {
-	case "reactive":
-		cfg.Eviction = pmsnet.ReleaseOnEmpty
-	case "timeout":
-		cfg.Eviction = pmsnet.TimeoutEviction
-	case "counter":
-		cfg.Eviction = pmsnet.CounterEviction
-	case "never":
-		cfg.Eviction = pmsnet.NeverEvict
-	case "markov":
-		cfg.Eviction = pmsnet.MarkovPrefetch
-	default:
-		return cfg, fmt.Errorf("unknown eviction policy %q", eviction)
+	if cfg.Eviction, err = pmsnet.ParseEviction(eviction); err != nil {
+		return cfg, err
 	}
 	return cfg, nil
 }

@@ -1,0 +1,60 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// pmsim -trace: the file must parse as a JSON array of event objects, every
+// event needs the required trace-format fields, and the trace must actually
+// cover the simulation (scheduler, connection and message events present).
+// It is the CI trace-smoke gate.
+//
+// Usage:
+//
+//	tracecheck run.trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fatal(fmt.Errorf("usage: tracecheck FILE"))
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		fatal(fmt.Errorf("%s: not a JSON array of events: %w", os.Args[1], err))
+	}
+	cats := map[string]int{}
+	for i, ev := range events {
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			fatal(fmt.Errorf("event %d: missing ph: %v", i, ev))
+		}
+		if _, ok := ev["name"].(string); !ok {
+			fatal(fmt.Errorf("event %d: missing name: %v", i, ev))
+		}
+		if _, ok := ev["pid"]; !ok {
+			fatal(fmt.Errorf("event %d: missing pid: %v", i, ev))
+		}
+		if _, ok := ev["ts"]; !ok && ph != "M" {
+			fatal(fmt.Errorf("event %d: missing ts: %v", i, ev))
+		}
+		if c, ok := ev["cat"].(string); ok {
+			cats[c]++
+		}
+	}
+	for _, cat := range []string{"sched", "conn", "msg"} {
+		if cats[cat] == 0 {
+			fatal(fmt.Errorf("%s: no %q events (cats: %v)", os.Args[1], cat, cats))
+		}
+	}
+	fmt.Printf("%s: %d events ok (%v)\n", os.Args[1], len(events), cats)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

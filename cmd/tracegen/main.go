@@ -1,6 +1,6 @@
 // Command tracegen writes a built-in workload as a PMSTRACE command file —
 // the per-processor command-file format the paper's simulator is driven by
-// (§5). The output can be edited by hand and replayed with pmsim -trace.
+// (§5). The output can be edited by hand and replayed with pmsim -workload.
 //
 // Usage:
 //

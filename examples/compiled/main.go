@@ -51,7 +51,7 @@ func main() {
 
 	fmt.Printf("%-34s efficiency %.3f  makespan %v\n", "dynamic TDM (no analysis)", dynamic.Efficiency, dynamic.Makespan)
 	fmt.Printf("%-34s efficiency %.3f  makespan %v  (%d configuration loads)\n",
-		"preload TDM (analyzed trace)", preload.Efficiency, preload.Makespan, preload.Preloads)
+		"preload TDM (analyzed trace)", preload.Efficiency, preload.Makespan, preload.Sched.Preloads)
 
 	fmt.Println("\nThe analyzer recovered the phase structure from destination-diversity")
 	fmt.Println("regime changes alone, emitted each phase's working set for the preload")

@@ -38,10 +38,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-16s efficiency %.3f  makespan %-10v  preloads %d\n",
-			report.Network, report.Efficiency, report.Makespan, report.Preloads)
+			report.Network, report.Efficiency, report.Makespan, report.Sched.Preloads)
 	}
 
-	// Persist the program as a command file for pmsim -trace.
+	// Persist the program as a command file for pmsim -workload.
 	f, err := os.CreateTemp("", "twophase-*.pms")
 	if err != nil {
 		log.Fatal(err)
@@ -50,7 +50,7 @@ func main() {
 	if err := pmsnet.WriteTrace(f, workload); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ncommand file written to %s (replay with: go run ./cmd/pmsim -trace %s -net tdm-preload)\n",
+	fmt.Printf("\ncommand file written to %s (replay with: go run ./cmd/pmsim -workload %s -net tdm-preload)\n",
 		f.Name(), f.Name())
 
 	fmt.Println("\nThe all-to-all working set (127 permutations) dwarfs the 4-slot cache,")

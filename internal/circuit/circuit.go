@@ -21,6 +21,7 @@ import (
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
 	"pmsnet/internal/nic"
+	"pmsnet/internal/probe"
 	"pmsnet/internal/sim"
 	"pmsnet/internal/traffic"
 )
@@ -37,6 +38,8 @@ type Config struct {
 	// payloads and lost request/grant tokens per the plan; nil leaves the
 	// run bit-identical to a fault-free one.
 	Faults *fault.Plan
+	// Probe, when non-nil, receives the run's observability event stream.
+	Probe *probe.Probe
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +87,7 @@ type run struct {
 	srcActive []bool
 	stats     metrics.NetStats
 	inj       *fault.Injector
+	probe     *probe.Probe
 
 	// Cached ArgHandler method values: the fault-free per-message event
 	// chain schedules through these instead of allocating closures.
@@ -111,6 +115,7 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		outQueue:  make([][]*nic.Message, n.cfg.N),
 		outBusy:   make([]bool, n.cfg.N),
 		srcActive: make([]bool, n.cfg.N),
+		probe:     n.cfg.Probe,
 	}
 	r.requestArrivedFn = r.requestArrived
 	r.scheduledFn = r.scheduled
@@ -125,12 +130,16 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	if n.cfg.Probe != nil {
+		driver.SetProbe(n.cfg.Probe)
+	}
 	inj, err := fault.NewInjector(n.cfg.Faults, eng, n.cfg.N)
 	if err != nil {
 		return metrics.Result{}, err
 	}
 	if inj != nil {
 		r.inj = inj
+		inj.SetProbe(n.cfg.Probe)
 		driver.AttachFaults(inj)
 		inj.Start()
 	}
@@ -199,6 +208,13 @@ func (r *run) kickOutput(v int) {
 	r.outBusy[v] = true
 	r.stats.SchedulerPasses++
 	r.stats.Established++
+	if r.probe != nil {
+		now := r.eng.Now()
+		r.probe.Emit(probe.Event{Kind: probe.SchedPassBegin, At: now})
+		r.probe.Emit(probe.Event{Kind: probe.ConnEstablished, At: now,
+			Src: int32(m.Src), Dst: int32(v)})
+		r.probe.Emit(probe.Event{Kind: probe.SchedPassEnd, At: now, Aux: 1})
+	}
 	// 80 ns to schedule, then the grant token travels back to the NIC.
 	r.eng.AfterArg(r.schedNs, "circuit-scheduled", r.scheduledFn, m)
 }
@@ -236,6 +252,10 @@ func (r *run) sendGrant(m *nic.Message, attempt int) {
 // streams the whole message through it.
 func (r *run) grantArrived(arg any) {
 	m := arg.(*nic.Message)
+	if r.probe != nil {
+		r.probe.Emit(probe.Event{Kind: probe.MsgInjected, At: r.eng.Now(),
+			Src: int32(m.Src), Dst: int32(m.Dst), ID: int64(m.ID)})
+	}
 	ser := r.cfg.Link.SerializationTime(m.Bytes)
 	// The last byte leaves the source at +ser and reaches the destination
 	// NIC one data-pipe latency later.
@@ -253,8 +273,13 @@ func (r *run) deliver(arg any) {
 }
 
 func (r *run) teardown(arg any) {
-	v := arg.(*nic.Message).Dst
+	m := arg.(*nic.Message)
+	v := m.Dst
 	r.stats.Released++
+	if r.probe != nil {
+		r.probe.Emit(probe.Event{Kind: probe.ConnReleased, At: r.eng.Now(),
+			Src: int32(m.Src), Dst: int32(v)})
+	}
 	r.outBusy[v] = false
 	r.kickOutput(v)
 }

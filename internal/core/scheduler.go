@@ -32,6 +32,8 @@ import (
 	"fmt"
 
 	"pmsnet/internal/bitmat"
+	"pmsnet/internal/probe"
+	"pmsnet/internal/sim"
 )
 
 // Params configures a Scheduler.
@@ -162,6 +164,11 @@ type Scheduler struct {
 	fabricBuf   *bitmat.Matrix // NextFabricSlot result
 	invBuf      *bitmat.Matrix // CheckInvariants B* recomputation
 
+	// Observability (nil when off). now supplies timestamps for emitted
+	// events; the scheduler has no clock of its own.
+	probe *probe.Probe
+	now   func() sim.Time
+
 	// Memoized-pass state (nil cache when Params.Memoize is off). stateID
 	// names the current observable scheduler state (configs, latch, pinned);
 	// every mutation mints a fresh ID from nextID, so a recorded transition
@@ -215,6 +222,21 @@ func MustScheduler(p Params) *Scheduler {
 
 // Params returns the scheduler's configuration.
 func (s *Scheduler) Params() Params { return s.p }
+
+// SetProbe attaches an observability probe; now supplies event timestamps
+// (typically the simulation engine's clock). A nil probe detaches. Emission is
+// purely observational: scheduling decisions and statistics are identical with
+// and without a probe.
+func (s *Scheduler) SetProbe(p *probe.Probe, now func() sim.Time) {
+	if p == nil {
+		s.probe, s.now = nil, nil
+		return
+	}
+	if now == nil {
+		panic("core: SetProbe requires a clock")
+	}
+	s.probe, s.now = p, now
+}
 
 // Stats returns activity counters.
 func (s *Scheduler) Stats() Stats { return s.stats }
@@ -524,6 +546,30 @@ func (s *Scheduler) scheduleSlot(r *bitmat.Matrix, slot int) {
 // slices are scheduler-owned and valid until the next Pass or ScheduleSlot
 // call.
 func (s *Scheduler) Pass(r *bitmat.Matrix) PassResult {
+	if s.probe == nil {
+		return s.pass(r)
+	}
+	// The wrapper covers all three internal paths (no dynamic slots, cache
+	// replay, computed) identically, so traces match with the memo cache on
+	// or off.
+	now := s.now()
+	s.probe.Emit(probe.Event{Kind: probe.SchedPassBegin, At: now})
+	res := s.pass(r)
+	for _, c := range res.Established {
+		s.probe.Emit(probe.Event{Kind: probe.ConnEstablished, At: now,
+			Src: int32(c.Src), Dst: int32(c.Dst), Slot: int32(c.Slot)})
+	}
+	for _, c := range res.Released {
+		s.probe.Emit(probe.Event{Kind: probe.ConnReleased, At: now,
+			Src: int32(c.Src), Dst: int32(c.Dst), Slot: int32(c.Slot)})
+	}
+	s.probe.Emit(probe.Event{Kind: probe.SchedPassEnd, At: now,
+		Aux: int64(len(res.Established)), ID: int64(len(res.Released))})
+	return res
+}
+
+// pass is the probe-free body of Pass.
+func (s *Scheduler) pass(r *bitmat.Matrix) PassResult {
 	s.stats.Passes++
 	dyn := s.DynamicSlotCount()
 	if dyn == 0 {
@@ -699,6 +745,10 @@ func (s *Scheduler) Evict(src, dst int) int {
 	}
 	if removed > 0 || latched {
 		s.invalidate()
+		if s.probe != nil {
+			s.probe.Emit(probe.Event{Kind: probe.ConnEvicted, At: s.now(),
+				Src: int32(src), Dst: int32(dst), Aux: int64(removed)})
+		}
 	}
 	return removed
 }
@@ -736,6 +786,13 @@ func (s *Scheduler) EvictPort(p int) []Change {
 		s.stats.Evictions += uint64(len(out))
 		s.stats.Released += uint64(len(out))
 		s.invalidate()
+		if s.probe != nil {
+			now := s.now()
+			for _, ch := range out {
+				s.probe.Emit(probe.Event{Kind: probe.ConnEvicted, At: now,
+					Src: int32(ch.Src), Dst: int32(ch.Dst), Slot: int32(ch.Slot), Aux: 1})
+			}
+		}
 	}
 	return out
 }
@@ -753,6 +810,9 @@ func (s *Scheduler) Flush() {
 	s.dirty = true
 	s.stats.Flushes++
 	s.invalidate()
+	if s.probe != nil {
+		s.probe.Emit(probe.Event{Kind: probe.Flush, At: s.now()})
+	}
 }
 
 // FlushAll clears everything, including pinned slots, and unpins them.
@@ -765,6 +825,9 @@ func (s *Scheduler) FlushAll() {
 	s.dirty = true
 	s.stats.Flushes++
 	s.invalidate()
+	if s.probe != nil {
+		s.probe.Emit(probe.Event{Kind: probe.Flush, At: s.now()})
+	}
 }
 
 // Latched reports whether a dropped request for src→dst is being held.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pmsnet/internal/probe"
 	"pmsnet/internal/sim"
 )
 
@@ -51,6 +52,9 @@ type Injector struct {
 
 	counters Counters
 
+	// probe observes fault events (nil when observability is off).
+	probe *probe.Probe
+
 	// Degraded-mode accounting: the run is degraded while at least one link
 	// is down or one crosspoint is dead.
 	activeFaults  int
@@ -90,6 +94,14 @@ func NewInjector(p *Plan, eng *sim.Engine, n int) (*Injector, error) {
 		portDead:   make([]bool, n),
 		deadX:      make(map[[2]int]bool),
 	}, nil
+}
+
+// SetProbe attaches an observability probe for fault injected/recovered
+// events. Safe on a nil receiver; nil detaches.
+func (inj *Injector) SetProbe(p *probe.Probe) {
+	if inj != nil {
+		inj.probe = p
+	}
 }
 
 // Start schedules the plan's fault events: every scripted link and crosspoint
@@ -145,6 +157,14 @@ func (inj *Injector) portFail(port int, dur sim.Time) {
 	}
 	inj.counters.LinkFailures++
 	inj.faultBegan()
+	if inj.probe != nil {
+		permanent := int64(0)
+		if dur == 0 {
+			permanent = 1
+		}
+		inj.probe.Emit(probe.Event{Kind: probe.FaultInjected, At: inj.eng.Now(),
+			Src: int32(port), Dst: -1, Aux: permanent})
+	}
 	if inj.OnPortDown != nil {
 		inj.OnPortDown(port, dur == 0)
 	}
@@ -160,6 +180,10 @@ func (inj *Injector) portRepair(port int) {
 	inj.portDown[port] = false
 	inj.counters.LinkRepairs++
 	inj.faultEnded()
+	if inj.probe != nil {
+		inj.probe.Emit(probe.Event{Kind: probe.FaultRecovered, At: inj.eng.Now(),
+			Src: int32(port), Dst: -1})
+	}
 	if inj.OnPortUp != nil {
 		inj.OnPortUp(port)
 	}
@@ -173,6 +197,10 @@ func (inj *Injector) crosspointDie(u, v int) {
 	inj.deadX[key] = true
 	inj.counters.CrosspointDeaths++
 	inj.faultBegan()
+	if inj.probe != nil {
+		inj.probe.Emit(probe.Event{Kind: probe.FaultInjected, At: inj.eng.Now(),
+			Src: int32(u), Dst: int32(v), ID: 1, Aux: 1})
+	}
 	if inj.OnCrosspointDead != nil {
 		inj.OnCrosspointDead(u, v)
 	}

@@ -11,6 +11,7 @@ import (
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
 	"pmsnet/internal/nic"
+	"pmsnet/internal/probe"
 	"pmsnet/internal/sim"
 	"pmsnet/internal/traffic"
 )
@@ -33,6 +34,8 @@ type TDMConfig struct {
 	// slots per the plan; nil leaves the run bit-identical to a fault-free
 	// one.
 	Faults *fault.Plan
+	// Probe, when non-nil, receives the run's observability event stream.
+	Probe *probe.Probe
 }
 
 func (c TDMConfig) withDefaults() TDMConfig {
@@ -116,6 +119,8 @@ type tdmRun struct {
 	// Reusable scratch for the per-pass and per-slot scans.
 	connBuf [][2]int
 	rowBuf  []int
+
+	probe *probe.Probe
 }
 
 // Run implements netmodel.Network.
@@ -129,6 +134,7 @@ func (t *TDM) Run(wl *traffic.Workload) (metrics.Result, error) {
 		occupied: make([]map[Hop]bool, t.cfg.K),
 		estab:    make([]map[[2]int]*pathConn, t.cfg.K),
 		slotOf:   make(map[[2]int]int),
+		probe:    t.cfg.Probe,
 	}
 	for i := range r.queued {
 		r.queued[i] = make([]int, t.cfg.N)
@@ -148,11 +154,15 @@ func (t *TDM) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	if t.cfg.Probe != nil {
+		driver.SetProbe(t.cfg.Probe)
+	}
 	inj, err := fault.NewInjector(t.cfg.Faults, eng, t.cfg.N)
 	if err != nil {
 		return metrics.Result{}, err
 	}
 	if inj != nil {
+		inj.SetProbe(t.cfg.Probe)
 		driver.AttachFaults(inj)
 		inj.Start()
 	}
@@ -196,6 +206,12 @@ func (r *tdmRun) setRequestWire(u, v int, val bool) {
 // is free in that slot.
 func (r *tdmRun) onPass() {
 	r.stats.SchedulerPasses++
+	var passAt sim.Time
+	var est, rel int64
+	if r.probe != nil {
+		passAt = r.eng.Now()
+		r.probe.Emit(probe.Event{Kind: probe.SchedPassBegin, At: passAt})
+	}
 	s := r.slCursor
 	r.slCursor = (r.slCursor + 1) % r.cfg.K
 
@@ -210,6 +226,11 @@ func (r *tdmRun) onPass() {
 			delete(r.estab[s], key)
 			delete(r.slotOf, key)
 			r.stats.Released++
+			if r.probe != nil {
+				rel++
+				r.probe.Emit(probe.Event{Kind: probe.ConnReleased, At: passAt,
+					Src: int32(pc.src), Dst: int32(pc.dst), Slot: int32(s)})
+			}
 		}
 	}
 	// Establishments: scan requests in row-major order (the hardware scan),
@@ -239,7 +260,15 @@ func (r *tdmRun) onPass() {
 			r.estab[s][key] = pc
 			r.slotOf[key] = s
 			r.stats.Established++
+			if r.probe != nil {
+				est++
+				r.probe.Emit(probe.Event{Kind: probe.ConnEstablished, At: passAt,
+					Src: int32(u), Dst: int32(v), Slot: int32(s)})
+			}
 		}
+	}
+	if r.probe != nil {
+		r.probe.Emit(probe.Event{Kind: probe.SchedPassEnd, At: passAt, Aux: est, ID: rel})
 	}
 }
 
@@ -256,7 +285,14 @@ func (r *tdmRun) onSlot() {
 			break
 		}
 	}
+	if r.probe != nil {
+		r.probe.Emit(probe.Event{Kind: probe.SlotStart, At: r.eng.Now(),
+			Slot: int32(s), Aux: int64(r.cfg.SlotNs)})
+	}
 	if s < 0 {
+		if r.probe != nil {
+			r.probe.Emit(probe.Event{Kind: probe.SlotEnd, At: r.eng.Now(), Slot: -1})
+		}
 		return
 	}
 	slotStart := r.eng.Now()
@@ -264,12 +300,28 @@ func (r *tdmRun) onSlot() {
 	r.connBuf = appendSortedConns(r.connBuf[:0], r.estab[s])
 	for _, key := range r.connBuf {
 		pc := r.estab[s][key]
+		var injected *nic.Message
+		if r.probe != nil {
+			if h := r.driver.Buffers[pc.src].Head(pc.dst); h != nil && h.Remaining() == h.Bytes {
+				injected = h
+			}
+		}
 		sent, done := r.driver.Buffers[pc.src].TransmitTo(pc.dst, r.cfg.PayloadBytes)
 		if sent == 0 {
 			continue
 		}
 		used = true
+		if injected != nil {
+			r.probe.Emit(probe.Event{Kind: probe.MsgInjected, At: slotStart,
+				Src: int32(pc.src), Dst: int32(pc.dst), ID: int64(injected.ID)})
+		}
 		if done != nil {
+			if r.probe != nil {
+				if h := r.driver.Buffers[pc.src].Head(pc.dst); h != nil {
+					r.probe.Emit(probe.Event{Kind: probe.MsgHeadOfQueue, At: slotStart,
+						Src: int32(h.Src), Dst: int32(h.Dst), ID: int64(h.ID)})
+				}
+			}
 			r.queued[pc.src][pc.dst]--
 			if r.queued[pc.src][pc.dst] == 0 {
 				r.setRequestWire(pc.src, pc.dst, false)
@@ -289,6 +341,14 @@ func (r *tdmRun) onSlot() {
 	}
 	if used {
 		r.stats.SlotsUsed++
+	}
+	if r.probe != nil {
+		var aux int64
+		if used {
+			aux = 1
+		}
+		r.probe.Emit(probe.Event{Kind: probe.SlotEnd, At: slotStart,
+			Slot: int32(s), Aux: aux})
 	}
 }
 

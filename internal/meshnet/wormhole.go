@@ -8,6 +8,7 @@ import (
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
 	"pmsnet/internal/nic"
+	"pmsnet/internal/probe"
 	"pmsnet/internal/sim"
 	"pmsnet/internal/traffic"
 	"pmsnet/internal/wormhole"
@@ -25,6 +26,8 @@ type WormholeConfig struct {
 	// worms per the plan; nil leaves the run bit-identical to a fault-free
 	// one.
 	Faults *fault.Plan
+	// Probe, when non-nil, receives the run's observability event stream.
+	Probe *probe.Probe
 }
 
 func (c WormholeConfig) withDefaults() WormholeConfig {
@@ -82,6 +85,8 @@ type wormholeRun struct {
 	srcActive []bool
 	// flit transfer time for one hop's stream (per flit, at link rate).
 	flitNs sim.Time
+
+	probe *probe.Probe
 }
 
 // Run implements netmodel.Network.
@@ -98,6 +103,7 @@ func (w *Wormhole) Run(wl *traffic.Workload) (metrics.Result, error) {
 		waiting:   make(map[Hop][]*meshWorm),
 		srcActive: make([]bool, w.cfg.N),
 		flitNs:    w.cfg.Link.SerializationTime(wormhole.FlitBytes),
+		probe:     w.cfg.Probe,
 	}
 	driver, err := netmodel.NewDriver(eng, w.cfg.Link, wl, netmodel.Hooks{
 		OnEnqueue: func(m *nic.Message) { r.kickSource(m.Src) },
@@ -106,11 +112,15 @@ func (w *Wormhole) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	if w.cfg.Probe != nil {
+		driver.SetProbe(w.cfg.Probe)
+	}
 	inj, err := fault.NewInjector(w.cfg.Faults, eng, w.cfg.N)
 	if err != nil {
 		return metrics.Result{}, err
 	}
 	if inj != nil {
+		inj.SetProbe(w.cfg.Probe)
 		driver.AttachFaults(inj)
 		inj.Start()
 	}
@@ -153,6 +163,10 @@ func splitWorms(bytes int) []int {
 // source starts the next worm when the current one has both fully left the
 // source link and been granted its first mesh link.
 func (r *wormholeRun) sendWorm(s int, m *nic.Message, worms []int, i int) {
+	if i == 0 && r.probe != nil {
+		r.probe.Emit(probe.Event{Kind: probe.MsgInjected, At: r.eng.Now(),
+			Src: int32(m.Src), Dst: int32(m.Dst), ID: int64(m.ID)})
+	}
 	bytes := worms[i]
 	serDone := r.eng.Now() + r.cfg.Link.SerializationTime(bytes)
 	headAtRouter := r.eng.Now() + r.cfg.Link.PipeLatency()

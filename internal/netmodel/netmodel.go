@@ -18,6 +18,7 @@ import (
 	"pmsnet/internal/link"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/nic"
+	"pmsnet/internal/probe"
 	"pmsnet/internal/sim"
 	"pmsnet/internal/traffic"
 )
@@ -80,6 +81,9 @@ type Driver struct {
 	inj     *fault.Injector
 	retries uint64
 	dropped uint64
+
+	// probe observes message lifecycle events (nil when observability is off).
+	probe *probe.Probe
 }
 
 // NewDriver builds a driver for a validated workload.
@@ -108,6 +112,10 @@ func NewDriver(engine *sim.Engine, lm link.Model, wl *traffic.Workload, hooks Ho
 	}
 	return d, nil
 }
+
+// SetProbe attaches an observability probe for message lifecycle events
+// (created, head-of-queue, delivered). Nil detaches.
+func (d *Driver) SetProbe(p *probe.Probe) { d.probe = p }
 
 // Start schedules every processor's program from time zero.
 func (d *Driver) Start() {
@@ -144,6 +152,14 @@ func (d *Driver) step(p int) {
 		}
 		d.nextID++
 		d.Buffers[p].Enqueue(m)
+		if d.probe != nil {
+			d.probe.Emit(probe.Event{Kind: probe.MsgCreated, At: m.Created,
+				Src: int32(m.Src), Dst: int32(m.Dst), ID: int64(m.ID), Aux: int64(m.Bytes)})
+			if d.Buffers[p].Head(m.Dst) == m {
+				d.probe.Emit(probe.Event{Kind: probe.MsgHeadOfQueue, At: m.Created,
+					Src: int32(m.Src), Dst: int32(m.Dst), ID: int64(m.ID)})
+			}
+		}
 		if op.Kind == traffic.OpSendWait {
 			// Block: the program continues when the message is delivered.
 			d.resume[m.ID] = p
@@ -195,6 +211,11 @@ func (d *Driver) Deliver(m *nic.Message) {
 		panic(fmt.Sprintf("netmodel: message %d delivered after drop", m.ID))
 	}
 	m.Delivered = d.Engine.Now()
+	if d.probe != nil {
+		d.probe.Emit(probe.Event{Kind: probe.MsgDelivered, At: m.Delivered,
+			Src: int32(m.Src), Dst: int32(m.Dst), ID: int64(m.ID),
+			Aux: int64(m.Delivered - m.Created)})
+	}
 	d.records = append(d.records, metrics.Record{
 		Src: m.Src, Dst: m.Dst, Bytes: m.Bytes,
 		Created: m.Created, Delivered: m.Delivered,

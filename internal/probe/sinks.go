@@ -1,0 +1,128 @@
+package probe
+
+import "pmsnet/internal/sim"
+
+// CounterSink tallies events per kind — the cheapest sink, useful for smoke
+// checks ("did this run establish connections?") and for the bit-identity
+// tests that attach a probe without otherwise observing the run.
+type CounterSink struct {
+	counts [KindCount]uint64
+}
+
+// NewCounterSink builds an empty counter sink.
+func NewCounterSink() *CounterSink { return &CounterSink{} }
+
+// Handle implements Sink.
+func (s *CounterSink) Handle(ev Event) {
+	if ev.Kind < KindCount {
+		s.counts[ev.Kind]++
+	}
+}
+
+// Count returns the number of events of one kind seen so far.
+func (s *CounterSink) Count(k Kind) uint64 {
+	if k >= KindCount {
+		return 0
+	}
+	return s.counts[k]
+}
+
+// Total returns the number of events seen across all kinds.
+func (s *CounterSink) Total() uint64 {
+	var t uint64
+	for _, c := range s.counts {
+		t += c
+	}
+	return t
+}
+
+// Sample is one bucket of a TimelineSink: the slot-utilization and
+// queue-depth curves of the interval [Start, Start+Interval).
+type Sample struct {
+	// Start is the bucket's start time.
+	Start sim.Time
+	// Slots and SlotsUsed count slot boundaries in the bucket and how many
+	// of them carried payload; Utilization is their ratio (0 when no slot
+	// boundary fell into the bucket).
+	Slots, SlotsUsed int
+	Utilization      float64
+	// Created and Delivered count message lifecycle events in the bucket.
+	Created, Delivered int
+	// QueueDepth is the number of in-flight messages (created but not yet
+	// delivered) at the end of the bucket; MaxDepth is the bucket's peak.
+	QueueDepth, MaxDepth int
+}
+
+// TimelineSink is the time-series sampler: it buckets the event stream into
+// fixed intervals and produces slot-utilization and queue-depth curves.
+// Events must arrive in nondecreasing timestamp order, which the simulation
+// engine guarantees.
+type TimelineSink struct {
+	interval sim.Time
+	buckets  []Sample
+	depth    int
+}
+
+// NewTimelineSink builds a sampler with the given bucket width (must be
+// positive).
+func NewTimelineSink(interval sim.Time) *TimelineSink {
+	if interval <= 0 {
+		interval = sim.Microsecond
+	}
+	return &TimelineSink{interval: interval}
+}
+
+// Interval returns the bucket width.
+func (s *TimelineSink) Interval() sim.Time { return s.interval }
+
+// bucket returns the bucket for time t, extending the series as needed. New
+// buckets inherit the running queue depth so idle intervals still sample it.
+func (s *TimelineSink) bucket(t sim.Time) *Sample {
+	i := int(t / s.interval)
+	for len(s.buckets) <= i {
+		b := Sample{Start: sim.Time(len(s.buckets)) * s.interval}
+		b.QueueDepth = s.depth
+		b.MaxDepth = s.depth
+		s.buckets = append(s.buckets, b)
+	}
+	return &s.buckets[i]
+}
+
+// Handle implements Sink.
+func (s *TimelineSink) Handle(ev Event) {
+	switch ev.Kind {
+	case SlotStart:
+		b := s.bucket(ev.At)
+		b.Slots++
+	case SlotEnd:
+		if ev.Aux != 0 {
+			s.bucket(ev.At).SlotsUsed++
+		}
+	case MsgCreated:
+		b := s.bucket(ev.At)
+		b.Created++
+		s.depth++
+		b.QueueDepth = s.depth
+		if s.depth > b.MaxDepth {
+			b.MaxDepth = s.depth
+		}
+	case MsgDelivered:
+		b := s.bucket(ev.At)
+		b.Delivered++
+		s.depth--
+		b.QueueDepth = s.depth
+	}
+}
+
+// Samples returns the bucketed curves with Utilization filled in. The
+// returned slice is a copy and safe to keep.
+func (s *TimelineSink) Samples() []Sample {
+	out := make([]Sample, len(s.buckets))
+	copy(out, s.buckets)
+	for i := range out {
+		if out[i].Slots > 0 {
+			out[i].Utilization = float64(out[i].SlotsUsed) / float64(out[i].Slots)
+		}
+	}
+	return out
+}

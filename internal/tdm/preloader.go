@@ -6,6 +6,7 @@ import (
 
 	"pmsnet/internal/bitmat"
 	"pmsnet/internal/multistage"
+	"pmsnet/internal/probe"
 	"pmsnet/internal/topology"
 	"pmsnet/internal/traffic"
 )
@@ -109,6 +110,14 @@ func (p *preloader) load(gi int) error {
 		}
 	}
 	p.r.stats.Preloads++
+	if p.r.probe != nil {
+		pinned := len(group)
+		if pinned > p.slots {
+			pinned = p.slots
+		}
+		p.r.probe.Emit(probe.Event{Kind: probe.Preload, At: p.r.eng.Now(),
+			Slot: int32(gi), Aux: int64(pinned)})
+	}
 	return nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"pmsnet/internal/netmodel"
 	"pmsnet/internal/nic"
 	"pmsnet/internal/predictor"
+	"pmsnet/internal/probe"
 	"pmsnet/internal/sim"
 	"pmsnet/internal/topology"
 	"pmsnet/internal/traffic"
@@ -151,6 +152,11 @@ type Config struct {
 	// SelfCheck runs the scheduler's state invariants after every simulation
 	// event (the engine debug mode). Expensive; meant for tests.
 	SelfCheck bool
+	// Probe, when non-nil, receives the run's observability event stream
+	// (slots, scheduler passes, connections, preloads, messages, faults).
+	// Emission is purely observational: results are bit-identical with and
+	// without a probe.
+	Probe *probe.Probe
 }
 
 func boolPtr(b bool) *bool { return &b }
@@ -293,6 +299,9 @@ type run struct {
 	slTicker   *sim.Ticker
 	stats      metrics.NetStats
 
+	// probe observes the run (nil when observability is off).
+	probe *probe.Probe
+
 	// inj is the fault injector (nil for fault-free runs); err latches the
 	// first unrecoverable model error so it surfaces instead of a misleading
 	// stall diagnosis.
@@ -366,6 +375,10 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		reqMerge: bitmat.NewSquare(cfg.N),
 		queued:  make([][]int, cfg.N),
 		grantAt: make([][]sim.Time, cfg.N),
+		probe:   cfg.Probe,
+	}
+	if cfg.Probe != nil {
+		sched.SetProbe(cfg.Probe, eng.Now)
 	}
 	for u := range r.queued {
 		r.queued[u] = make([]int, cfg.N)
@@ -381,6 +394,9 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	if cfg.Probe != nil {
+		driver.SetProbe(cfg.Probe)
+	}
 
 	inj, err := fault.NewInjector(cfg.Faults, eng, cfg.N)
 	if err != nil {
@@ -391,6 +407,7 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		inj.OnPortDown = r.onPortDown
 		inj.OnPortUp = r.onPortUp
 		inj.OnCrosspointDead = r.onCrosspointDead
+		inj.SetProbe(cfg.Probe)
 		driver.AttachFaults(inj)
 	}
 	if cfg.SelfCheck {
@@ -633,7 +650,18 @@ func (r *run) onSlot() {
 		r.pre.maybeAdvance()
 	}
 	slot, cfg, ok := r.sched.NextFabricSlot()
+	if r.probe != nil {
+		s := int32(-1)
+		if ok {
+			s = int32(slot)
+		}
+		r.probe.Emit(probe.Event{Kind: probe.SlotStart, At: r.eng.Now(),
+			Slot: s, Aux: int64(r.cfg.SlotNs)})
+	}
 	if !ok {
+		if r.probe != nil {
+			r.probe.Emit(probe.Event{Kind: probe.SlotEnd, At: r.eng.Now(), Slot: -1})
+		}
 		return
 	}
 	if err := r.xbar.Apply(cfg); err != nil {
@@ -674,6 +702,14 @@ func (r *run) onSlot() {
 				continue
 			}
 		}
+		var injected *nic.Message
+		if r.probe != nil {
+			// The head message's first byte enters the network this slot iff
+			// nothing of it has been transmitted yet.
+			if h := r.driver.Buffers[u].Head(v); h != nil && h.Remaining() == h.Bytes {
+				injected = h
+			}
+		}
 		sent, done := r.driver.Buffers[u].TransmitTo(v, r.cfg.PayloadBytes)
 		if sent == 0 {
 			// A wasted grant: the connection is established but has nothing
@@ -687,6 +723,10 @@ func (r *run) onSlot() {
 			continue
 		}
 		used = true
+		if injected != nil {
+			r.probe.Emit(probe.Event{Kind: probe.MsgInjected, At: slotStart,
+				Src: int32(u), Dst: int32(v), ID: int64(injected.ID)})
+		}
 		if r.pred != nil {
 			r.pred.OnUse(topology.Conn{Src: u, Dst: v}, slotStart)
 		}
@@ -705,6 +745,14 @@ func (r *run) onSlot() {
 	if used {
 		r.stats.SlotsUsed++
 	}
+	if r.probe != nil {
+		var aux int64
+		if used {
+			aux = 1
+		}
+		r.probe.Emit(probe.Event{Kind: probe.SlotEnd, At: slotStart,
+			Slot: int32(slot), Aux: aux})
+	}
 }
 
 // completeMessage retires a message whose last payload was granted in the
@@ -713,6 +761,14 @@ func (r *run) onSlot() {
 // overhead.
 func (r *run) completeMessage(m *nic.Message, slotStart sim.Time) {
 	u, v := m.Src, m.Dst
+	if r.probe != nil {
+		// TransmitTo already dequeued m, so the current head is its successor
+		// reaching the front of the u→v queue.
+		if h := r.driver.Buffers[u].Head(v); h != nil {
+			r.probe.Emit(probe.Event{Kind: probe.MsgHeadOfQueue, At: slotStart,
+				Src: int32(h.Src), Dst: int32(h.Dst), ID: int64(h.ID)})
+		}
+	}
 	r.queued[u][v]--
 	if r.queued[u][v] == 0 {
 		r.setRequestWire(u, v, false)

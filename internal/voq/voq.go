@@ -29,6 +29,7 @@ import (
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
 	"pmsnet/internal/nic"
+	"pmsnet/internal/probe"
 	"pmsnet/internal/sim"
 	"pmsnet/internal/traffic"
 )
@@ -51,6 +52,8 @@ type Config struct {
 	// cells per the plan; nil leaves the run bit-identical to a fault-free
 	// one.
 	Faults *fault.Plan
+	// Probe, when non-nil, receives the run's observability event stream.
+	Probe *probe.Probe
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +114,7 @@ type run struct {
 	// outPipe is the switch-to-destination latency plus NIC receive.
 	outPipe sim.Time
 	stats   metrics.NetStats
+	probe   *probe.Probe
 }
 
 // Run implements netmodel.Network.
@@ -124,6 +128,7 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		acceptPtr: make([]int, n.cfg.N),
 		cellTime:  lm.SerializationTime(n.cfg.CellBytes),
 		outPipe:   lm.SerializeNs + lm.WireNs + lm.DeserializeNs + nic.RecvOverhead,
+		probe:     n.cfg.Probe,
 	}
 	driver, err := netmodel.NewDriver(eng, lm, wl, netmodel.Hooks{
 		OnIdle: func() { r.ticker.Stop() },
@@ -132,11 +137,15 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	if n.cfg.Probe != nil {
+		driver.SetProbe(n.cfg.Probe)
+	}
 	inj, err := fault.NewInjector(n.cfg.Faults, eng, n.cfg.N)
 	if err != nil {
 		return metrics.Result{}, err
 	}
 	if inj != nil {
+		inj.SetProbe(n.cfg.Probe)
 		driver.AttachFaults(inj)
 		inj.Start()
 	}
@@ -152,6 +161,12 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 func (r *run) onCell() {
 	n := r.cfg.N
 	r.stats.SlotsTotal++
+	if r.probe != nil {
+		now := r.eng.Now()
+		r.probe.Emit(probe.Event{Kind: probe.SlotStart, At: now,
+			Slot: 0, Aux: int64(r.cellTime)})
+		r.probe.Emit(probe.Event{Kind: probe.SchedPassBegin, At: now})
+	}
 	matchIn := make([]int, n) // matchIn[i] = output matched to input i, or -1
 	matchOut := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -213,17 +228,37 @@ func (r *run) onCell() {
 	}
 
 	slotStart := r.eng.Now()
+	if r.probe != nil {
+		matches := 0
+		for i := 0; i < n; i++ {
+			if matchIn[i] != -1 {
+				matches++
+			}
+		}
+		r.probe.Emit(probe.Event{Kind: probe.SchedPassEnd, At: slotStart,
+			Aux: int64(matches)})
+	}
 	used := false
 	for i := 0; i < n; i++ {
 		j := matchIn[i]
 		if j == -1 {
 			continue
 		}
+		var injected *nic.Message
+		if r.probe != nil {
+			if h := r.driver.Buffers[i].Head(j); h != nil && h.Remaining() == h.Bytes {
+				injected = h
+			}
+		}
 		sent, done := r.driver.Buffers[i].TransmitTo(j, r.cfg.CellBytes)
 		if sent == 0 {
 			continue
 		}
 		used = true
+		if injected != nil {
+			r.probe.Emit(probe.Event{Kind: probe.MsgInjected, At: slotStart,
+				Src: int32(i), Dst: int32(j), ID: int64(injected.ID)})
+		}
 		if done != nil {
 			deliverAt := slotStart + r.cellTime + r.outPipe
 			m := done
@@ -232,5 +267,12 @@ func (r *run) onCell() {
 	}
 	if used {
 		r.stats.SlotsUsed++
+	}
+	if r.probe != nil {
+		var aux int64
+		if used {
+			aux = 1
+		}
+		r.probe.Emit(probe.Event{Kind: probe.SlotEnd, At: slotStart, Slot: 0, Aux: aux})
 	}
 }

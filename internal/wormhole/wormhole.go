@@ -34,6 +34,7 @@ import (
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
 	"pmsnet/internal/nic"
+	"pmsnet/internal/probe"
 	"pmsnet/internal/sim"
 	"pmsnet/internal/traffic"
 )
@@ -60,6 +61,8 @@ type Config struct {
 	// worms per the plan; nil leaves the run bit-identical to a fault-free
 	// one.
 	Faults *fault.Plan
+	// Probe, when non-nil, receives the run's observability event stream.
+	Probe *probe.Probe
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +135,7 @@ type run struct {
 	// worm through its event chain without per-event closures.
 	wormFree    []*worm
 	waitScratch []int
+	probe       *probe.Probe
 	condMetFn   sim.ArgHandler
 	atSwitchFn  sim.ArgHandler
 	wormNextFn  sim.ArgHandler
@@ -151,6 +155,7 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		inBusy:         make([]bool, n.cfg.N),
 		waitingOnInput: make([][]int, n.cfg.N),
 		srcActive:      make([]bool, n.cfg.N),
+		probe:          n.cfg.Probe,
 	}
 	lm := n.cfg.Link
 	r.inputPipe = lm.SerializeNs + lm.WireNs + lm.DeserializeNs
@@ -168,11 +173,15 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	if n.cfg.Probe != nil {
+		driver.SetProbe(n.cfg.Probe)
+	}
 	inj, err := fault.NewInjector(n.cfg.Faults, eng, n.cfg.N)
 	if err != nil {
 		return metrics.Result{}, err
 	}
 	if inj != nil {
+		inj.SetProbe(n.cfg.Probe)
 		driver.AttachFaults(inj)
 		inj.Start()
 	}
@@ -243,6 +252,10 @@ func (r *run) freeWorm(w *worm) {
 // source link and (b) it has begun its switch traversal, freeing the input
 // buffer.
 func (r *run) sendWorm(s int, m *nic.Message, i int) {
+	if i == 0 && r.probe != nil {
+		r.probe.Emit(probe.Event{Kind: probe.MsgInjected, At: r.eng.Now(),
+			Src: int32(m.Src), Dst: int32(m.Dst), ID: int64(m.ID)})
+	}
 	bytes := wormBytes(m.Bytes, i)
 	serDone := r.eng.Now() + r.cfg.Link.SerializationTime(bytes)
 	headArrives := r.eng.Now() + r.inputPipe

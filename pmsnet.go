@@ -35,6 +35,7 @@ package pmsnet
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"pmsnet/internal/circuit"
@@ -106,6 +107,35 @@ func (s Switching) String() string {
 	}
 }
 
+// switchingValues lists every valid paradigm, in flag-name order.
+var switchingValues = []Switching{
+	Wormhole, CircuitSwitching, DynamicTDM, PreloadTDM, HybridTDM,
+	VOQISLIP, MeshWormhole, MeshTDM,
+}
+
+// SwitchingNames returns the canonical names accepted by ParseSwitching, in
+// a stable order — the vocabulary of the cmd/pmsim -net flag.
+func SwitchingNames() []string {
+	out := make([]string, len(switchingValues))
+	for i, v := range switchingValues {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// ParseSwitching is the inverse of Switching.String: it maps a canonical
+// paradigm name ("wormhole", "tdm-dynamic", ...) back to its value. Unknown
+// names produce an error listing every valid name.
+func ParseSwitching(name string) (Switching, error) {
+	for _, v := range switchingValues {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("pmsnet: unknown switching paradigm %q (valid: %s)",
+		name, strings.Join(SwitchingNames(), ", "))
+}
+
 // EvictionPolicy selects the connection-eviction predictor for the TDM
 // modes (paper §3.2).
 type EvictionPolicy int
@@ -128,6 +158,52 @@ const (
 	// connection of each source before its request arrives.
 	MarkovPrefetch
 )
+
+// String implements fmt.Stringer with the cmd/pmsim -eviction vocabulary.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case ReleaseOnEmpty:
+		return "reactive"
+	case TimeoutEviction:
+		return "timeout"
+	case CounterEviction:
+		return "counter"
+	case NeverEvict:
+		return "never"
+	case MarkovPrefetch:
+		return "markov"
+	default:
+		return fmt.Sprintf("EvictionPolicy(%d)", int(p))
+	}
+}
+
+// evictionValues lists every valid policy, in flag-name order.
+var evictionValues = []EvictionPolicy{
+	ReleaseOnEmpty, TimeoutEviction, CounterEviction, NeverEvict, MarkovPrefetch,
+}
+
+// EvictionNames returns the canonical names accepted by ParseEviction, in a
+// stable order — the vocabulary of the cmd/pmsim -eviction flag.
+func EvictionNames() []string {
+	out := make([]string, len(evictionValues))
+	for i, v := range evictionValues {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// ParseEviction is the inverse of EvictionPolicy.String: it maps a canonical
+// policy name ("reactive", "timeout", ...) back to its value. Unknown names
+// produce an error listing every valid name.
+func ParseEviction(name string) (EvictionPolicy, error) {
+	for _, v := range evictionValues {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("pmsnet: unknown eviction policy %q (valid: %s)",
+		name, strings.Join(EvictionNames(), ", "))
+}
 
 // Config selects and parameterizes a network.
 type Config struct {
@@ -179,11 +255,92 @@ type Config struct {
 	// repeating a previously seen (scheduler state, request matrix) pair
 	// replay the recorded grant set instead of re-running the scheduling
 	// array. nil (the default) enables it. Results are bit-identical with
-	// the cache on or off — only the Report's SchedCacheHits/Misses
+	// the cache on or off — only the Report's Sched.CacheHits/CacheMisses
 	// counters and the wall-clock cost differ — so disabling it is only
 	// useful for benchmarking the raw array or bisecting a suspected cache
 	// defect. Ignored by the non-TDM baselines.
 	SchedCache *bool
+	// Probe, when non-nil, streams typed simulation events (slot, scheduler,
+	// connection, message and fault lifecycle) to the probe's sinks during
+	// the run. Probes are purely observational: the Report is bit-identical
+	// with or without one. Sinks run synchronously on the simulation
+	// goroutine and are not safe to share across concurrent runs, so RunMany
+	// rejects a non-nil Probe. Build with NewProbe and the sink
+	// constructors (NewCounterSink, NewTimelineSink, NewTraceWriter).
+	Probe *Probe
+}
+
+// ConfigError reports a Config field that failed validation.
+type ConfigError struct {
+	// Field is the offending Config field name, e.g. "N" or "Eviction".
+	Field string
+	// Value is the rejected value; nil when the value adds nothing to the
+	// message.
+	Value any
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	if e.Value == nil {
+		return fmt.Sprintf("pmsnet: invalid Config.%s: %s", e.Field, e.Reason)
+	}
+	return fmt.Sprintf("pmsnet: invalid Config.%s (%v): %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the configuration without building a network. Every
+// violation is reported as a *ConfigError naming the offending field; nil
+// means Run would accept the configuration (given a valid workload).
+// Defaults are applied before checking, so zero values that have documented
+// defaults (K, EvictionTimeout, ...) pass.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	known := false
+	for _, v := range switchingValues {
+		if c.Switching == v {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return &ConfigError{Field: "Switching", Value: int(c.Switching),
+			Reason: fmt.Sprintf("unknown paradigm (valid: %s)", strings.Join(SwitchingNames(), ", "))}
+	}
+	if c.N < 2 {
+		return &ConfigError{Field: "N", Value: c.N, Reason: "need at least 2 processors"}
+	}
+	if c.K <= 0 {
+		return &ConfigError{Field: "K", Value: c.K, Reason: "multiplexing degree must be positive"}
+	}
+	switch c.Switching {
+	case DynamicTDM, PreloadTDM, HybridTDM:
+		knownEv := false
+		for _, v := range evictionValues {
+			if c.Eviction == v {
+				knownEv = true
+				break
+			}
+		}
+		if !knownEv {
+			return &ConfigError{Field: "Eviction", Value: int(c.Eviction),
+				Reason: fmt.Sprintf("unknown policy (valid: %s)", strings.Join(EvictionNames(), ", "))}
+		}
+	}
+	if c.Switching == HybridTDM && (c.PreloadSlots < 0 || c.PreloadSlots > c.K) {
+		return &ConfigError{Field: "PreloadSlots", Value: c.PreloadSlots,
+			Reason: fmt.Sprintf("must be within [0, K=%d]", c.K)}
+	}
+	if c.AmplifyBytes < 0 {
+		return &ConfigError{Field: "AmplifyBytes", Value: c.AmplifyBytes, Reason: "must not be negative"}
+	}
+	if c.Parallelism < 0 {
+		return &ConfigError{Field: "Parallelism", Value: c.Parallelism, Reason: "must not be negative"}
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return &ConfigError{Field: "Faults", Reason: err.Error()}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -227,21 +384,21 @@ func (c Config) network() (netmodel.Network, error) {
 	}
 	switch c.Switching {
 	case Wormhole:
-		return wormhole.New(wormhole.Config{N: c.N, Faults: c.Faults})
+		return wormhole.New(wormhole.Config{N: c.N, Faults: c.Faults, Probe: c.Probe})
 	case CircuitSwitching:
-		return circuit.New(circuit.Config{N: c.N, Faults: c.Faults})
+		return circuit.New(circuit.Config{N: c.N, Faults: c.Faults, Probe: c.Probe})
 	case VOQISLIP:
-		return voq.New(voq.Config{N: c.N, Faults: c.Faults})
+		return voq.New(voq.Config{N: c.N, Faults: c.Faults, Probe: c.Probe})
 	case MeshWormhole:
-		return meshnet.NewWormhole(meshnet.WormholeConfig{N: c.N, Faults: c.Faults})
+		return meshnet.NewWormhole(meshnet.WormholeConfig{N: c.N, Faults: c.Faults, Probe: c.Probe})
 	case MeshTDM:
-		return meshnet.NewTDM(meshnet.TDMConfig{N: c.N, K: c.K, Faults: c.Faults})
+		return meshnet.NewTDM(meshnet.TDMConfig{N: c.N, K: c.K, Faults: c.Faults, Probe: c.Probe})
 	case DynamicTDM, PreloadTDM, HybridTDM:
 		pf, err := c.predictorFactory()
 		if err != nil {
 			return nil, err
 		}
-		cfg := tdm.Config{N: c.N, K: c.K, NewPredictor: pf, AmplifyBytes: c.AmplifyBytes, Faults: c.Faults, SchedCache: c.SchedCache}
+		cfg := tdm.Config{N: c.N, K: c.K, NewPredictor: pf, AmplifyBytes: c.AmplifyBytes, Faults: c.Faults, SchedCache: c.SchedCache, Probe: c.Probe}
 		if c.OmegaFabric {
 			cfg.Fabric = tdm.OmegaFabric
 		}
@@ -300,23 +457,32 @@ type Report struct {
 	LatencyHistogram string
 	// HitRate is the connection-cache hit rate of the TDM modes.
 	HitRate float64
-	// SchedulerPasses, Established, Released, Evictions and Preloads count
-	// scheduler activity in the TDM modes.
-	SchedulerPasses uint64
-	Established     uint64
-	Released        uint64
-	Evictions       uint64
-	Preloads        uint64
-	// SchedCacheHits / SchedCacheMisses count memoized scheduling passes
-	// (Config.SchedCache): hits replayed a recorded grant set instead of
-	// re-running the scheduling array. Performance counters only — all
-	// other Report fields are bit-identical with the cache on or off.
-	SchedCacheHits   uint64
-	SchedCacheMisses uint64
+	// Sched groups the scheduler-activity counters of the TDM modes.
+	Sched SchedReport
 
 	// Faults carries the fault-injection and recovery accounting; nil when
 	// the run had no active fault plan.
 	Faults *FaultReport
+}
+
+// SchedReport groups the scheduler-activity counters of the TDM modes,
+// formerly flat Report fields (SchedulerPasses, Established, Released,
+// Evictions, Preloads, SchedCacheHits, SchedCacheMisses).
+type SchedReport struct {
+	// Passes counts scheduling passes (one per slot-window arbitration).
+	Passes uint64
+	// Established / Released / Evictions count connection-cache activity.
+	Established uint64
+	Released    uint64
+	Evictions   uint64
+	// Preloads counts preloaded configuration groups (PreloadTDM/HybridTDM).
+	Preloads uint64
+	// CacheHits / CacheMisses count memoized scheduling passes
+	// (Config.SchedCache): hits replayed a recorded grant set instead of
+	// re-running the scheduling array. Performance counters only — all
+	// other Report fields are bit-identical with the cache on or off.
+	CacheHits   uint64
+	CacheMisses uint64
 }
 
 // FaultReport is the fault-injection and recovery accounting of a run with
@@ -365,14 +531,16 @@ func toReport(r metrics.Result) Report {
 		LatencyP95:       time.Duration(r.LatencyP95),
 		LatencyMax:       time.Duration(r.LatencyMax),
 		HitRate:          r.Stats.HitRate(),
-		SchedulerPasses:  r.Stats.SchedulerPasses,
-		Established:      r.Stats.Established,
-		Released:         r.Stats.Released,
-		Evictions:        r.Stats.Evictions,
-		Preloads:         r.Stats.Preloads,
-		SchedCacheHits:   r.Stats.SchedCacheHits,
-		SchedCacheMisses: r.Stats.SchedCacheMisses,
-		Faults:           toFaultReport(r.Stats.Faults),
+		Sched: SchedReport{
+			Passes:      r.Stats.SchedulerPasses,
+			Established: r.Stats.Established,
+			Released:    r.Stats.Released,
+			Evictions:   r.Stats.Evictions,
+			Preloads:    r.Stats.Preloads,
+			CacheHits:   r.Stats.SchedCacheHits,
+			CacheMisses: r.Stats.SchedCacheMisses,
+		},
+		Faults: toFaultReport(r.Stats.Faults),
 	}
 }
 
@@ -405,10 +573,14 @@ func toFaultReport(f metrics.FaultStats) *FaultReport {
 // An empty spec returns an inactive plan.
 func ParseFaults(spec string) (*fault.Plan, error) { return fault.Parse(spec) }
 
-// Run simulates the workload on the configured network to completion.
+// Run simulates the workload on the configured network to completion. The
+// configuration is validated first; violations come back as *ConfigError.
 func Run(cfg Config, wl *Workload) (Report, error) {
 	if wl == nil || wl.w == nil {
 		return Report{}, fmt.Errorf("pmsnet: nil workload")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
 	}
 	nw, err := cfg.network()
 	if err != nil {
@@ -427,11 +599,22 @@ func Run(cfg Config, wl *Workload) (Report, error) {
 // fault plan; reports come back in workload order and are bit-identical to
 // running each workload through Run serially. The first error cancels the
 // remaining runs and is returned.
+//
+// The configuration is validated first; additionally, cfg.Probe must be nil —
+// probe sinks run unsynchronized on each simulation goroutine, so a shared
+// probe would race. Attach probes to individual Run calls instead.
 func RunMany(cfg Config, wls []*Workload) ([]Report, error) {
 	for i, wl := range wls {
 		if wl == nil || wl.w == nil {
 			return nil, fmt.Errorf("pmsnet: nil workload at index %d", i)
 		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Probe != nil {
+		return nil, &ConfigError{Field: "Probe",
+			Reason: "probe sinks are not safe across concurrent runs; use Run for traced simulations"}
 	}
 	return runner.Map(runner.Options{Parallelism: cfg.Parallelism}, len(wls), func(i int) (Report, error) {
 		nw, err := cfg.network()

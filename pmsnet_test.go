@@ -56,10 +56,10 @@ func TestRunHybrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Preloads == 0 {
+	if rep.Sched.Preloads == 0 {
 		t.Fatal("hybrid run should preload the static pattern")
 	}
-	if rep.SchedulerPasses == 0 {
+	if rep.Sched.Passes == 0 {
 		t.Fatal("hybrid run should also schedule dynamically")
 	}
 }
