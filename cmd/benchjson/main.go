@@ -42,7 +42,10 @@ func main() {
 	out := flag.String("o", "", "write JSON here (default stdout, after the echoed input)")
 	compareWith := flag.String("compare", "", "baseline JSON to diff the fresh run against")
 	threshold := flag.Float64("threshold", 20, "regression threshold in percent for -compare")
+	metrics := flag.String("metrics", "ns/op,allocs/op",
+		"comma-separated metric units the -compare gate watches (allocs/op alone suits short-benchtime smoke runs)")
 	flag.Parse()
+	comparedMetrics = strings.Split(*metrics, ",")
 
 	benches, err := parse(os.Stdin, os.Stdout)
 	if err != nil {
@@ -92,9 +95,9 @@ func loadBaseline(path string) ([]Benchmark, error) {
 	return doc.Benchmarks, nil
 }
 
-// comparedMetrics are the units the regression gate watches. Custom
-// ReportMetric units (efficiencies) are figures, not costs, so they are
-// reported informally but never gate.
+// comparedMetrics are the units the regression gate watches (-metrics
+// overrides). Custom ReportMetric units (efficiencies) are figures, not
+// costs, so they are reported informally but never gate.
 var comparedMetrics = []string{"ns/op", "allocs/op"}
 
 // compare diffs the fresh run against the baseline and reports every shared

@@ -220,6 +220,12 @@ func runAblations(ex experiments.Exec, seed int64) {
 	}
 	fmt.Println(experiments.AblationTable("Omega fabric vs crossbar (structured permutations)", omega))
 
+	backends, err := experiments.FabricBackendSweepExec(ex, n, 64, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Fabric backends under dynamic TDM (paper patterns)", backends))
+
 	for _, wl := range []*traffic.Workload{
 		traffic.RandomMesh(n, 64, experiments.MeshMsgs, seed),
 		traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4),

@@ -8,8 +8,10 @@
 //	pmsim -net tdm-dynamic -pattern random-mesh -seeds 16 -parallel 8
 //	pmsim -net tdm-dynamic -pattern random-mesh -trace run.trace.json
 //
-// Networks: wormhole, circuit, tdm-dynamic, tdm-preload, tdm-hybrid.
+// Networks: wormhole, circuit, tdm-dynamic, tdm-preload, tdm-hybrid (and
+// more; `pmsim -net list` prints the full vocabulary).
 // Patterns: scatter, ordered-mesh, random-mesh, all-to-all, two-phase, mix.
+// Fabrics (TDM modes): crossbar, omega, clos, benes (`pmsim -fabric list`).
 //
 // Multi-run mode (-seeds N) repeats the pattern at seeds seed..seed+N-1 and
 // prints one summary line per seed plus the aggregate. -parallel bounds how
@@ -49,7 +51,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 500*time.Nanosecond, "eviction timeout (dynamic/hybrid TDM)")
 		eviction = flag.String("eviction", "timeout", "eviction policy: reactive|timeout|counter|never|markov")
 		amplify  = flag.Int("amplify", 0, "bandwidth-amplification threshold in bytes (0 = off)")
-		omega    = flag.Bool("omega", false, "run the TDM modes on a blocking omega fabric")
+		fabName  = flag.String("fabric", "crossbar", "TDM fabric backend: crossbar|omega|clos|benes ('list' prints the vocabulary)")
+		omega    = flag.Bool("omega", false, "deprecated: shorthand for -fabric omega")
 		hist     = flag.Bool("hist", false, "print the latency histogram")
 		faults   = flag.String("faults", "", "fault plan, e.g. 'seed=7,mtbf=1ms,mttr=10us,corrupt=0.001,link=3@50us+20us,xpoint=1:2@80us'")
 		seed     = flag.Int64("seed", 1, "workload random seed")
@@ -57,6 +60,21 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent runs in multi-run mode (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+
+	// `-net list` / `-fabric list` print the canonical vocabulary, one name
+	// per line, and exit — the machine-readable form for scripts.
+	if *netName == "list" {
+		for _, name := range pmsnet.SwitchingNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *fabName == "list" {
+		for _, name := range pmsnet.FabricNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	wl, err := buildWorkload(*pattern, *workload, *n, *size, *msgs, *rounds, *det, *think, *seed)
 	if err != nil {
@@ -67,6 +85,9 @@ func main() {
 		fatal(err)
 	}
 	cfg.AmplifyBytes = *amplify
+	if cfg.Fabric, err = pmsnet.ParseFabric(*fabName); err != nil {
+		fatal(err)
+	}
 	cfg.OmegaFabric = *omega
 	cfg.Parallelism = *parallel
 	if *faults != "" {

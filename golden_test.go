@@ -1,0 +1,104 @@
+package pmsnet
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenCase is one Switching×workload pair of the bit-identity matrix. The
+// golden file was captured at the branch point of the control-plane/fabric
+// refactor; the refactor must not change any of these Reports.
+type goldenCase struct {
+	name string
+	cfg  Config
+	wl   func(t *testing.T) *Workload
+}
+
+func goldenWorkloads(t *testing.T) map[string]*Workload {
+	t.Helper()
+	analyzed := func(wl *Workload) *Workload {
+		an, _, err := AnalyzeWorkload(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an
+	}
+	return map[string]*Workload{
+		"scatter":      ScatterWorkload(16, 256),
+		"ordered-mesh": OrderedMesh(16, 128, 3),
+		"random-mesh":  RandomMesh(16, 128, 6, 2),
+		"all-to-all":   AllToAll(16, 64),
+		"two-phase":    analyzed(TwoPhaseWorkload(16, 64, 3)),
+	}
+}
+
+// TestGoldenReportBitIdentity locks every pre-existing Switching mode to the
+// Report it produced at the seed commit of the refactor. Any drift in event
+// ordering, RNG draws or accounting shows up as a field-level diff here.
+func TestGoldenReportBitIdentity(t *testing.T) {
+	wls := goldenWorkloads(t)
+	wlOrder := []string{"scatter", "ordered-mesh", "random-mesh", "all-to-all", "two-phase"}
+	got := make(map[string]Report)
+	for _, sw := range switchingValues {
+		for _, wname := range wlOrder {
+			wl := wls[wname]
+			if sw == PreloadTDM || sw == HybridTDM {
+				an, _, err := AnalyzeWorkload(wl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wl = an
+			}
+			cfg := Config{Switching: sw, N: 16, K: 4, PreloadSlots: 1}
+			rep, err := Run(cfg, wl)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sw, wname, err)
+			}
+			got[fmt.Sprintf("%s/%s", sw, wname)] = rep
+		}
+	}
+
+	path := filepath.Join("testdata", "golden_reports.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run GoldenReport -update`): %v", err)
+	}
+	var want map[string]Report
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d cases, run produced %d", len(want), len(got))
+	}
+	for name, wrep := range want {
+		grep, ok := got[name]
+		if !ok {
+			t.Errorf("%s: case missing from run", name)
+			continue
+		}
+		if grep != wrep {
+			t.Errorf("%s: report drifted from seed\n got: %+v\nwant: %+v", name, grep, wrep)
+		}
+	}
+}

@@ -73,21 +73,21 @@ func New(cfg Config) (*Network, error) {
 func (n *Network) Name() string { return "circuit" }
 
 type run struct {
-	cfg       Config
-	eng       *sim.Engine
-	driver    *netmodel.Driver
-	xbar      *fabric.Crossbar
-	schedNs   sim.Time
-	ctrlNs    sim.Time
-	dataPipe  sim.Time
+	cfg      Config
+	eng      *sim.Engine
+	driver   *netmodel.Driver
+	xbar     *fabric.Crossbar
+	cp       *netmodel.ControlPlane
+	ports    *netmodel.PortEngine
+	schedNs  sim.Time
+	dataPipe sim.Time
 	// outQueue holds pending circuit requests per output port; messages
 	// queue directly (the request token carries no other state).
-	outQueue  [][]*nic.Message
-	outBusy   []bool
-	srcActive []bool
-	stats     metrics.NetStats
-	inj       *fault.Injector
-	probe     *probe.Probe
+	outQueue [][]*nic.Message
+	outBusy  []bool
+	stats    metrics.NetStats
+	inj      *fault.Injector
+	probe    *probe.Probe
 
 	// Cached ArgHandler method values: the fault-free per-message event
 	// chain schedules through these instead of allocating closures.
@@ -97,6 +97,9 @@ type run struct {
 	deliverFn        sim.ArgHandler
 	teardownFn       sim.ArgHandler
 	sourceNextFn     sim.ArgHandler
+	// Cached resend callbacks for the control plane's token-loss path.
+	resendRequestFn func(arg any, attempt int)
+	resendGrantFn   func(arg any, attempt int)
 }
 
 // Run implements netmodel.Network.
@@ -108,14 +111,12 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		eng:     eng,
 		xbar:    fabric.NewCrossbar(n.cfg.N, fabric.LVDS, 0),
 		schedNs: core.ASICLatency(n.cfg.N),
-		ctrlNs:  lm.ControlDelay(),
 		// Source serdes + wire to switch + (LVDS switch: 0) + wire to
 		// destination + destination serdes: 30+20+20+30.
-		dataPipe:  lm.SerializeNs + lm.WireNs + n.xbarDelay() + lm.WireNs + lm.DeserializeNs,
-		outQueue:  make([][]*nic.Message, n.cfg.N),
-		outBusy:   make([]bool, n.cfg.N),
-		srcActive: make([]bool, n.cfg.N),
-		probe:     n.cfg.Probe,
+		dataPipe: lm.SerializeNs + lm.WireNs + n.xbarDelay() + lm.WireNs + lm.DeserializeNs,
+		outQueue: make([][]*nic.Message, n.cfg.N),
+		outBusy:  make([]bool, n.cfg.N),
+		probe:    n.cfg.Probe,
 	}
 	r.requestArrivedFn = r.requestArrived
 	r.scheduledFn = r.scheduled
@@ -123,13 +124,16 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 	r.deliverFn = r.deliver
 	r.teardownFn = r.teardown
 	r.sourceNextFn = r.sourceNext
+	r.resendRequestFn = r.resendRequest
+	r.resendGrantFn = r.resendGrant
 	driver, err := netmodel.NewDriver(eng, lm, wl, netmodel.Hooks{
-		OnEnqueue: func(m *nic.Message) { r.kickSource(m.Src) },
+		OnEnqueue: func(m *nic.Message) { r.ports.Kick(m.Src) },
 	})
 	if err != nil {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	r.ports = netmodel.NewPortEngine(driver, n.cfg.N, r.startMessage)
 	if n.cfg.Probe != nil {
 		driver.SetProbe(n.cfg.Probe)
 	}
@@ -141,6 +145,9 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		r.inj = inj
 		inj.SetProbe(n.cfg.Probe)
 		driver.AttachFaults(inj)
+	}
+	r.cp = netmodel.NewControlPlane(eng, driver, lm.ControlDelay(), inj)
+	if inj != nil {
 		inj.Start()
 	}
 	driver.Start()
@@ -149,21 +156,9 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 
 func (n *Network) xbarDelay() sim.Time { return fabric.LVDS.TraversalDelay() }
 
-func (r *run) kickSource(s int) {
-	if r.srcActive[s] {
-		return
-	}
-	r.srcActive[s] = true
-	r.startMessage(s)
-}
-
-// startMessage raises a circuit request for the source's next message.
-func (r *run) startMessage(s int) {
-	m := r.driver.Buffers[s].PopFIFO()
-	if m == nil {
-		r.srcActive[s] = false
-		return
-	}
+// startMessage raises a circuit request for a freshly popped message; the
+// port engine serializes calls per source.
+func (r *run) startMessage(_ int, m *nic.Message) {
 	r.requestCircuit(m, 0)
 }
 
@@ -174,20 +169,11 @@ func (r *run) startMessage(s int) {
 // path: the message pointer rides the event, the handler is cached.
 func (r *run) requestCircuit(m *nic.Message, attempt int) {
 	// The request token travels to the scheduler over a control line.
-	if r.inj == nil {
-		r.eng.AfterArg(r.ctrlNs, "request-at-scheduler", r.requestArrivedFn, m)
-		return
-	}
-	r.eng.After(r.ctrlNs, "request-at-scheduler", func() {
-		if r.inj.DrawRequestLoss() {
-			r.eng.After(r.inj.RetryDelay(attempt), "request-retry", func() {
-				r.driver.CountRetry()
-				r.requestCircuit(m, attempt+1)
-			})
-			return
-		}
-		r.requestArrived(m)
-	})
+	r.cp.SendRequest("request-at-scheduler", r.requestArrivedFn, m, attempt, r.resendRequestFn)
+}
+
+func (r *run) resendRequest(arg any, attempt int) {
+	r.requestCircuit(arg.(*nic.Message), attempt)
 }
 
 // requestArrived queues the request token at the scheduler.
@@ -232,20 +218,11 @@ func (r *run) scheduled(arg any) {
 // after an exponential backoff. The circuit's output port stays reserved
 // throughout — a lost grant wastes port time, which is the point.
 func (r *run) sendGrant(m *nic.Message, attempt int) {
-	if r.inj == nil {
-		r.eng.AfterArg(r.ctrlNs, "grant-at-nic", r.grantArrivedFn, m)
-		return
-	}
-	r.eng.After(r.ctrlNs, "grant-at-nic", func() {
-		if r.inj.DrawGrantLoss() {
-			r.eng.After(r.inj.RetryDelay(attempt), "grant-retry", func() {
-				r.driver.CountRetry()
-				r.sendGrant(m, attempt+1)
-			})
-			return
-		}
-		r.grantArrived(m)
-	})
+	r.cp.SendGrant("grant-at-nic", r.grantArrivedFn, m, attempt, r.resendGrantFn)
+}
+
+func (r *run) resendGrant(arg any, attempt int) {
+	r.sendGrant(arg.(*nic.Message), attempt)
 }
 
 // grantArrived starts the transfer: the source NIC holds the circuit and
@@ -285,5 +262,5 @@ func (r *run) teardown(arg any) {
 }
 
 func (r *run) sourceNext(arg any) {
-	r.startMessage(arg.(*nic.Message).Src)
+	r.ports.Next(arg.(*nic.Message).Src)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pmsnet/internal/fabric"
 	"pmsnet/internal/meshnet"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/multistage"
@@ -211,7 +212,7 @@ func OmegaFabricStudy(n int, wls []*traffic.Workload) ([]NamedResult, error) {
 // OmegaFabricStudyExec is OmegaFabricStudy with an explicit executor; each
 // (workload, fabric) pair is one sweep point.
 func OmegaFabricStudyExec(ex Exec, n int, wls []*traffic.Workload) ([]NamedResult, error) {
-	fabrics := []tdm.FabricKind{tdm.CrossbarFabric, tdm.OmegaFabric}
+	fabrics := []fabric.Kind{fabric.KindCrossbar, fabric.KindOmega}
 	return sweep(ex, len(wls)*len(fabrics), func(i int) (NamedResult, error) {
 		wl, fab := wls[i/len(fabrics)], fabrics[i%len(fabrics)]
 		nw, err := newTDM(tdm.Config{N: n, K: Fig4K, Fabric: fab})
@@ -224,6 +225,42 @@ func OmegaFabricStudyExec(ex Exec, n int, wls []*traffic.Workload) ([]NamedResul
 		}
 		return NamedResult{
 			Label:  fmt.Sprintf("%s on %s", wl.Name, fab),
+			Result: res,
+		}, nil
+	})
+}
+
+// FabricBackendSweep runs dynamic TDM end-to-end on every fabric backend —
+// crossbar, Omega, Clos, and Benes — over the paper's four Figure 4 traffic
+// patterns. The rearrangeable fabrics (crossbar, Clos, Benes) realize every
+// scheduler configuration and so report identical figures; the blocking
+// Omega pays extra TDM slots whenever a pass conflicts in its single-path
+// routing.
+func FabricBackendSweep(n, bytes int, seed int64) ([]NamedResult, error) {
+	return FabricBackendSweepExec(Serial, n, bytes, seed)
+}
+
+// FabricBackendSweepExec is FabricBackendSweep with an explicit executor;
+// each (pattern, fabric) pair is one sweep point.
+func FabricBackendSweepExec(ex Exec, n, bytes int, seed int64) ([]NamedResult, error) {
+	panels := Panels()
+	fabrics := []fabric.Kind{fabric.KindCrossbar, fabric.KindOmega, fabric.KindClos, fabric.KindBenes}
+	return sweep(ex, len(panels)*len(fabrics), func(i int) (NamedResult, error) {
+		p, fab := panels[i/len(fabrics)], fabrics[i%len(fabrics)]
+		wl, err := p.Workload(n, bytes, seed)
+		if err != nil {
+			return NamedResult{}, err
+		}
+		nw, err := newTDM(tdm.Config{N: n, K: Fig4K, Fabric: fab})
+		if err != nil {
+			return NamedResult{}, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return NamedResult{}, fmt.Errorf("experiments: %s on %s: %w", p, fab, err)
+		}
+		return NamedResult{
+			Label:  fmt.Sprintf("%s on %s", p, fab),
 			Result: res,
 		}, nil
 	})

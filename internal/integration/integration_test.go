@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"pmsnet/internal/circuit"
+	"pmsnet/internal/fabric"
 	"pmsnet/internal/meshnet"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
@@ -48,8 +49,8 @@ func networks(t *testing.T) []netmodel.Network {
 	add(tdm.New(tdm.Config{N: n, K: 4, Mode: tdm.Preload}))
 	add(tdm.New(tdm.Config{N: n, K: 3, Mode: tdm.Hybrid, PreloadSlots: 1,
 		NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(250) }}))
-	add(tdm.New(tdm.Config{N: n, K: 4, Fabric: tdm.OmegaFabric}))
-	add(tdm.New(tdm.Config{N: n, K: 4, Mode: tdm.Preload, Fabric: tdm.OmegaFabric}))
+	add(tdm.New(tdm.Config{N: n, K: 4, Fabric: fabric.KindOmega}))
+	add(tdm.New(tdm.Config{N: n, K: 4, Mode: tdm.Preload, Fabric: fabric.KindOmega}))
 	add(tdm.New(tdm.Config{N: n, K: 4, AmplifyBytes: 256,
 		NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(500) }}))
 	add(meshnet.NewWormhole(meshnet.WormholeConfig{N: n}))
@@ -185,7 +186,7 @@ func TestFullScaleSpotCheck(t *testing.T) {
 	dy, _ := tdm.New(tdm.Config{N: big, K: 4,
 		NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(500) }})
 	pr, _ := tdm.New(tdm.Config{N: big, K: 4, Mode: tdm.Preload})
-	om, _ := tdm.New(tdm.Config{N: big, K: 4, Fabric: tdm.OmegaFabric})
+	om, _ := tdm.New(tdm.Config{N: big, K: 4, Fabric: fabric.KindOmega})
 	nets = append(nets, wh, cs, dy, pr, om)
 	for _, nw := range nets {
 		res, err := nw.Run(wl)

@@ -101,9 +101,11 @@ type pathConn struct {
 type tdmRun struct {
 	common
 	cfg TDMConfig
-	// reqView is the delayed request matrix, as in the crossbar switch.
+	// reqWire drives reqView, the delayed request matrix, as in the
+	// crossbar switch.
+	reqWire *netmodel.RequestWire
 	reqView *bitmat.Matrix
-	queued  [][]int
+	queued  *netmodel.PairQueues
 	// occupied[s] holds the links reserved in slot s; estab[s] the circuits.
 	occupied []map[Hop]bool
 	estab    []map[[2]int]*pathConn
@@ -126,18 +128,17 @@ type tdmRun struct {
 // Run implements netmodel.Network.
 func (t *TDM) Run(wl *traffic.Workload) (metrics.Result, error) {
 	eng := sim.NewEngine()
+	reqWire := netmodel.NewRequestWire(eng, t.cfg.N, t.cfg.Link.ControlDelay(), "mesh-request-wire")
 	r := &tdmRun{
 		common:   common{grid: t.grid, tm: newTiming(t.cfg.Link, 5), eng: eng},
 		cfg:      t.cfg,
-		reqView:  bitmat.NewSquare(t.cfg.N),
-		queued:   make([][]int, t.cfg.N),
+		reqWire:  reqWire,
+		reqView:  reqWire.View(),
+		queued:   netmodel.NewPairQueues(t.cfg.N),
 		occupied: make([]map[Hop]bool, t.cfg.K),
 		estab:    make([]map[[2]int]*pathConn, t.cfg.K),
 		slotOf:   make(map[[2]int]int),
 		probe:    t.cfg.Probe,
-	}
-	for i := range r.queued {
-		r.queued[i] = make([]int, t.cfg.N)
 	}
 	for s := 0; s < t.cfg.K; s++ {
 		r.occupied[s] = make(map[Hop]bool)
@@ -178,27 +179,16 @@ func (t *TDM) Run(wl *traffic.Workload) (metrics.Result, error) {
 
 func (r *tdmRun) onEnqueue(m *nic.Message) {
 	u, v := m.Src, m.Dst
-	r.queued[u][v]++
-	if r.queued[u][v] == 1 {
+	if r.queued.Inc(u, v) {
 		if _, ok := r.slotOf[[2]int{u, v}]; ok {
 			r.stats.Hits++
 		} else {
 			r.stats.Misses++
 		}
-		r.setRequestWire(u, v, true)
+		r.reqWire.Set(u, v, true)
 	} else {
 		r.stats.Hits++
 	}
-}
-
-func (r *tdmRun) setRequestWire(u, v int, val bool) {
-	r.eng.After(r.cfg.Link.ControlDelay(), "mesh-request-wire", func() {
-		if val {
-			r.reqView.Set(u, v)
-		} else {
-			r.reqView.Clear(u, v)
-		}
-	})
 }
 
 // onPass is one scheduling pass: release circuits whose requests dropped
@@ -285,14 +275,9 @@ func (r *tdmRun) onSlot() {
 			break
 		}
 	}
-	if r.probe != nil {
-		r.probe.Emit(probe.Event{Kind: probe.SlotStart, At: r.eng.Now(),
-			Slot: int32(s), Aux: int64(r.cfg.SlotNs)})
-	}
+	netmodel.EmitSlotStart(r.probe, r.eng.Now(), int32(s), r.cfg.SlotNs)
 	if s < 0 {
-		if r.probe != nil {
-			r.probe.Emit(probe.Event{Kind: probe.SlotEnd, At: r.eng.Now(), Slot: -1})
-		}
+		netmodel.EmitSlotEnd(r.probe, r.eng.Now(), -1, false)
 		return
 	}
 	slotStart := r.eng.Now()
@@ -302,9 +287,7 @@ func (r *tdmRun) onSlot() {
 		pc := r.estab[s][key]
 		var injected *nic.Message
 		if r.probe != nil {
-			if h := r.driver.Buffers[pc.src].Head(pc.dst); h != nil && h.Remaining() == h.Bytes {
-				injected = h
-			}
+			injected = r.driver.HeadUntransmitted(pc.src, pc.dst)
 		}
 		sent, done := r.driver.Buffers[pc.src].TransmitTo(pc.dst, r.cfg.PayloadBytes)
 		if sent == 0 {
@@ -322,9 +305,8 @@ func (r *tdmRun) onSlot() {
 						Src: int32(h.Src), Dst: int32(h.Dst), ID: int64(h.ID)})
 				}
 			}
-			r.queued[pc.src][pc.dst]--
-			if r.queued[pc.src][pc.dst] == 0 {
-				r.setRequestWire(pc.src, pc.dst, false)
+			if r.queued.Dec(pc.src, pc.dst) {
+				r.reqWire.Set(pc.src, pc.dst, false)
 			}
 			// End-to-end analog pipe: serialize once, one wire delay per
 			// mesh hop (the two NIC pseudo-hops carry no extra wire),
@@ -342,14 +324,7 @@ func (r *tdmRun) onSlot() {
 	if used {
 		r.stats.SlotsUsed++
 	}
-	if r.probe != nil {
-		var aux int64
-		if used {
-			aux = 1
-		}
-		r.probe.Emit(probe.Event{Kind: probe.SlotEnd, At: slotStart,
-			Slot: int32(s), Aux: aux})
-	}
+	netmodel.EmitSlotEnd(r.probe, slotStart, int32(s), used)
 }
 
 // appendSortedConns appends the map's connection keys to dst in (src, dst)

@@ -81,8 +81,8 @@ type wormholeRun struct {
 	// busy and waiting model each directed mesh link as a FIFO resource.
 	busy    map[Hop]bool
 	waiting map[Hop][]*meshWorm
-	// srcActive guards the per-source transmit process.
-	srcActive []bool
+	// ports serializes each source's transmit process.
+	ports *netmodel.PortEngine
 	// flit transfer time for one hop's stream (per flit, at link rate).
 	flitNs sim.Time
 
@@ -98,20 +98,20 @@ func (w *Wormhole) Run(wl *traffic.Workload) (metrics.Result, error) {
 			tm:   newTiming(w.cfg.Link, 5),
 			eng:  eng,
 		},
-		cfg:       w.cfg,
-		busy:      make(map[Hop]bool),
-		waiting:   make(map[Hop][]*meshWorm),
-		srcActive: make([]bool, w.cfg.N),
-		flitNs:    w.cfg.Link.SerializationTime(wormhole.FlitBytes),
-		probe:     w.cfg.Probe,
+		cfg:     w.cfg,
+		busy:    make(map[Hop]bool),
+		waiting: make(map[Hop][]*meshWorm),
+		flitNs:  w.cfg.Link.SerializationTime(wormhole.FlitBytes),
+		probe:   w.cfg.Probe,
 	}
 	driver, err := netmodel.NewDriver(eng, w.cfg.Link, wl, netmodel.Hooks{
-		OnEnqueue: func(m *nic.Message) { r.kickSource(m.Src) },
+		OnEnqueue: func(m *nic.Message) { r.ports.Kick(m.Src) },
 	})
 	if err != nil {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	r.ports = netmodel.NewPortEngine(driver, w.cfg.N, r.startMessage)
 	if w.cfg.Probe != nil {
 		driver.SetProbe(w.cfg.Probe)
 	}
@@ -128,20 +128,9 @@ func (w *Wormhole) Run(wl *traffic.Workload) (metrics.Result, error) {
 	return driver.Finish(w.Name(), w.cfg.Horizon, metrics.NetStats{})
 }
 
-func (r *wormholeRun) kickSource(s int) {
-	if r.srcActive[s] {
-		return
-	}
-	r.srcActive[s] = true
-	r.startMessage(s)
-}
-
-func (r *wormholeRun) startMessage(s int) {
-	m := r.driver.Buffers[s].PopFIFO()
-	if m == nil {
-		r.srcActive[s] = false
-		return
-	}
+// startMessage segments a freshly popped message into worms; the port
+// engine serializes calls per source.
+func (r *wormholeRun) startMessage(s int, m *nic.Message) {
 	r.sendWorm(s, m, splitWorms(m.Bytes), 0)
 }
 
@@ -186,7 +175,7 @@ func (r *wormholeRun) sendWorm(s int, m *nic.Message, worms []int, i int) {
 				if i+1 < len(worms) {
 					r.sendWorm(s, m, worms, i+1)
 				} else {
-					r.startMessage(s)
+					r.ports.Next(s)
 				}
 			})
 		}

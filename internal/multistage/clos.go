@@ -31,6 +31,25 @@ func NewClos(n, m, r int) (*Clos, error) {
 	return &Clos{n: n, m: m, r: r}, nil
 }
 
+// DefaultClos builds the canonical Clos factoring of a port count: r leaves
+// of n ports each with m = n spines, where n is the smallest divisor of
+// ports satisfying n*n >= ports (the balanced square-root split). m = n makes
+// the network rearrangeably non-blocking at the minimum spine count (Clos's
+// theorem), so Route never fails — the fat-tree building block paper §4
+// names, at the cheapest non-blocking configuration.
+func DefaultClos(ports int) (*Clos, error) {
+	if ports < 2 {
+		return nil, fmt.Errorf("multistage: clos needs at least 2 ports, got %d", ports)
+	}
+	for n := 1; n <= ports; n++ {
+		if ports%n == 0 && n*n >= ports {
+			return NewClos(n, n, ports/n)
+		}
+	}
+	// ports divides itself, so the loop always terminates at n = ports.
+	panic(fmt.Sprintf("multistage: no clos factoring for %d ports", ports))
+}
+
 // Ports returns the total port count n*r.
 func (c *Clos) Ports() int { return c.n * c.r }
 

@@ -1,0 +1,50 @@
+package multistage
+
+import (
+	"fmt"
+
+	"pmsnet/internal/bitmat"
+	"pmsnet/internal/topology"
+)
+
+// DecomposeRealizable splits a working set into configurations that each
+// satisfy a fabric's realizability oracle, by first-fit: a connection joins
+// the first configuration that stays realizable with it, opening a new
+// configuration otherwise. The union of the result equals the working set.
+//
+// Because a blocking fabric realizes fewer permutations than a crossbar, the
+// result can need more configurations than the crossbar's optimal (the
+// working set's degree) — quantifying the extra multiplexing degree a
+// predictive multiplexed switch pays on that fabric. fabricName labels errors
+// ("omega", "clos", ...).
+func DecomposeRealizable(ws *topology.WorkingSet, ports int, fabricName string, canRealize func(*bitmat.Matrix) bool) ([]*bitmat.Matrix, error) {
+	if ws.Ports() != ports {
+		return nil, fmt.Errorf("multistage: working set spans %d ports, %s has %d", ws.Ports(), fabricName, ports)
+	}
+	var configs []*bitmat.Matrix
+	for _, c := range ws.Conns() {
+		placed := false
+		for _, cfg := range configs {
+			if cfg.RowAny(c.Src) || cfg.ColAny(c.Dst) {
+				continue
+			}
+			cfg.Set(c.Src, c.Dst)
+			if canRealize(cfg) {
+				placed = true
+				break
+			}
+			cfg.Clear(c.Src, c.Dst)
+		}
+		if !placed {
+			cfg := bitmat.NewSquare(ports)
+			cfg.Set(c.Src, c.Dst)
+			if !canRealize(cfg) {
+				// A single connection is always realizable; anything else
+				// is a wiring-model bug.
+				panic(fmt.Sprintf("multistage: single connection %v unroutable", c))
+			}
+			configs = append(configs, cfg)
+		}
+	}
+	return configs, nil
+}

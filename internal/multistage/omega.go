@@ -154,42 +154,8 @@ func (o *Omega) Eval(settings Settings, u int) int {
 	return pos
 }
 
-// DecomposeOmega splits a working set into Omega-realizable configurations
-// by first-fit: each connection joins the first configuration that stays
-// realizable with it, opening a new configuration otherwise. The union of
-// the result equals the working set. Because the Omega network realizes
-// fewer permutations than a crossbar, the result can need more
-// configurations than the crossbar's optimal (the working set's degree) —
-// quantifying the extra multiplexing degree an Omega-based predictive
-// multiplexed switch pays.
+// DecomposeOmega splits a working set into Omega-realizable configurations —
+// DecomposeRealizable under the Omega network's realizability oracle.
 func DecomposeOmega(ws *topology.WorkingSet, o *Omega) ([]*bitmat.Matrix, error) {
-	if ws.Ports() != o.n {
-		return nil, fmt.Errorf("multistage: working set spans %d ports, omega has %d", ws.Ports(), o.n)
-	}
-	var configs []*bitmat.Matrix
-	for _, c := range ws.Conns() {
-		placed := false
-		for _, cfg := range configs {
-			if cfg.RowAny(c.Src) || cfg.ColAny(c.Dst) {
-				continue
-			}
-			cfg.Set(c.Src, c.Dst)
-			if o.CanRealize(cfg) {
-				placed = true
-				break
-			}
-			cfg.Clear(c.Src, c.Dst)
-		}
-		if !placed {
-			cfg := bitmat.NewSquare(o.n)
-			cfg.Set(c.Src, c.Dst)
-			if !o.CanRealize(cfg) {
-				// A single connection is always realizable; anything else
-				// is a wiring-model bug.
-				panic(fmt.Sprintf("multistage: single connection %v unroutable", c))
-			}
-			configs = append(configs, cfg)
-		}
-	}
-	return configs, nil
+	return DecomposeRealizable(ws, o.n, "omega", o.CanRealize)
 }

@@ -1,0 +1,278 @@
+// Shared control-plane components. Every switching model performs the same
+// request→grant→transfer handshake over out-of-band control links: tokens
+// that take one control delay to propagate and (under fault injection) can be
+// lost and re-sent after an exponential backoff; request wires that sample
+// NIC queue state one control delay late; per-port source processes that
+// serialize a NIC's output; and per-pair queue-depth counters. These types
+// extract that machinery so the models keep only their paradigm-specific
+// scheduling logic.
+package netmodel
+
+import (
+	"pmsnet/internal/bitmat"
+	"pmsnet/internal/fault"
+	"pmsnet/internal/nic"
+	"pmsnet/internal/probe"
+	"pmsnet/internal/sim"
+)
+
+// ControlPlane models the control links between the NICs and the central
+// scheduler: signals propagate in one control delay, and with fault injection
+// a token can be lost in flight and re-sent after an exponential backoff.
+// Retries are tallied through the driver so the recovery accounting lives in
+// one place.
+//
+// Two loss models coexist, matching the hardware being modeled. Wire-level
+// token signaling (the TDM request/grant lines) draws loss at send time — the
+// transition either makes it onto the wire or it doesn't — via
+// RequestTokenLost/GrantTokenLost plus RetryAfter. Message-style tokens (the
+// circuit-switched request/grant round trip) draw loss at arrival time, after
+// the propagation delay, via SendRequest/SendGrant. The distinction is
+// load-bearing: it fixes where in the event stream the injector's RNG is
+// consumed, which fault-run bit-identity depends on.
+type ControlPlane struct {
+	eng    *sim.Engine
+	driver *Driver
+	delay  sim.Time
+	inj    *fault.Injector
+}
+
+// NewControlPlane builds a control plane with the given one-way signal delay.
+// inj may be nil (fault-free run).
+func NewControlPlane(eng *sim.Engine, driver *Driver, delay sim.Time, inj *fault.Injector) *ControlPlane {
+	return &ControlPlane{eng: eng, driver: driver, delay: delay, inj: inj}
+}
+
+// Delay returns the one-way control-signal propagation delay.
+func (cp *ControlPlane) Delay() sim.Time { return cp.delay }
+
+// After runs f one control delay from now — a bare control signal with no
+// loss model (level-sampled lines such as FLUSH correct themselves on the
+// next sample, so token loss does not apply).
+func (cp *ControlPlane) After(label string, f func()) {
+	cp.eng.After(cp.delay, label, f)
+}
+
+// RequestTokenLost draws the send-time loss of a request-wire transition.
+// Always false on fault-free runs.
+func (cp *ControlPlane) RequestTokenLost() bool {
+	return cp.inj != nil && cp.inj.DrawRequestLoss()
+}
+
+// GrantTokenLost draws the send-time loss of a grant token. Always false on
+// fault-free runs.
+func (cp *ControlPlane) GrantTokenLost() bool {
+	return cp.inj != nil && cp.inj.DrawGrantLoss()
+}
+
+// RetryAfter schedules f after the exponential-backoff delay for the given
+// attempt. Only meaningful after a *TokenLost draw returned true (which
+// implies an injector is attached). The caller counts the retry through
+// Driver.CountRetry when it actually re-sends, so conditional retries (the
+// queue drained meanwhile) don't inflate the tally.
+func (cp *ControlPlane) RetryAfter(attempt int, label string, f func()) {
+	cp.eng.After(cp.inj.RetryDelay(attempt), label, f)
+}
+
+// SendRequest carries a request token to the scheduler: deliver(arg) runs one
+// control delay from now. With fault injection the token can be lost in
+// transit — detected by timeout, the sender re-issues via resend(arg,
+// attempt+1) after an exponential backoff. Fault-free runs take the
+// closure-free path: arg rides the event and deliver is the caller's cached
+// handler.
+func (cp *ControlPlane) SendRequest(label string, deliver sim.ArgHandler, arg any, attempt int, resend func(arg any, attempt int)) {
+	cp.sendToken(label, "request-retry", false, deliver, arg, attempt, resend)
+}
+
+// SendGrant carries a grant token back to a NIC, with the same loss/backoff
+// semantics as SendRequest.
+func (cp *ControlPlane) SendGrant(label string, deliver sim.ArgHandler, arg any, attempt int, resend func(arg any, attempt int)) {
+	cp.sendToken(label, "grant-retry", true, deliver, arg, attempt, resend)
+}
+
+func (cp *ControlPlane) sendToken(label, retryLabel string, grant bool, deliver sim.ArgHandler, arg any, attempt int, resend func(any, int)) {
+	if cp.inj == nil {
+		cp.eng.AfterArg(cp.delay, label, deliver, arg)
+		return
+	}
+	cp.eng.After(cp.delay, label, func() {
+		var lost bool
+		if grant {
+			lost = cp.inj.DrawGrantLoss()
+		} else {
+			lost = cp.inj.DrawRequestLoss()
+		}
+		if lost {
+			cp.eng.After(cp.inj.RetryDelay(attempt), retryLabel, func() {
+				cp.driver.CountRetry()
+				resend(arg, attempt+1)
+			})
+			return
+		}
+		deliver(arg)
+	})
+}
+
+// RequestWire is the scheduler's view of the NIC request matrix: queue-state
+// transitions written through Set appear in View one control delay later.
+// Events fire in order, so the view always equals the NIC state one control
+// delay ago — wire semantics. Fault reactions that must take effect
+// immediately (a failed port's requests vanishing with it) clear View
+// directly.
+type RequestWire struct {
+	eng   *sim.Engine
+	delay sim.Time
+	label string
+	view  *bitmat.Matrix
+}
+
+// NewRequestWire builds an n×n request wire with the given propagation delay
+// and event label.
+func NewRequestWire(eng *sim.Engine, n int, delay sim.Time, label string) *RequestWire {
+	return &RequestWire{eng: eng, delay: delay, label: label, view: bitmat.NewSquare(n)}
+}
+
+// View returns the delayed request matrix (live; do not retain across runs).
+func (w *RequestWire) View() *bitmat.Matrix { return w.view }
+
+// Set propagates a queue-state transition to the view after the wire delay.
+// The written value is the one sampled now.
+func (w *RequestWire) Set(u, v int, val bool) {
+	w.eng.After(w.delay, w.label, func() {
+		if val {
+			w.view.Set(u, v)
+		} else {
+			w.view.Clear(u, v)
+		}
+	})
+}
+
+// PortEngine serializes each source NIC's output port: one message in flight
+// per source at a time, the next popped in FIFO order when the model reports
+// the port free. The start callback launches the model's per-message pipeline
+// (raise a circuit request, segment into worms, ...).
+type PortEngine struct {
+	driver *Driver
+	active []bool
+	start  func(src int, m *nic.Message)
+}
+
+// NewPortEngine builds a port engine over the driver's output buffers.
+func NewPortEngine(driver *Driver, n int, start func(src int, m *nic.Message)) *PortEngine {
+	return &PortEngine{driver: driver, active: make([]bool, n), start: start}
+}
+
+// Kick starts the source's transmit process if it is idle; models call it
+// from their OnEnqueue hook.
+func (pe *PortEngine) Kick(src int) {
+	if pe.active[src] {
+		return
+	}
+	pe.active[src] = true
+	pe.Next(src)
+}
+
+// Next pops the source's next message and starts it, or parks the process
+// when the buffer is empty; models call it when the port frees.
+func (pe *PortEngine) Next(src int) {
+	m := pe.driver.Buffers[src].PopFIFO()
+	if m == nil {
+		pe.active[src] = false
+		return
+	}
+	pe.start(src, m)
+}
+
+// PairQueues counts messages pending per (src, dst) pair — the NIC-side queue
+// bookkeeping behind the request wires.
+type PairQueues struct {
+	count [][]int
+}
+
+// NewPairQueues builds an n×n counter matrix.
+func NewPairQueues(n int) *PairQueues {
+	q := &PairQueues{count: make([][]int, n)}
+	for u := range q.count {
+		q.count[u] = make([]int, n)
+	}
+	return q
+}
+
+// Count returns the pending count for the pair.
+func (q *PairQueues) Count(u, v int) int { return q.count[u][v] }
+
+// Inc counts one more pending message and reports whether the queue was
+// empty before (the 0→1 transition that raises the request wire).
+func (q *PairQueues) Inc(u, v int) bool {
+	q.count[u][v]++
+	return q.count[u][v] == 1
+}
+
+// Dec retires one pending message and reports whether the queue drained (the
+// 1→0 transition that clears the request wire).
+func (q *PairQueues) Dec(u, v int) bool {
+	q.count[u][v]--
+	return q.count[u][v] == 0
+}
+
+// Remove retires n pending messages at once (the bulk-drop fault path). It
+// reports whether the queue drained, and whether the removal underflowed —
+// bookkeeping corruption the caller should surface; the count is clamped to
+// zero and the drain transition suppressed in that case. Removing from an
+// already-empty queue is a no-op.
+func (q *PairQueues) Remove(u, v, n int) (drained, underflow bool) {
+	if n == 0 || q.count[u][v] == 0 {
+		return false, false
+	}
+	q.count[u][v] -= n
+	if q.count[u][v] < 0 {
+		q.count[u][v] = 0
+		return false, true
+	}
+	return q.count[u][v] == 0, false
+}
+
+// Negative returns the first negative counter in row-major order, for
+// invariant checks. ok is false when every counter is non-negative.
+func (q *PairQueues) Negative() (u, v, n int, ok bool) {
+	for u := range q.count {
+		for v, c := range q.count[u] {
+			if c < 0 {
+				return u, v, c, true
+			}
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// HeadUntransmitted returns the head of the u→v queue iff none of its bytes
+// have been transmitted yet — the message whose first byte enters the network
+// in the current slot. Probe emission helper for the slotted models.
+func (d *Driver) HeadUntransmitted(u, v int) *nic.Message {
+	if h := d.Buffers[u].Head(v); h != nil && h.Remaining() == h.Bytes {
+		return h
+	}
+	return nil
+}
+
+// EmitSlotStart emits a slot-start probe event (nil probe = no-op). slot is
+// -1 for an empty boundary, dur the slot duration.
+func EmitSlotStart(p *probe.Probe, at sim.Time, slot int32, dur sim.Time) {
+	if p == nil {
+		return
+	}
+	p.Emit(probe.Event{Kind: probe.SlotStart, At: at, Slot: slot, Aux: int64(dur)})
+}
+
+// EmitSlotEnd emits a slot-end probe event (nil probe = no-op); Aux encodes
+// whether any payload moved.
+func EmitSlotEnd(p *probe.Probe, at sim.Time, slot int32, used bool) {
+	if p == nil {
+		return
+	}
+	var aux int64
+	if used {
+		aux = 1
+	}
+	p.Emit(probe.Event{Kind: probe.SlotEnd, At: at, Slot: slot, Aux: aux})
+}

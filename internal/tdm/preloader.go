@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"pmsnet/internal/bitmat"
-	"pmsnet/internal/multistage"
 	"pmsnet/internal/probe"
 	"pmsnet/internal/topology"
 	"pmsnet/internal/traffic"
@@ -51,15 +50,9 @@ func newPreloader(r *run, wl *traffic.Workload, slots int) (*preloader, error) {
 		groupsOf: make(map[topology.Conn][]int),
 	}
 	for _, phase := range wl.StaticPhases {
-		var configs []*bitmat.Matrix
-		if r.omega != nil {
-			var err error
-			configs, err = multistage.DecomposeOmega(phase, r.omega)
-			if err != nil {
-				return nil, fmt.Errorf("tdm: %w", err)
-			}
-		} else {
-			configs = topology.Decompose(phase)
+		configs, err := r.fab.Decompose(phase)
+		if err != nil {
+			return nil, fmt.Errorf("tdm: %w", err)
 		}
 		for start := 0; start < len(configs); start += slots {
 			end := start + slots
@@ -193,7 +186,7 @@ func (p *preloader) breakConn(c topology.Conn) bool {
 	if len(gs) == 0 {
 		return false
 	}
-	if p.r.queued[c.Src][c.Dst] > 0 {
+	if p.r.queued.Count(c.Src, c.Dst) > 0 {
 		// Retire c's pending contribution while its group membership still
 		// exists; the eventual real pendingDown will then be a no-op.
 		p.pendingDown(c)

@@ -1,5 +1,5 @@
 // Package tdm implements the predictive multiplexed switching network — the
-// paper's proposed system. A 100 ns slot clock cycles the crossbar through
+// paper's proposed system. A 100 ns slot clock cycles the fabric through
 // the scheduler's K configurations; connections are established reactively
 // by the scheduling-logic array (internal/core), proactively by preloading
 // compiled configurations, or both at once.
@@ -15,6 +15,13 @@
 //     ("Preload" in Figure 4).
 //   - Hybrid: k slots are pinned with the static pattern and the remaining
 //     K−k slots are scheduled reactively (Figure 5).
+//
+// The fabric the slots are realized on is pluggable (fabric.Backend): the
+// baseline crossbar, the blocking Omega network, or the rearrangeably
+// non-blocking Clos and Benes networks. On a blocking fabric the scheduler
+// only establishes connections that keep each slot's configuration
+// realizable, and the preload controller decomposes working sets under the
+// same constraint.
 //
 // Slot timing: a slot is 100 ns — 80 raw bytes at 6.4 Gb/s — of which 64
 // bytes are usable payload; the remainder covers the guard band and slot
@@ -32,45 +39,12 @@ import (
 	"pmsnet/internal/fault"
 	"pmsnet/internal/link"
 	"pmsnet/internal/metrics"
-	"pmsnet/internal/multistage"
 	"pmsnet/internal/netmodel"
-	"pmsnet/internal/nic"
 	"pmsnet/internal/predictor"
 	"pmsnet/internal/probe"
 	"pmsnet/internal/sim"
-	"pmsnet/internal/topology"
 	"pmsnet/internal/traffic"
 )
-
-// FabricKind selects the switching-fabric technology the TDM slots are
-// realized on.
-type FabricKind int
-
-// Fabric kinds.
-const (
-	// CrossbarFabric is the paper's baseline: any partial permutation is
-	// realizable.
-	CrossbarFabric FabricKind = iota
-	// OmegaFabric is a log2(N)-stage Omega network: cheaper hardware, but
-	// blocking — the scheduler only establishes connections that keep each
-	// slot's configuration Omega-realizable, and the preload controller
-	// decomposes working sets under the same constraint (paper §4's
-	// "fabrics that have limited permutation capabilities"). Requires N to
-	// be a power of two.
-	OmegaFabric
-)
-
-// String implements fmt.Stringer.
-func (f FabricKind) String() string {
-	switch f {
-	case CrossbarFabric:
-		return "crossbar"
-	case OmegaFabric:
-		return "omega"
-	default:
-		return fmt.Sprintf("FabricKind(%d)", int(f))
-	}
-}
 
 // Mode selects how connections enter the network.
 type Mode int
@@ -141,8 +115,8 @@ type Config struct {
 	// slot transfer is inserted into an additional free slot, multiplying
 	// its share of the link. Zero disables amplification.
 	AmplifyBytes int
-	// Fabric selects the switching-fabric technology (default crossbar).
-	Fabric FabricKind
+	// Fabric selects the switching-fabric backend (default crossbar).
+	Fabric fabric.Kind
 	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
 	Horizon sim.Time
 	// Faults, when non-nil and active, injects link failures, corrupted
@@ -209,14 +183,8 @@ func (c Config) Validate() error {
 	if c.AmplifyBytes < 0 {
 		return fmt.Errorf("tdm: negative amplification threshold %d", c.AmplifyBytes)
 	}
-	switch c.Fabric {
-	case CrossbarFabric:
-	case OmegaFabric:
-		if _, err := multistage.NewOmega(c.N); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("tdm: unknown fabric kind %d", int(c.Fabric))
+	if _, err := fabric.NewBackend(c.Fabric, c.N); err != nil {
+		return err
 	}
 	switch c.Mode {
 	case Dynamic:
@@ -256,8 +224,8 @@ func (n *Network) Name() string {
 	default:
 		name = fmt.Sprintf("tdm-hybrid/%dp+%dd", n.cfg.PreloadSlots, n.cfg.K-n.cfg.PreloadSlots)
 	}
-	if n.cfg.Fabric == OmegaFabric {
-		name += "/omega"
+	if n.cfg.Fabric != fabric.KindCrossbar {
+		name += "/" + n.cfg.Fabric.String()
 	}
 	return name
 }
@@ -267,11 +235,16 @@ type run struct {
 	eng    *sim.Engine
 	driver *netmodel.Driver
 	sched  *core.Scheduler
-	xbar   *fabric.Crossbar
-	pred   predictor.Predictor
+	// fab is the pluggable switching fabric the slots are realized on.
+	fab  fabric.Backend
+	pred predictor.Predictor
 
-	// reqView is the request matrix as the scheduler sees it: NIC queue
-	// state delayed by the control-line latency.
+	// cp models the control links toward the scheduler: token signaling with
+	// fault-aware loss/backoff, one control delay per signal.
+	cp *netmodel.ControlPlane
+	// reqWire drives reqView, the request matrix as the scheduler sees it:
+	// NIC queue state delayed by the control-line latency.
+	reqWire *netmodel.RequestWire
 	reqView *bitmat.Matrix
 	// specReq holds speculative requests injected by a prefetching
 	// predictor (predictor.Prefetcher): they are OR-ed into the request
@@ -281,18 +254,14 @@ type run struct {
 	// reqMerge is the reusable scratch for reqView|specReq so the per-pass
 	// merge does not allocate.
 	reqMerge *bitmat.Matrix
-	// queued[u][v] counts messages pending from u to v.
-	queued [][]int
+	// queued counts messages pending per (src, dst) pair.
+	queued *netmodel.PairQueues
 	// grantAt[u][v] is the earliest time NIC u may use a dynamically
 	// established connection to v: the grant line takes one control delay
 	// to reach the NIC, so a slot that starts earlier cannot carry data on
 	// a connection established this recently. Preloaded configurations are
 	// known to the NICs from load time and have no such penalty.
 	grantAt [][]sim.Time
-
-	// omega is non-nil under OmegaFabric: the realizability oracle for the
-	// scheduler constraint and the per-slot invariant check.
-	omega *multistage.Omega
 
 	pre        *preloader
 	slotTicker *sim.Ticker
@@ -332,14 +301,12 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 	if cfg.NewPredictor != nil {
 		pred = cfg.NewPredictor()
 	}
-	var omega *multistage.Omega
+	fab, err := fabric.NewBackend(cfg.Fabric, cfg.N)
+	if err != nil {
+		return metrics.Result{}, err
+	}
 	var canEstablish func(b *bitmat.Matrix, u, v int) bool
-	if cfg.Fabric == OmegaFabric {
-		var err error
-		omega, err = multistage.NewOmega(cfg.N)
-		if err != nil {
-			return metrics.Result{}, err
-		}
+	if !fab.Rearrangeable() {
 		// One reusable trial matrix: the hook stays a pure function of
 		// (b, u, v) — required by the scheduler's memoized-pass cache —
 		// while avoiding a clone per realizability probe.
@@ -347,7 +314,7 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		canEstablish = func(b *bitmat.Matrix, u, v int) bool {
 			trial.CopyFrom(b)
 			trial.Set(u, v)
-			return omega.CanRealize(trial)
+			return fab.CanRealize(trial)
 		}
 	}
 	sched, err := core.NewScheduler(core.Params{
@@ -363,25 +330,25 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 	if err != nil {
 		return metrics.Result{}, err
 	}
+	reqWire := netmodel.NewRequestWire(eng, cfg.N, cfg.Link.ControlDelay(), "request-wire")
 	r := &run{
-		cfg:     cfg,
-		eng:     eng,
-		omega:   omega,
-		sched:   sched,
-		xbar:    fabric.NewCrossbar(cfg.N, fabric.LVDS, 0),
-		pred:    pred,
-		reqView:  bitmat.NewSquare(cfg.N),
+		cfg:      cfg,
+		eng:      eng,
+		fab:      fab,
+		sched:    sched,
+		pred:     pred,
+		reqWire:  reqWire,
+		reqView:  reqWire.View(),
 		specReq:  bitmat.NewSquare(cfg.N),
 		reqMerge: bitmat.NewSquare(cfg.N),
-		queued:  make([][]int, cfg.N),
-		grantAt: make([][]sim.Time, cfg.N),
-		probe:   cfg.Probe,
+		queued:   netmodel.NewPairQueues(cfg.N),
+		grantAt:  make([][]sim.Time, cfg.N),
+		probe:    cfg.Probe,
 	}
 	if cfg.Probe != nil {
 		sched.SetProbe(cfg.Probe, eng.Now)
 	}
-	for u := range r.queued {
-		r.queued[u] = make([]int, cfg.N)
+	for u := range r.grantAt {
 		r.grantAt[u] = make([]sim.Time, cfg.N)
 	}
 
@@ -410,6 +377,7 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		inj.SetProbe(cfg.Probe)
 		driver.AttachFaults(inj)
 	}
+	r.cp = netmodel.NewControlPlane(eng, driver, cfg.Link.ControlDelay(), inj)
 	if cfg.SelfCheck {
 		eng.SetInvariantCheck(r.checkInvariants)
 	}
@@ -473,102 +441,10 @@ func (r *run) checkInvariants() error {
 	if err := r.sched.CheckInvariants(); err != nil {
 		return err
 	}
-	for u := range r.queued {
-		for v, q := range r.queued[u] {
-			if q < 0 {
-				return fmt.Errorf("tdm: negative queue count %d for %d->%d", q, u, v)
-			}
-		}
+	if u, v, q, bad := r.queued.Negative(); bad {
+		return fmt.Errorf("tdm: negative queue count %d for %d->%d", q, u, v)
 	}
 	return nil
-}
-
-// onEnqueue tracks queue transitions, drives the delayed request wire and
-// counts connection-cache hits and misses.
-func (r *run) onEnqueue(m *nic.Message) {
-	u, v := m.Src, m.Dst
-	if r.inj != nil && r.inj.PairBlocked(u, v) {
-		// A dead crosspoint or permanently failed endpoint link: no route
-		// will ever exist, so the message is dropped at the source NIC.
-		for _, dm := range r.driver.Buffers[u].DrainFor(v) {
-			r.driver.Drop(dm)
-		}
-		return
-	}
-	r.queued[u][v]++
-	if r.queued[u][v] == 1 {
-		// The queue was empty: this message must wait for a connection
-		// unless one is already cached — the working-set hit/miss the paper
-		// discusses.
-		if r.sched.Connected(u, v) {
-			r.stats.Hits++
-		} else {
-			r.stats.Misses++
-		}
-		r.raiseRequest(u, v, 0)
-		if r.pre != nil {
-			r.pre.pendingUp(topology.Conn{Src: u, Dst: v})
-		}
-	} else {
-		// The message joins a standing backlog and rides the connection the
-		// backlog already has (or is already waiting for): a hit.
-		r.stats.Hits++
-	}
-}
-
-// raiseRequest asserts the request wire toward the scheduler. With fault
-// injection, the raise transition can be lost; the NIC detects the missing
-// grant by timeout and re-raises after an exponential backoff (attempt is the
-// backoff exponent). Clears are not subject to loss: the request line is
-// level-sampled every pass, so a stale low is corrected by the next sample.
-func (r *run) raiseRequest(u, v, attempt int) {
-	if r.inj != nil && r.inj.DrawRequestLoss() {
-		r.eng.After(r.inj.RetryDelay(attempt), "request-retry", func() {
-			if r.queued[u][v] > 0 && !r.sched.Connected(u, v) &&
-				!(r.inj.PairBlocked(u, v)) {
-				r.driver.CountRetry()
-				r.raiseRequest(u, v, attempt+1)
-			}
-		})
-		return
-	}
-	r.setRequestWire(u, v, true)
-}
-
-// setRequestWire propagates a queue-state transition to the scheduler's
-// request-matrix view after the control-line delay. The written value is the
-// one sampled now; events fire in order, so the view always equals the NIC
-// state one control delay ago — wire semantics.
-func (r *run) setRequestWire(u, v int, val bool) {
-	r.eng.After(r.cfg.Link.ControlDelay(), "request-wire", func() {
-		if val {
-			r.reqView.Set(u, v)
-		} else {
-			r.reqView.Clear(u, v)
-		}
-	})
-}
-
-// onFlush handles the compiler's FLUSH directive: the request reaches the
-// scheduler after the control delay and clears all dynamic connections.
-func (r *run) onFlush(int) {
-	r.eng.After(r.cfg.Link.ControlDelay(), "flush", func() {
-		if r.pred != nil {
-			for _, c := range bstarConns(r.sched) {
-				r.pred.OnRelease(c)
-			}
-		}
-		r.sched.Flush()
-	})
-}
-
-func bstarConns(s *core.Scheduler) []topology.Conn {
-	var out []topology.Conn
-	s.BStar().Ones(func(u, v int) bool {
-		out = append(out, topology.Conn{Src: u, Dst: v})
-		return true
-	})
-	return out
 }
 
 // onIdle stops the clocks so the event queue can drain.
@@ -576,343 +452,5 @@ func (r *run) onIdle() {
 	r.slotTicker.Stop()
 	if r.slTicker != nil {
 		r.slTicker.Stop()
-	}
-}
-
-// onSLPass runs one scheduling pass and applies predictor evictions and
-// prefetches.
-func (r *run) onSLPass() {
-	req := r.reqView
-	if pf, ok := r.pred.(predictor.Prefetcher); ok {
-		for _, c := range pf.Prefetch(r.eng.Now()) {
-			if !r.sched.Connected(c.Src, c.Dst) {
-				r.specReq.Set(c.Src, c.Dst)
-			}
-		}
-	}
-	if !r.specReq.IsZero() {
-		r.reqMerge.CopyFrom(r.reqView)
-		r.reqMerge.Or(r.specReq)
-		req = r.reqMerge
-	}
-	res := r.sched.Pass(req)
-	for _, c := range res.Established {
-		r.deliverGrant(c.Src, c.Dst, 0)
-		r.specReq.Clear(c.Src, c.Dst)
-	}
-	if r.pred != nil {
-		now := r.eng.Now()
-		for _, c := range res.Established {
-			r.pred.OnEstablish(topology.Conn{Src: c.Src, Dst: c.Dst}, now)
-		}
-		for _, c := range res.Released {
-			r.pred.OnRelease(topology.Conn{Src: c.Src, Dst: c.Dst})
-		}
-		for _, c := range r.pred.Evictions(now) {
-			// Never evict a connection that still has traffic queued; the
-			// predictor only sees usage, not queue occupancy.
-			if r.queued[c.Src][c.Dst] == 0 && r.sched.Connected(c.Src, c.Dst) {
-				r.sched.Evict(c.Src, c.Dst)
-				r.pred.OnRelease(c)
-			}
-		}
-	}
-}
-
-// deliverGrant sends the grant signal for a freshly established connection
-// toward NIC u. With fault injection, the grant token can be lost: the NIC
-// never learns it may transmit, and the scheduler re-sends the grant after an
-// exponential-backoff timeout (attempt is the backoff exponent). Until a
-// grant arrives, the connection's slots pass unused.
-func (r *run) deliverGrant(u, v, attempt int) {
-	if r.inj != nil && r.inj.DrawGrantLoss() {
-		// The NIC must not use the connection until a grant arrives.
-		r.grantAt[u][v] = sim.MaxTime
-		r.eng.After(r.inj.RetryDelay(attempt), "grant-retry", func() {
-			if r.sched.Connected(u, v) {
-				r.driver.CountRetry()
-				r.deliverGrant(u, v, attempt+1)
-			}
-		})
-		return
-	}
-	r.grantAt[u][v] = r.eng.Now() + r.cfg.Link.ControlDelay()
-}
-
-// onSlot is the slot-boundary handler: pick the next configuration, copy it
-// to the fabric, and let every granted NIC transmit one slot payload.
-func (r *run) onSlot() {
-	r.stats.SlotsTotal++
-	if r.pre != nil {
-		// The scheduler writes configuration registers during the data
-		// phase of the previous slot, so a group swap takes effect at this
-		// boundary without stealing fabric time.
-		r.pre.maybeAdvance()
-	}
-	slot, cfg, ok := r.sched.NextFabricSlot()
-	if r.probe != nil {
-		s := int32(-1)
-		if ok {
-			s = int32(slot)
-		}
-		r.probe.Emit(probe.Event{Kind: probe.SlotStart, At: r.eng.Now(),
-			Slot: s, Aux: int64(r.cfg.SlotNs)})
-	}
-	if !ok {
-		if r.probe != nil {
-			r.probe.Emit(probe.Event{Kind: probe.SlotEnd, At: r.eng.Now(), Slot: -1})
-		}
-		return
-	}
-	if err := r.xbar.Apply(cfg); err != nil {
-		r.fail(fmt.Errorf("tdm: scheduler produced unrealizable configuration for slot %d: %w", slot, err))
-		return
-	}
-	if r.omega != nil && !r.omega.CanRealize(cfg) {
-		r.fail(fmt.Errorf("tdm: slot %d configuration is not realizable on the omega fabric", slot))
-		return
-	}
-	slotStart := r.eng.Now()
-	used := false
-	for u := 0; u < r.cfg.N; u++ {
-		v := cfg.FirstInRow(u)
-		if v < 0 {
-			continue
-		}
-		if r.grantAt[u][v] > slotStart {
-			// The grant for this freshly established connection has not
-			// reached the NIC yet; the slot passes unused for this port.
-			continue
-		}
-		if r.inj != nil {
-			if r.inj.PairDown(u, v) {
-				// The pair's link is down or its crosspoint is dead: the
-				// grant is wasted and the payload stays queued.
-				r.maskedGrants++
-				continue
-			}
-			if r.driver.Buffers[u].HasFor(v) && r.inj.DrawCorrupt() {
-				// The slot payload fails the destination NIC's CRC; the
-				// bytes stay queued and go out again in the next granted
-				// slot — a slot-granularity retransmission.
-				if m := r.driver.Buffers[u].Head(v); m != nil {
-					m.Retries++
-				}
-				r.driver.CountRetry()
-				continue
-			}
-		}
-		var injected *nic.Message
-		if r.probe != nil {
-			// The head message's first byte enters the network this slot iff
-			// nothing of it has been transmitted yet.
-			if h := r.driver.Buffers[u].Head(v); h != nil && h.Remaining() == h.Bytes {
-				injected = h
-			}
-		}
-		sent, done := r.driver.Buffers[u].TransmitTo(v, r.cfg.PayloadBytes)
-		if sent == 0 {
-			// A wasted grant: the connection is established but has nothing
-			// to send. If its source NIC is holding traffic for other
-			// destinations, tell idle-grant-aware predictors — this is the
-			// signal that the connection is squatting on a slot others need.
-			if obs, ok := r.pred.(predictor.IdleGrantObserver); ok &&
-				r.driver.Buffers[u].Len() > 0 {
-				obs.OnIdleGrant(topology.Conn{Src: u, Dst: v}, slotStart)
-			}
-			continue
-		}
-		used = true
-		if injected != nil {
-			r.probe.Emit(probe.Event{Kind: probe.MsgInjected, At: slotStart,
-				Src: int32(u), Dst: int32(v), ID: int64(injected.ID)})
-		}
-		if r.pred != nil {
-			r.pred.OnUse(topology.Conn{Src: u, Dst: v}, slotStart)
-		}
-		if done != nil {
-			r.completeMessage(done, slotStart)
-		}
-		if r.cfg.AmplifyBytes > 0 &&
-			r.driver.Buffers[u].BytesFor(v) > int64(r.cfg.AmplifyBytes) {
-			// The backlog outruns one slot per cycle: give the connection
-			// another slot if ports are free somewhere (extension 2).
-			if added := r.sched.AddBandwidth(u, v, 1); added > 0 {
-				r.stats.Amplifications += uint64(added)
-			}
-		}
-	}
-	if used {
-		r.stats.SlotsUsed++
-	}
-	if r.probe != nil {
-		var aux int64
-		if used {
-			aux = 1
-		}
-		r.probe.Emit(probe.Event{Kind: probe.SlotEnd, At: slotStart,
-			Slot: int32(slot), Aux: aux})
-	}
-}
-
-// completeMessage retires a message whose last payload was granted in the
-// slot starting at slotStart: the last byte clears the pipe one slot plus
-// the link latency later, then the destination NIC spends its receive
-// overhead.
-func (r *run) completeMessage(m *nic.Message, slotStart sim.Time) {
-	u, v := m.Src, m.Dst
-	if r.probe != nil {
-		// TransmitTo already dequeued m, so the current head is its successor
-		// reaching the front of the u→v queue.
-		if h := r.driver.Buffers[u].Head(v); h != nil {
-			r.probe.Emit(probe.Event{Kind: probe.MsgHeadOfQueue, At: slotStart,
-				Src: int32(h.Src), Dst: int32(h.Dst), ID: int64(h.ID)})
-		}
-	}
-	r.queued[u][v]--
-	if r.queued[u][v] == 0 {
-		r.setRequestWire(u, v, false)
-		if r.pre != nil {
-			r.pre.pendingDown(topology.Conn{Src: u, Dst: v})
-		}
-	}
-	deliverAt := slotStart + r.cfg.SlotNs + r.cfg.Link.PipeLatency() + nic.RecvOverhead
-	r.eng.At(deliverAt, "tdm-deliver", func() { r.driver.Deliver(m) })
-}
-
-// onPortDown is the injector's link-failure callback. The scheduler evicts
-// every dynamic connection touching the port (its cached TDM configurations
-// are stale) and forgets the port's pending requests; preloaded
-// configurations containing the port are invalidated for good — their
-// traffic falls back to dynamic scheduling, the cache-invalidation semantics
-// of a broken compiled schedule. A permanent failure additionally drops all
-// traffic from and toward the port: no recovery is possible.
-func (r *run) onPortDown(p int, permanent bool) {
-	changes := r.sched.EvictPort(p)
-	r.reschedules += uint64(len(changes))
-	if r.pred != nil {
-		for _, c := range changes {
-			r.pred.OnRelease(topology.Conn{Src: c.Src, Dst: c.Dst})
-		}
-	}
-	for x := 0; x < r.cfg.N; x++ {
-		if x == p {
-			continue
-		}
-		r.reqView.Clear(p, x)
-		r.reqView.Clear(x, p)
-		r.specReq.Clear(p, x)
-		r.specReq.Clear(x, p)
-	}
-	if r.pre != nil {
-		if n := r.pre.breakPort(p); n > 0 {
-			r.preloadFallbacks += uint64(n)
-			r.ensureDynamicFallback()
-		}
-	}
-	if permanent {
-		for _, m := range r.driver.Buffers[p].DrainAll() {
-			r.retireQueued(m.Src, m.Dst, 1)
-			r.driver.Drop(m)
-		}
-		for u := 0; u < r.cfg.N; u++ {
-			if u != p {
-				r.dropPair(u, p)
-			}
-		}
-	}
-}
-
-// onPortUp is the injector's link-repair callback: the NIC re-raises every
-// request the failure suppressed so dynamic scheduling can re-establish the
-// connections. Broken preloaded entries stay broken — the compiled schedule
-// is not revalidated at run time — so their traffic keeps using dynamic
-// slots.
-func (r *run) onPortUp(p int) {
-	for x := 0; x < r.cfg.N; x++ {
-		if x == p {
-			continue
-		}
-		if r.queued[p][x] > 0 {
-			r.raiseRequest(p, x, 0)
-		}
-		if r.queued[x][p] > 0 {
-			r.raiseRequest(x, p, 0)
-		}
-	}
-}
-
-// onCrosspointDead is the injector's crosspoint-failure callback: the pair
-// (in,out) is permanently unroutable through the central fabric. Cached and
-// preloaded configurations using the crosspoint are invalidated and the
-// pair's queued traffic is dropped.
-func (r *run) onCrosspointDead(in, out int) {
-	if r.sched.Connected(in, out) {
-		r.sched.Evict(in, out)
-		r.reschedules++
-		if r.pred != nil {
-			r.pred.OnRelease(topology.Conn{Src: in, Dst: out})
-		}
-	}
-	r.reqView.Clear(in, out)
-	r.specReq.Clear(in, out)
-	if r.pre != nil {
-		if r.pre.breakConn(topology.Conn{Src: in, Dst: out}) {
-			r.preloadFallbacks++
-			r.ensureDynamicFallback()
-		}
-	}
-	r.dropPair(in, out)
-}
-
-// retireQueued unwinds the queue bookkeeping for n messages leaving the
-// u->v queue without delivery; when the queue drains it clears the request
-// wire and the preloader's pending count, exactly as completeMessage does.
-func (r *run) retireQueued(u, v, n int) {
-	if n == 0 || r.queued[u][v] == 0 {
-		return
-	}
-	r.queued[u][v] -= n
-	if r.queued[u][v] < 0 {
-		r.fail(fmt.Errorf("tdm: queue count for %d->%d went negative", u, v))
-		r.queued[u][v] = 0
-		return
-	}
-	if r.queued[u][v] == 0 {
-		r.setRequestWire(u, v, false)
-		if r.pre != nil {
-			r.pre.pendingDown(topology.Conn{Src: u, Dst: v})
-		}
-	}
-}
-
-// dropPair drops every message queued from u toward v — the bulk-drop path
-// when the pair becomes permanently unreachable.
-func (r *run) dropPair(u, v int) {
-	msgs := r.driver.Buffers[u].DrainFor(v)
-	if len(msgs) == 0 {
-		return
-	}
-	r.retireQueued(u, v, len(msgs))
-	for _, m := range msgs {
-		r.driver.Drop(m)
-	}
-}
-
-// ensureDynamicFallback guarantees at least one dynamically scheduled slot
-// and a running scheduling-logic clock, so traffic orphaned by a broken
-// preloaded configuration can still be served. In pure Preload mode this
-// releases one pinned slot back to the scheduler and starts the SL ticker —
-// the graceful-degradation path; in Hybrid mode dynamic slots already exist
-// and this is a no-op.
-func (r *run) ensureDynamicFallback() {
-	if r.sched.DynamicSlotCount() == 0 {
-		if r.pre == nil || !r.pre.releaseSlot() {
-			return
-		}
-	}
-	if r.slTicker == nil {
-		r.slTicker = r.eng.NewTicker(r.sched.PassLatency(), "tdm-sl-pass", r.onSLPass)
-		r.slTicker.Start()
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pmsnet/internal/fabric"
 	"pmsnet/internal/predictor"
 	"pmsnet/internal/sim"
 	"pmsnet/internal/traffic"
@@ -495,21 +496,57 @@ func TestMarkovPrefetchRaisesHitRate(t *testing.T) {
 }
 
 func TestOmegaFabricValidation(t *testing.T) {
-	if _, err := New(Config{N: 12, K: 4, Fabric: OmegaFabric}); err == nil {
+	if _, err := New(Config{N: 12, K: 4, Fabric: fabric.KindOmega}); err == nil {
 		t.Fatal("non-power-of-two N should fail under omega fabric")
 	}
-	if _, err := New(Config{N: 16, K: 4, Fabric: FabricKind(9)}); err == nil {
+	if _, err := New(Config{N: 16, K: 4, Fabric: fabric.Kind(9)}); err == nil {
 		t.Fatal("unknown fabric should fail")
 	}
-	if CrossbarFabric.String() != "crossbar" || OmegaFabric.String() != "omega" {
+	if fabric.KindCrossbar.String() != "crossbar" || fabric.KindOmega.String() != "omega" {
 		t.Fatal("fabric strings wrong")
 	}
-	if FabricKind(9).String() == "" {
+	if fabric.Kind(9).String() == "" {
 		t.Fatal("unknown fabric should render")
 	}
-	nw := mustNew(t, Config{N: 16, K: 4, Fabric: OmegaFabric})
+	nw := mustNew(t, Config{N: 16, K: 4, Fabric: fabric.KindOmega})
 	if nw.Name() != "tdm-dynamic/k=4/omega" {
 		t.Fatalf("Name = %q", nw.Name())
+	}
+}
+
+func TestRearrangeableFabricsMatchCrossbar(t *testing.T) {
+	// Clos (m = n) and Benes are rearrangeably non-blocking: the scheduler
+	// runs unconstrained, so every mode must produce the crossbar's exact
+	// Result on these fabrics.
+	wl := traffic.OrderedMesh(16, 64, 5)
+	for _, mode := range []Mode{Dynamic, Preload} {
+		base := mustNew(t, Config{N: 16, K: 4, Mode: mode})
+		want, err := base.Run(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []fabric.Kind{fabric.KindClos, fabric.KindBenes} {
+			nw := mustNew(t, Config{N: 16, K: 4, Mode: mode, Fabric: kind})
+			got, err := nw.Run(wl)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mode, kind, err)
+			}
+			if got.Makespan != want.Makespan || got.Messages != want.Messages ||
+				got.Stats != want.Stats {
+				t.Fatalf("%s/%s diverged from the crossbar: makespan %v vs %v",
+					mode, kind, got.Makespan, want.Makespan)
+			}
+		}
+	}
+}
+
+func TestFabricNamesInNetworkName(t *testing.T) {
+	for _, kind := range []fabric.Kind{fabric.KindClos, fabric.KindBenes} {
+		nw := mustNew(t, Config{N: 16, K: 4, Fabric: kind})
+		want := "tdm-dynamic/k=4/" + kind.String()
+		if nw.Name() != want {
+			t.Fatalf("Name = %q, want %q", nw.Name(), want)
+		}
 	}
 }
 
@@ -517,7 +554,7 @@ func TestOmegaFabricDynamicCompletes(t *testing.T) {
 	// Every workload must still complete under the blocking fabric: blocked
 	// establishments retry in other slots, and progress is guaranteed as
 	// connections release.
-	nw := mustNew(t, Config{N: 16, K: 4, Fabric: OmegaFabric})
+	nw := mustNew(t, Config{N: 16, K: 4, Fabric: fabric.KindOmega})
 	for _, wl := range []*traffic.Workload{
 		traffic.OrderedMesh(16, 64, 5),
 		traffic.AllToAll(16, 16),
@@ -534,7 +571,7 @@ func TestOmegaFabricDynamicCompletes(t *testing.T) {
 }
 
 func TestOmegaFabricPreloadCompletes(t *testing.T) {
-	nw := mustNew(t, Config{N: 16, K: 4, Mode: Preload, Fabric: OmegaFabric})
+	nw := mustNew(t, Config{N: 16, K: 4, Mode: Preload, Fabric: fabric.KindOmega})
 	wl := traffic.AllToAll(16, 32)
 	res, err := nw.Run(wl)
 	if err != nil {
@@ -550,7 +587,7 @@ func TestOmegaFabricNoFasterThanCrossbar(t *testing.T) {
 	// switch never beats the crossbar on the same workload.
 	wl := traffic.AllToAll(16, 32)
 	xb := mustNew(t, Config{N: 16, K: 4})
-	om := mustNew(t, Config{N: 16, K: 4, Fabric: OmegaFabric})
+	om := mustNew(t, Config{N: 16, K: 4, Fabric: fabric.KindOmega})
 	xres, err := xb.Run(wl)
 	if err != nil {
 		t.Fatal(err)

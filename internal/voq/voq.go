@@ -161,11 +161,9 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 func (r *run) onCell() {
 	n := r.cfg.N
 	r.stats.SlotsTotal++
+	netmodel.EmitSlotStart(r.probe, r.eng.Now(), 0, r.cellTime)
 	if r.probe != nil {
-		now := r.eng.Now()
-		r.probe.Emit(probe.Event{Kind: probe.SlotStart, At: now,
-			Slot: 0, Aux: int64(r.cellTime)})
-		r.probe.Emit(probe.Event{Kind: probe.SchedPassBegin, At: now})
+		r.probe.Emit(probe.Event{Kind: probe.SchedPassBegin, At: r.eng.Now()})
 	}
 	matchIn := make([]int, n) // matchIn[i] = output matched to input i, or -1
 	matchOut := make([]int, n)
@@ -246,9 +244,7 @@ func (r *run) onCell() {
 		}
 		var injected *nic.Message
 		if r.probe != nil {
-			if h := r.driver.Buffers[i].Head(j); h != nil && h.Remaining() == h.Bytes {
-				injected = h
-			}
+			injected = r.driver.HeadUntransmitted(i, j)
 		}
 		sent, done := r.driver.Buffers[i].TransmitTo(j, r.cfg.CellBytes)
 		if sent == 0 {
@@ -268,11 +264,5 @@ func (r *run) onCell() {
 	if used {
 		r.stats.SlotsUsed++
 	}
-	if r.probe != nil {
-		var aux int64
-		if used {
-			aux = 1
-		}
-		r.probe.Emit(probe.Event{Kind: probe.SlotEnd, At: slotStart, Slot: 0, Aux: aux})
-	}
+	netmodel.EmitSlotEnd(r.probe, slotStart, 0, used)
 }

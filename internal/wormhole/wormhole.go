@@ -122,8 +122,8 @@ type run struct {
 	inBusy []bool
 	// waitingOnInput lists outputs whose head worm is blocked on an input.
 	waitingOnInput [][]int
-	// srcActive tracks whether a source's transmit process is running.
-	srcActive []bool
+	// ports serializes each source's transmit process.
+	ports *netmodel.PortEngine
 	// inputPipe is the one-way latency from a source NIC to the switch
 	// input (serialize + wire + deserialize at the digital switch).
 	inputPipe sim.Time
@@ -154,7 +154,6 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		outBusy:        make([]bool, n.cfg.N),
 		inBusy:         make([]bool, n.cfg.N),
 		waitingOnInput: make([][]int, n.cfg.N),
-		srcActive:      make([]bool, n.cfg.N),
 		probe:          n.cfg.Probe,
 	}
 	lm := n.cfg.Link
@@ -167,12 +166,13 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 	r.deliverFn = r.deliver
 
 	driver, err := netmodel.NewDriver(eng, lm, wl, netmodel.Hooks{
-		OnEnqueue: func(m *nic.Message) { r.kickSource(m.Src) },
+		OnEnqueue: func(m *nic.Message) { r.ports.Kick(m.Src) },
 	})
 	if err != nil {
 		return metrics.Result{}, err
 	}
 	r.driver = driver
+	r.ports = netmodel.NewPortEngine(driver, n.cfg.N, r.startMessage)
 	if n.cfg.Probe != nil {
 		driver.SetProbe(n.cfg.Probe)
 	}
@@ -189,22 +189,9 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 	return driver.Finish(n.Name(), n.cfg.Horizon, metrics.NetStats{})
 }
 
-// kickSource starts the source's transmit process if it is idle.
-func (r *run) kickSource(s int) {
-	if r.srcActive[s] {
-		return
-	}
-	r.srcActive[s] = true
-	r.startMessage(s)
-}
-
-// startMessage pops the next message in FIFO order and transmits its worms.
-func (r *run) startMessage(s int) {
-	m := r.driver.Buffers[s].PopFIFO()
-	if m == nil {
-		r.srcActive[s] = false
-		return
-	}
+// startMessage transmits a freshly popped message's worms; the port engine
+// serializes calls per source.
+func (r *run) startMessage(s int, m *nic.Message) {
 	r.sendWorm(s, m, 0)
 }
 
@@ -289,7 +276,7 @@ func (r *run) wormNext(arg any) {
 	if w.idx+1 < wormCount(m.Bytes) {
 		r.sendWorm(m.Src, m, w.idx+1)
 	} else {
-		r.startMessage(m.Src)
+		r.ports.Next(m.Src)
 	}
 }
 

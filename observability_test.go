@@ -155,6 +155,34 @@ func TestProbeBitIdentity(t *testing.T) {
 	}
 }
 
+// TestProbeBitIdentityAcrossFabrics extends the probe-off guarantee over the
+// fabric backends: a probed dynamic-TDM run on each fabric must match its
+// bare twin field for field.
+func TestProbeBitIdentityAcrossFabrics(t *testing.T) {
+	for _, f := range []Fabric{FabricCrossbar, FabricOmega, FabricClos, FabricBenes} {
+		t.Run(f.String(), func(t *testing.T) {
+			wl := RandomMesh(16, 64, 5, 2)
+			cfg := Config{Switching: DynamicTDM, N: 16, K: 4, Fabric: f}
+			bare, err := Run(cfg, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counter := NewCounterSink()
+			cfg.Probe = NewProbe(counter)
+			probed, err := Run(cfg, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bare != probed {
+				t.Fatalf("probed report differs:\nbare:   %+v\nprobed: %+v", bare, probed)
+			}
+			if counter.Total() == 0 {
+				t.Fatal("probe saw no events")
+			}
+		})
+	}
+}
+
 // TestTraceIsValidChromeTrace runs a probed DynamicTDM simulation through the
 // TraceWriter and checks that the output is a valid Chrome trace-event JSON
 // array covering the scheduler, connection and message lifecycles.

@@ -40,6 +40,7 @@ import (
 
 	"pmsnet/internal/circuit"
 	"pmsnet/internal/compiler"
+	"pmsnet/internal/fabric"
 	"pmsnet/internal/fault"
 	"pmsnet/internal/meshnet"
 	"pmsnet/internal/metrics"
@@ -205,6 +206,80 @@ func ParseEviction(name string) (EvictionPolicy, error) {
 		name, strings.Join(EvictionNames(), ", "))
 }
 
+// Fabric selects the switching-fabric backend for the TDM modes. The
+// baselines model their own data paths and ignore it.
+type Fabric int
+
+// Fabric backends.
+const (
+	// FabricCrossbar is the paper's baseline single-stage crosspoint fabric,
+	// where every partial permutation is realizable.
+	FabricCrossbar Fabric = iota
+	// FabricOmega is a blocking log2(N)-stage Omega network: the scheduler
+	// only establishes connections that keep each slot Omega-realizable, and
+	// the preload controller decomposes working sets under the same
+	// constraint. N must be a power of two.
+	FabricOmega
+	// FabricClos is a three-stage Clos network in its canonical m = n
+	// factoring — rearrangeably non-blocking, so every slot configuration
+	// routes, at a fraction of the crossbar's crosspoint count.
+	FabricClos
+	// FabricBenes is the 2·log2(N)−1-stage Benes network, rearrangeably
+	// non-blocking via the looping algorithm. N must be a power of two.
+	FabricBenes
+)
+
+// String implements fmt.Stringer with the cmd/pmsim -fabric vocabulary.
+func (f Fabric) String() string {
+	switch f {
+	case FabricCrossbar:
+		return "crossbar"
+	case FabricOmega:
+		return "omega"
+	case FabricClos:
+		return "clos"
+	case FabricBenes:
+		return "benes"
+	default:
+		return fmt.Sprintf("Fabric(%d)", int(f))
+	}
+}
+
+// fabricValues lists every valid fabric, in flag-name order.
+var fabricValues = []Fabric{FabricCrossbar, FabricOmega, FabricClos, FabricBenes}
+
+// FabricNames returns the canonical names accepted by ParseFabric, in a
+// stable order — the vocabulary of the cmd/pmsim -fabric flag.
+func FabricNames() []string {
+	out := make([]string, len(fabricValues))
+	for i, v := range fabricValues {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// ParseFabric is the inverse of Fabric.String: it maps a canonical fabric
+// name ("crossbar", "omega", "clos", "benes") back to its value. Unknown
+// names produce an error listing every valid name.
+func ParseFabric(name string) (Fabric, error) {
+	for _, v := range fabricValues {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("pmsnet: unknown fabric %q (valid: %s)",
+		name, strings.Join(FabricNames(), ", "))
+}
+
+// fabricKinds maps the public Fabric vocabulary onto the internal backend
+// kinds, indexed by Fabric value.
+var fabricKinds = [...]fabric.Kind{
+	FabricCrossbar: fabric.KindCrossbar,
+	FabricOmega:    fabric.KindOmega,
+	FabricClos:     fabric.KindClos,
+	FabricBenes:    fabric.KindBenes,
+}
+
 // Config selects and parameterizes a network.
 type Config struct {
 	// Switching selects the paradigm.
@@ -229,11 +304,18 @@ type Config struct {
 	// transfer is granted an additional slot (extension 2 of the switch
 	// design). Zero disables amplification.
 	AmplifyBytes int
-	// OmegaFabric runs the TDM modes on a blocking log2(N)-stage Omega
-	// network instead of the crossbar: the scheduler only establishes
-	// connections that keep each slot Omega-realizable, and the preload
-	// controller decomposes working sets under the same constraint. N must
-	// be a power of two.
+	// Fabric selects the switching-fabric backend for the TDM modes: the
+	// baseline crossbar (the zero value), the blocking Omega network, or
+	// the rearrangeably non-blocking Clos and Benes networks. The scheduler
+	// and preload controller adapt to the fabric's blocking constraints
+	// automatically; the baselines ignore the field.
+	Fabric Fabric
+	// OmegaFabric runs the TDM modes on the Omega fabric.
+	//
+	// Deprecated: set Fabric to FabricOmega instead. The flag survives for
+	// callers of the pre-Fabric API and is equivalent to Fabric ==
+	// FabricOmega; setting it alongside a different non-crossbar Fabric is
+	// a configuration error.
 	OmegaFabric bool
 	// Faults, when non-nil and active, injects faults per the plan: link
 	// failures (MTBF/MTTR or scripted), corrupted payloads caught by the
@@ -334,6 +416,27 @@ func (c Config) Validate() error {
 	if c.AmplifyBytes < 0 {
 		return &ConfigError{Field: "AmplifyBytes", Value: c.AmplifyBytes, Reason: "must not be negative"}
 	}
+	knownFab := false
+	for _, v := range fabricValues {
+		if c.Fabric == v {
+			knownFab = true
+			break
+		}
+	}
+	if !knownFab {
+		return &ConfigError{Field: "Fabric", Value: int(c.Fabric),
+			Reason: fmt.Sprintf("unknown fabric (valid: %s)", strings.Join(FabricNames(), ", "))}
+	}
+	if c.OmegaFabric && c.Fabric != FabricCrossbar && c.Fabric != FabricOmega {
+		return &ConfigError{Field: "Fabric", Value: c.Fabric.String(),
+			Reason: "conflicts with the deprecated OmegaFabric flag"}
+	}
+	switch c.Switching {
+	case DynamicTDM, PreloadTDM, HybridTDM:
+		if _, err := fabric.NewBackend(fabricKinds[c.effectiveFabric()], c.N); err != nil {
+			return &ConfigError{Field: "Fabric", Value: c.effectiveFabric().String(), Reason: err.Error()}
+		}
+	}
 	if c.Parallelism < 0 {
 		return &ConfigError{Field: "Parallelism", Value: c.Parallelism, Reason: "must not be negative"}
 	}
@@ -354,6 +457,15 @@ func (c Config) withDefaults() Config {
 		c.EvictionThreshold = 8
 	}
 	return c
+}
+
+// effectiveFabric resolves Config.Fabric against the deprecated OmegaFabric
+// flag: an explicit Fabric wins, the flag maps to FabricOmega.
+func (c Config) effectiveFabric() Fabric {
+	if c.Fabric == FabricCrossbar && c.OmegaFabric {
+		return FabricOmega
+	}
+	return c.Fabric
 }
 
 func (c Config) predictorFactory() (func() predictor.Predictor, error) {
@@ -399,9 +511,7 @@ func (c Config) network() (netmodel.Network, error) {
 			return nil, err
 		}
 		cfg := tdm.Config{N: c.N, K: c.K, NewPredictor: pf, AmplifyBytes: c.AmplifyBytes, Faults: c.Faults, SchedCache: c.SchedCache, Probe: c.Probe}
-		if c.OmegaFabric {
-			cfg.Fabric = tdm.OmegaFabric
-		}
+		cfg.Fabric = fabricKinds[c.effectiveFabric()]
 		switch c.Switching {
 		case PreloadTDM:
 			cfg.Mode = tdm.Preload

@@ -77,6 +77,90 @@ func TestEvictionPolicies(t *testing.T) {
 	}
 }
 
+func TestFabricStringsAndParse(t *testing.T) {
+	names := map[Fabric]string{
+		FabricCrossbar: "crossbar",
+		FabricOmega:    "omega",
+		FabricClos:     "clos",
+		FabricBenes:    "benes",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), want)
+		}
+		got, err := ParseFabric(want)
+		if err != nil || got != f {
+			t.Errorf("ParseFabric(%q) = %v, %v; want %v", want, got, err, f)
+		}
+	}
+	if Fabric(99).String() == "" {
+		t.Error("unknown fabric should render")
+	}
+	if _, err := ParseFabric("banyan"); err == nil ||
+		!strings.Contains(err.Error(), "crossbar, omega, clos, benes") {
+		t.Errorf("ParseFabric should list the vocabulary, got %v", err)
+	}
+	if got := strings.Join(FabricNames(), ","); got != "crossbar,omega,clos,benes" {
+		t.Errorf("FabricNames() = %q", got)
+	}
+}
+
+func TestRunDynamicTDMAllFabrics(t *testing.T) {
+	// End-to-end dynamic TDM through the facade on every fabric backend.
+	// The rearrangeable fabrics (crossbar, clos, benes) realize any
+	// crossbar configuration and must agree bit-for-bit; the blocking
+	// Omega fabric spreads conflicting connections over extra slots.
+	wl := OrderedMesh(16, 64, 5)
+	reports := make(map[Fabric]Report)
+	for _, f := range []Fabric{FabricCrossbar, FabricOmega, FabricClos, FabricBenes} {
+		rep, err := Run(Config{Switching: DynamicTDM, N: 16, K: 4, Fabric: f}, wl)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if rep.Messages != wl.Messages() || rep.Bytes != wl.TotalBytes() {
+			t.Fatalf("%v: conservation violated: %+v", f, rep)
+		}
+		wantName := "tdm-dynamic"
+		if f != FabricCrossbar {
+			wantName += "/k=4/" + f.String()
+		} else {
+			wantName += "/k=4"
+		}
+		if rep.Network != wantName {
+			t.Fatalf("%v: network name %q, want %q", f, rep.Network, wantName)
+		}
+		reports[f] = rep
+	}
+	for _, f := range []Fabric{FabricClos, FabricBenes} {
+		if reports[f] != recolor(reports[f], reports[FabricCrossbar]) {
+			t.Fatalf("%v report diverges from crossbar: %+v vs %+v",
+				f, reports[f], reports[FabricCrossbar])
+		}
+	}
+}
+
+// recolor returns b with a's Network name, so rearrangeable-fabric reports
+// can be compared to the crossbar's apart from the label.
+func recolor(a, b Report) Report {
+	b.Network = a.Network
+	return b
+}
+
+func TestOmegaFabricBackCompat(t *testing.T) {
+	wl := ScatterWorkload(16, 64)
+	legacy, err := Run(Config{Switching: DynamicTDM, N: 16, K: 4, OmegaFabric: true}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := Run(Config{Switching: DynamicTDM, N: 16, K: 4, Fabric: FabricOmega}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != modern {
+		t.Fatalf("deprecated OmegaFabric flag diverges from Fabric: %+v vs %+v", legacy, modern)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	wl := ScatterWorkload(8, 16)
 	if _, err := Run(Config{Switching: Switching(42), N: 8}, wl); err == nil {
@@ -90,6 +174,15 @@ func TestRunErrors(t *testing.T) {
 	}
 	if _, err := Run(Config{Switching: Wormhole, N: 8}, nil); err == nil {
 		t.Error("nil workload should error")
+	}
+	if _, err := Run(Config{Switching: DynamicTDM, N: 8, Fabric: Fabric(42)}, wl); err == nil {
+		t.Error("unknown fabric should error")
+	}
+	if _, err := Run(Config{Switching: DynamicTDM, N: 8, Fabric: FabricClos, OmegaFabric: true}, wl); err == nil {
+		t.Error("OmegaFabric alongside a different fabric should error")
+	}
+	if _, err := Run(Config{Switching: DynamicTDM, N: 12, Fabric: FabricOmega}, ScatterWorkload(12, 16)); err == nil {
+		t.Error("omega fabric with non-power-of-two N should error")
 	}
 }
 
