@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz bench bench-compare trace-smoke figures clean
+.PHONY: all build test check vet race fuzz bench bench-compare trace-smoke service-smoke figures clean
 
 all: build test
 
@@ -56,6 +56,35 @@ trace-smoke:
 	$(GO) run ./cmd/pmsim -net tdm-dynamic -pattern random-mesh -n 16 -msgs 10 \
 		-trace /tmp/pmsnet-trace-smoke.json > /dev/null
 	$(GO) run ./cmd/tracecheck /tmp/pmsnet-trace-smoke.json
+
+# End-to-end service check: start pmsd with a deliberately tiny queue, ramp
+# pmsload well past saturation, and assert the degradation contract — the
+# server sheds load with 429 + Retry-After (nonzero 429s), never returns a
+# 5xx other than the injected panic probe, and the client still lands a
+# healthy fraction of jobs by backing off. pmsd binds :0 and prints the
+# bound address on stdout, so no fixed port is needed.
+service-smoke:
+	$(GO) build -o /tmp/pmsd-smoke ./cmd/pmsd
+	$(GO) build -o /tmp/pmsload-smoke ./cmd/pmsload
+	@set -u; \
+	/tmp/pmsd-smoke -addr 127.0.0.1:0 -workers 2 -queue 8 -test-patterns -quiet \
+		> /tmp/pmsd-smoke.addr 2> /tmp/pmsd-smoke.log & \
+	pmsd_pid=$$!; \
+	for i in $$(seq 1 50); do [ -s /tmp/pmsd-smoke.addr ] && break; sleep 0.1; done; \
+	addr=$$(head -n 1 /tmp/pmsd-smoke.addr); \
+	if [ -z "$$addr" ]; then echo "pmsd did not start:"; cat /tmp/pmsd-smoke.log; \
+		kill $$pmsd_pid 2>/dev/null; exit 1; fi; \
+	status=0; \
+	/tmp/pmsload-smoke -addr "http://$$addr" \
+		-duration 5s -start-rps 15 -growth 25 -executors 64 \
+		-retries 3 -backoff-cap 500ms \
+		-n 64 -size 256 -msgs 200 -seed-spread 1000 \
+		-panic-probe -assert-429 -assert-max-5xx 0 -assert-success-min 0.3 \
+		|| status=$$?; \
+	kill -TERM $$pmsd_pid 2>/dev/null; \
+	wait $$pmsd_pid || { echo "pmsd exited nonzero; log:"; cat /tmp/pmsd-smoke.log; \
+		[ $$status -eq 0 ] && status=1; }; \
+	exit $$status
 
 # Short fuzzing passes over the text-format parsers, the scheduling-pass
 # cache, and the Clos spine router.

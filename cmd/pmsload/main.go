@@ -1,0 +1,393 @@
+// Command pmsload is the ramping load harness for pmsd: it schedules job
+// submissions at a cadence that grows every interval (5 rps, then 10, then
+// 15, ...), pushes them through an executor pool, and aggregates latency
+// percentiles and success/failure counts, so saturation behavior —
+// sustained throughput, 429 backpressure, client backoff and recovery — is
+// demonstrable and regression-gateable.
+//
+// Usage:
+//
+//	pmsload -addr http://127.0.0.1:8080 -duration 10s -start-rps 5 -growth 5
+//	pmsload -addr ... -assert-429 -assert-max-5xx 0    # CI smoke gating
+//
+// The client honors backpressure the way a well-behaved production client
+// should: a 429 or 503 response is retried after max(Retry-After, current
+// backoff) plus jitter, with the backoff doubling per attempt up to a cap.
+// Every other non-2xx is terminal for that request. With -panic-probe the
+// harness first submits one job with the "panic" test pattern (the server
+// must run with -test-patterns) and expects exactly the one 500 it
+// produces; that 500 is excluded from the -assert-max-5xx gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "pmsd base URL")
+		duration  = flag.Duration("duration", 10*time.Second, "total ramp duration")
+		startRPS  = flag.Int("start-rps", 5, "submissions per second in the first interval")
+		growth    = flag.Int("growth", 5, "submissions per second added each interval")
+		interval  = flag.Duration("interval", time.Second, "ramp interval: cadence grows by -growth each one")
+		executors = flag.Int("executors", 32, "executor pool size (max in-flight requests)")
+		retries   = flag.Int("retries", 5, "max retries per request on 429/503/transport errors")
+		backoff   = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+		backCap   = flag.Duration("backoff-cap", 2*time.Second, "retry backoff cap")
+		seedJit   = flag.Int64("seed", 1, "RNG seed for backoff jitter and workload seed spread")
+		spread    = flag.Int64("seed-spread", 64, "cycle job workload seeds over this many values (1 = identical jobs, all cache hits)")
+		simN      = flag.Int("n", 16, "simulated processor count per job")
+		simMsgs   = flag.Int("msgs", 10, "messages per processor per job")
+		simSize   = flag.Int("size", 64, "message size in bytes per job")
+		network   = flag.String("net", "tdm-dynamic", "switching paradigm for the jobs")
+		pattern   = flag.String("pattern", "random-mesh", "workload pattern for the jobs")
+		jobDl     = flag.Int64("job-deadline-ms", 0, "per-job deadline_ms in the spec (0 = server default)")
+		panicPrb  = flag.Bool("panic-probe", false, "first submit one 'panic' test job and require the isolated 500")
+		assert429 = flag.Bool("assert-429", false, "exit nonzero unless the ramp provoked at least one 429")
+		assertMax = flag.Int("assert-max-5xx", -1, "exit nonzero if unexpected 5xx responses exceed this (-1 disables)")
+		assertOK  = flag.Float64("assert-success-min", 0, "exit nonzero if the success fraction falls below this")
+		jsonOut   = flag.Bool("json", false, "emit the final summary as JSON")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	agg := newAggregator()
+
+	if *panicPrb {
+		probePanic(client, *addr, agg)
+	}
+
+	// The scheduler pushes one token per planned submission into a deep
+	// buffer; executors drain it. A full buffer means the executor pool
+	// itself is saturated — those submissions are counted as shed, not
+	// silently skipped.
+	work := make(chan int64, 4096)
+	var shed atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < *executors; w++ {
+		wg.Add(1)
+		rng := rand.New(rand.NewSource(*seedJit + int64(w)))
+		go func() {
+			defer wg.Done()
+			for seq := range work {
+				runOne(client, *addr, jobSpec(*network, *pattern, *simN, *simSize, *simMsgs, 1+seq%*spread, *jobDl),
+					rng, *retries, *backoff, *backCap, agg)
+			}
+		}()
+	}
+
+	// Cadence-ramped scheduler: interval k targets startRPS + k*growth
+	// submissions, spaced evenly inside the interval.
+	start := time.Now()
+	var seq int64
+	for k := 0; time.Since(start) < *duration; k++ {
+		target := *startRPS + k**growth
+		if target < 1 {
+			target = 1
+		}
+		gap := *interval / time.Duration(target)
+		intervalEnd := start.Add(time.Duration(k+1) * *interval)
+		for i := 0; i < target && time.Since(start) < *duration; i++ {
+			select {
+			case work <- seq:
+			default:
+				shed.Add(1)
+			}
+			seq++
+			time.Sleep(gap)
+		}
+		if d := time.Until(intervalEnd); d > 0 {
+			time.Sleep(d)
+		}
+		fmt.Fprintf(os.Stderr, "pmsload: interval %d done: target %d rps, sent %d, ok %d, 429s %d\n",
+			k, target, seq, agg.ok.Load(), agg.status429.Load())
+	}
+	// The ramp is over: tokens no executor has claimed yet are shed, not
+	// executed — otherwise a deeply saturated run would tail off for as
+	// long again as the ramp itself. In-flight requests still finish
+	// (bounded by one retry budget each).
+drain:
+	for {
+		select {
+		case <-work:
+			shed.Add(1)
+		default:
+			break drain
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	s := agg.summary(time.Since(start), shed.Load())
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s)
+	} else {
+		s.print(os.Stdout)
+	}
+
+	fail := false
+	if *assert429 && s.Responses429 == 0 {
+		fmt.Fprintln(os.Stderr, "pmsload: ASSERT FAILED: ramp never provoked a 429 — backpressure untested")
+		fail = true
+	}
+	if *assertMax >= 0 && s.Unexpected5xx > *assertMax {
+		fmt.Fprintf(os.Stderr, "pmsload: ASSERT FAILED: %d unexpected 5xx responses (allowed %d)\n", s.Unexpected5xx, *assertMax)
+		fail = true
+	}
+	if *assertOK > 0 && s.SuccessRate < *assertOK {
+		fmt.Fprintf(os.Stderr, "pmsload: ASSERT FAILED: success rate %.3f below %.3f\n", s.SuccessRate, *assertOK)
+		fail = true
+	}
+	if *panicPrb && !agg.panicProbeOK.Load() {
+		fmt.Fprintln(os.Stderr, "pmsload: ASSERT FAILED: panic probe did not return an isolated 500")
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// jobSpec builds the submission body; seeds cycle so the ramp exercises
+// real simulations instead of pure cache hits (seed-spread 1 flips that,
+// making the ramp a cache stress test instead).
+func jobSpec(network, pattern string, n, size, msgs int, seed int64, deadlineMS int64) []byte {
+	spec := map[string]any{
+		"config":   map[string]any{"switching": network, "n": n},
+		"workload": map[string]any{"pattern": pattern, "size": size, "msgs": msgs, "seed": seed},
+	}
+	if deadlineMS > 0 {
+		spec["deadline_ms"] = deadlineMS
+	}
+	b, _ := json.Marshal(spec)
+	return b
+}
+
+// runOne drives one logical submission through retries to a terminal
+// outcome and reports it to the aggregator. End-to-end latency includes
+// backoff waits: under saturation that is the latency a real client
+// experiences.
+func runOne(client *http.Client, addr string, body []byte, rng *rand.Rand,
+	retries int, backoff, backoffCap time.Duration, agg *aggregator) {
+	start := time.Now()
+	wait := backoff
+	var lastStatus int
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, err := postJob(client, addr, body)
+		switch {
+		case err == nil && status == http.StatusOK:
+			agg.success(time.Since(start), attempt)
+			return
+		case err == nil && (status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable):
+			agg.backpressured(status)
+		case err == nil:
+			// 4xx/5xx outside the backpressure protocol: terminal.
+			agg.failure(status, time.Since(start))
+			return
+		default:
+			agg.transportError()
+		}
+		if err == nil {
+			lastStatus = status
+		}
+		if attempt >= retries {
+			agg.exhausted(lastStatus, time.Since(start))
+			return
+		}
+		// Jittered exponential backoff, floored by the server's
+		// Retry-After hint when one was sent.
+		sleep := wait
+		if retryAfter > sleep {
+			sleep = retryAfter
+		}
+		sleep += time.Duration(rng.Int63n(int64(wait)/2 + 1))
+		time.Sleep(sleep)
+		if wait *= 2; wait > backoffCap {
+			wait = backoffCap
+		}
+	}
+}
+
+// postJob performs one synchronous submission attempt.
+func postJob(client *http.Client, addr string, body []byte) (status int, retryAfter time.Duration, err error) {
+	resp, err := client.Post(addr+"/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+// probePanic submits the single expected-to-crash job and records whether
+// the server isolated it into exactly one 500.
+func probePanic(client *http.Client, addr string, agg *aggregator) {
+	body := []byte(`{"config":{"switching":"tdm-dynamic","n":4},"workload":{"pattern":"panic"}}`)
+	status, _, err := postJob(client, addr, body)
+	if err == nil && status == http.StatusInternalServerError {
+		agg.panicProbeOK.Store(true)
+		agg.expected5xx.Add(1)
+		fmt.Fprintln(os.Stderr, "pmsload: panic probe isolated correctly (500, server survived)")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "pmsload: panic probe got status %d err %v, want 500\n", status, err)
+}
+
+// aggregator collects results from all executors.
+type aggregator struct {
+	ok           atomic.Uint64
+	failures     atomic.Uint64
+	exhaustedN   atomic.Uint64
+	status429    atomic.Uint64
+	status503    atomic.Uint64
+	transport    atomic.Uint64
+	retriesTotal atomic.Uint64
+	expected5xx  atomic.Uint64
+	panicProbeOK atomic.Bool
+
+	mu        sync.Mutex
+	latencies []time.Duration
+	statuses  map[int]uint64
+}
+
+func newAggregator() *aggregator {
+	return &aggregator{statuses: make(map[int]uint64)}
+}
+
+func (a *aggregator) success(lat time.Duration, attempts int) {
+	a.ok.Add(1)
+	a.retriesTotal.Add(uint64(attempts))
+	a.mu.Lock()
+	a.latencies = append(a.latencies, lat)
+	a.mu.Unlock()
+}
+
+func (a *aggregator) backpressured(status int) {
+	if status == http.StatusTooManyRequests {
+		a.status429.Add(1)
+	} else {
+		a.status503.Add(1)
+	}
+}
+
+func (a *aggregator) failure(status int, _ time.Duration) {
+	a.failures.Add(1)
+	a.mu.Lock()
+	a.statuses[status]++
+	a.mu.Unlock()
+}
+
+func (a *aggregator) exhausted(lastStatus int, _ time.Duration) {
+	a.exhaustedN.Add(1)
+	a.mu.Lock()
+	a.statuses[lastStatus]++
+	a.mu.Unlock()
+}
+
+func (a *aggregator) transportError() { a.transport.Add(1) }
+
+// Summary is the final report, printable or JSON.
+type Summary struct {
+	Duration      string         `json:"duration"`
+	Submitted     uint64         `json:"submitted"`
+	Succeeded     uint64         `json:"succeeded"`
+	Failed        uint64         `json:"failed"`
+	Exhausted     uint64         `json:"exhausted_retries"`
+	Shed          uint64         `json:"shed_client_side"`
+	SuccessRate   float64        `json:"success_rate"`
+	Throughput    float64        `json:"throughput_rps"`
+	Responses429  uint64         `json:"responses_429"`
+	Responses503  uint64         `json:"responses_503"`
+	Transport     uint64         `json:"transport_errors"`
+	Retries       uint64         `json:"retries"`
+	Unexpected5xx int            `json:"unexpected_5xx"`
+	StatusCounts  map[int]uint64 `json:"terminal_status_counts"`
+	P50MS         float64        `json:"latency_p50_ms"`
+	P95MS         float64        `json:"latency_p95_ms"`
+	P99MS         float64        `json:"latency_p99_ms"`
+	MaxMS         float64        `json:"latency_max_ms"`
+}
+
+func (a *aggregator) summary(elapsed time.Duration, shed uint64) Summary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sort.Slice(a.latencies, func(i, j int) bool { return a.latencies[i] < a.latencies[j] })
+	pct := func(p float64) float64 {
+		if len(a.latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(a.latencies)-1))
+		return float64(a.latencies[idx]) / 1e6
+	}
+	ok := a.ok.Load()
+	failed := a.failures.Load() + a.exhaustedN.Load()
+	total := ok + failed
+	var unexpected int
+	for status, n := range a.statuses {
+		if status >= 500 {
+			unexpected += int(n)
+		}
+	}
+	unexpected -= int(a.expected5xx.Load())
+	if unexpected < 0 {
+		unexpected = 0
+	}
+	s := Summary{
+		Duration:      elapsed.Round(time.Millisecond).String(),
+		Submitted:     total,
+		Succeeded:     ok,
+		Failed:        a.failures.Load(),
+		Exhausted:     a.exhaustedN.Load(),
+		Shed:          shed,
+		Responses429:  a.status429.Load(),
+		Responses503:  a.status503.Load(),
+		Transport:     a.transport.Load(),
+		Retries:       a.retriesTotal.Load(),
+		Unexpected5xx: unexpected,
+		StatusCounts:  a.statuses,
+		P50MS:         pct(0.50),
+		P95MS:         pct(0.95),
+		P99MS:         pct(0.99),
+		MaxMS:         pct(1.0),
+	}
+	if total > 0 {
+		s.SuccessRate = float64(ok) / float64(total)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		s.Throughput = float64(ok) / secs
+	}
+	return s
+}
+
+func (s Summary) print(w io.Writer) {
+	fmt.Fprintf(w, "duration:    %s\n", s.Duration)
+	fmt.Fprintf(w, "submitted:   %d (shed client-side: %d)\n", s.Submitted, s.Shed)
+	fmt.Fprintf(w, "succeeded:   %d (%.1f%%, %.1f jobs/s sustained)\n", s.Succeeded, 100*s.SuccessRate, s.Throughput)
+	fmt.Fprintf(w, "failed:      %d terminal, %d retries exhausted\n", s.Failed, s.Exhausted)
+	fmt.Fprintf(w, "backpressure: %d x 429, %d x 503, %d retries, %d transport errors\n",
+		s.Responses429, s.Responses503, s.Retries, s.Transport)
+	fmt.Fprintf(w, "latency:     p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
+		s.P50MS, s.P95MS, s.P99MS, s.MaxMS)
+	if len(s.StatusCounts) > 0 {
+		fmt.Fprintf(w, "terminal statuses: %v\n", s.StatusCounts)
+	}
+	fmt.Fprintf(w, "unexpected 5xx: %d\n", s.Unexpected5xx)
+}

@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapCtxCancellationStopsSerialSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	_, err := MapCtx(ctx, Options{Parallelism: 1}, 100, func(i int) (int, error) {
+		calls++
+		if i == 4 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 5 {
+		t.Fatalf("serial path ran %d points after cancellation at point 4, want 5", calls)
+	}
+}
+
+func TestMapCtxCancellationStopsParallelSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 1000
+	var started atomic.Int64
+	_, err := MapCtx(ctx, Options{Parallelism: 2}, n, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			cancel()
+			return 0, nil
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Point 0 cancels immediately; with 2 workers and 1 ms per surviving
+	// point, dispatch must stop long before the full sweep.
+	if s := started.Load(); s >= n/2 {
+		t.Fatalf("%d of %d points started after cancellation; MapCtx is not honoring the context", s, n)
+	}
+}
+
+func TestMapCtxPointErrorWinsOverCancellation(t *testing.T) {
+	// A point failure observed before the context is cancelled must keep
+	// Map's first-error semantics: MapCtx reports the point error, not the
+	// cancellation that raced in after it.
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := MapCtx(ctx, Options{Parallelism: 1}, 10, func(i int) (int, error) {
+		if i == 2 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the point error %v", err, boom)
+	}
+}
+
+func TestMapCtxDeadlineAlreadyExpired(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	var calls atomic.Int64
+	for _, par := range []int{1, 4} {
+		_, err := MapCtx(ctx, Options{Parallelism: par}, 8, func(i int) (int, error) {
+			calls.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("parallelism %d: err = %v, want context.DeadlineExceeded", par, err)
+		}
+	}
+	if c := calls.Load(); c != 0 {
+		t.Fatalf("%d points ran under an already-expired context, want 0", c)
+	}
+}
+
+func TestMapCtxUncancelledMatchesMap(t *testing.T) {
+	fn := func(i int) (int, error) { return 7*i + 2, nil }
+	want, err := Map(Options{Parallelism: 4}, 25, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MapCtx(context.Background(), Options{Parallelism: 4}, 25, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("results diverge at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}

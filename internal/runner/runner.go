@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -57,7 +58,21 @@ func (o Options) Workers() int {
 // (points already in flight run to completion, their results are discarded)
 // and Map returns the error of the lowest-index failed point, which is the
 // error the serial path would have hit first among those observed.
+//
+// Map cannot be cancelled externally: it is MapCtx with a background
+// context.
 func Map[T any](opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), opts, n, fn)
+}
+
+// MapCtx is Map with external cancellation: when ctx is cancelled, no
+// further points start — points already in flight run to completion and
+// their results are discarded — and MapCtx returns ctx.Err(). A point error
+// observed before the cancellation still wins, preserving Map's
+// first-error semantics. The context is consulted between points only;
+// cancelling a single long-running point requires the point function itself
+// to watch ctx.
+func MapCtx[T any](ctx context.Context, opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -66,7 +81,7 @@ func Map[T any](opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 	if workers == 1 {
-		return mapSerial(opts, n, fn)
+		return mapSerial(ctx, opts, n, fn)
 	}
 
 	results := make([]T, n)
@@ -84,7 +99,7 @@ func Map[T any](opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || stop.Load() {
+				if i >= n || stop.Load() || ctx.Err() != nil {
 					return
 				}
 				start := time.Now()
@@ -110,14 +125,21 @@ func Map[T any](opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 
 // mapSerial is the reference path: points run one at a time, in order, in
-// the calling goroutine, and the first error stops the sweep.
-func mapSerial[T any](opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
+// the calling goroutine, and the first error — or a context cancellation
+// observed between points — stops the sweep.
+func mapSerial[T any](ctx context.Context, opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		res, err := fn(i)
 		if opts.OnPoint != nil {

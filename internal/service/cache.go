@@ -1,0 +1,66 @@
+package service
+
+import "sync"
+
+// resultCache memoizes completed simulation results. Runs are bit-
+// reproducible pure functions of (config, workload), so a hit can serve the
+// stored bytes verbatim — byte-identical to a fresh run — without touching
+// the queue or a worker. That makes repeated requests (parameter sweeps
+// re-submitted by many clients, optimizer jobs retrying after a 429)
+// nearly free, which is itself a robustness property: a retry storm of
+// known-work costs one map lookup per request.
+//
+// Eviction is FIFO over a bounded entry count: simple, O(1), and fair
+// enough for a cache whose entries are all equally valid forever (results
+// never go stale — only cold).
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey][]byte
+	order   []cacheKey
+}
+
+// newResultCache builds a cache bounded to max entries; max <= 0 disables
+// caching entirely (every lookup misses, every store is dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, entries: make(map[cacheKey][]byte)}
+}
+
+// get returns the stored result bytes for the key. The caller must not
+// mutate them.
+func (c *resultCache) get(k cacheKey) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k]
+	return v, ok
+}
+
+// put stores a result, evicting the oldest entry when full. Storing an
+// existing key is a no-op (the bytes are equal by determinism).
+func (c *resultCache) put(k cacheKey, v []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[k] = v
+	c.order = append(c.order, k)
+}
+
+// len is the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

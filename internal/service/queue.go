@@ -1,0 +1,56 @@
+package service
+
+import "sync"
+
+// queue is the bounded admission queue between the HTTP front end and the
+// worker pool. Backpressure is explicit: when the buffer is full, tryPush
+// refuses immediately — the caller turns that into 429 + Retry-After — so
+// the server's memory footprint and worst-case queueing delay stay bounded
+// no matter the offered load, and no accepted job is ever silently dropped.
+//
+// The mutex exists only to make close safe against concurrent pushers: a
+// pusher holds the read side while sending, close takes the write side, so
+// a send on a closed channel cannot happen. Pops contend on the channel
+// alone.
+type queue struct {
+	ch     chan *Job
+	mu     sync.RWMutex
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{ch: make(chan *Job, capacity)}
+}
+
+// tryPush enqueues without blocking. It reports false when the queue is
+// full (backpressure) or closed (shutdown); the two are distinguished by
+// the second result.
+func (q *queue) tryPush(j *Job) (ok, closed bool) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false, true
+	}
+	select {
+	case q.ch <- j:
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// close stops admission; jobs already buffered still drain to the workers.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// depth is the number of buffered jobs right now.
+func (q *queue) depth() int { return len(q.ch) }
+
+// capacity is the bound.
+func (q *queue) capacity() int { return cap(q.ch) }
