@@ -87,11 +87,12 @@ service-smoke:
 	exit $$status
 
 # Short fuzzing passes over the text-format parsers, the scheduling-pass
-# cache, and the Clos spine router.
+# cache, the sparse/dense bitmat parity, and the Clos spine router.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzPlan -fuzztime=30s ./internal/fault/
 	$(GO) test -run=NONE -fuzz=FuzzSchedCache -fuzztime=30s ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzSparseParity -fuzztime=30s ./internal/bitmat/
 	$(GO) test -run=NONE -fuzz=FuzzClosRoute -fuzztime=30s ./internal/multistage/
 
 figures:

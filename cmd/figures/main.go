@@ -226,6 +226,12 @@ func runAblations(ex experiments.Exec, seed int64) {
 	}
 	fmt.Println(experiments.AblationTable("Fabric backends under dynamic TDM (paper patterns)", backends))
 
+	scheds, err := experiments.SchedulerSweepExec(ex, n, 64, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Matching algorithms under dynamic TDM (paper patterns)", scheds))
+
 	for _, wl := range []*traffic.Workload{
 		traffic.RandomMesh(n, 64, experiments.MeshMsgs, seed),
 		traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4),

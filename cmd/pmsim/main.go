@@ -12,6 +12,8 @@
 // more; `pmsim -net list` prints the full vocabulary).
 // Patterns: scatter, ordered-mesh, random-mesh, all-to-all, two-phase, mix.
 // Fabrics (TDM modes): crossbar, omega, clos, benes (`pmsim -fabric list`).
+// Schedulers (TDM modes): paper, islip, wavefront (`pmsim -sched list`);
+// -shards enables per-leaf sharded scheduling on leafed fabrics.
 //
 // Multi-run mode (-seeds N) repeats the pattern at seeds seed..seed+N-1 and
 // prints one summary line per seed plus the aggregate. -parallel bounds how
@@ -53,6 +55,8 @@ func main() {
 		amplify  = flag.Int("amplify", 0, "bandwidth-amplification threshold in bytes (0 = off)")
 		fabName  = flag.String("fabric", "crossbar", "TDM fabric backend: crossbar|omega|clos|benes ('list' prints the vocabulary)")
 		omega    = flag.Bool("omega", false, "deprecated: shorthand for -fabric omega")
+		schedNm  = flag.String("sched", "paper", "TDM scheduling algorithm: paper|islip|wavefront ('list' prints the vocabulary)")
+		shards   = flag.Int("shards", 0, "per-leaf scheduler shards on leafed fabrics (0 = off; results are identical, only wall-clock changes)")
 		hist     = flag.Bool("hist", false, "print the latency histogram")
 		faults   = flag.String("faults", "", "fault plan, e.g. 'seed=7,mtbf=1ms,mttr=10us,corrupt=0.001,link=3@50us+20us,xpoint=1:2@80us'")
 		seed     = flag.Int64("seed", 1, "workload random seed")
@@ -61,8 +65,9 @@ func main() {
 	)
 	flag.Parse()
 
-	// `-net list` / `-fabric list` print the canonical vocabulary, one name
-	// per line, and exit — the machine-readable form for scripts.
+	// `-net list` / `-fabric list` / `-sched list` print the canonical
+	// vocabulary, one name per line, and exit — the machine-readable form
+	// for scripts.
 	if *netName == "list" {
 		for _, name := range pmsnet.SwitchingNames() {
 			fmt.Println(name)
@@ -71,6 +76,12 @@ func main() {
 	}
 	if *fabName == "list" {
 		for _, name := range pmsnet.FabricNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *schedNm == "list" {
+		for _, name := range pmsnet.SchedulerNames() {
 			fmt.Println(name)
 		}
 		return
@@ -89,6 +100,10 @@ func main() {
 		fatal(err)
 	}
 	cfg.OmegaFabric = *omega
+	if cfg.Scheduler, err = pmsnet.ParseScheduler(*schedNm); err != nil {
+		fatal(err)
+	}
+	cfg.SchedShards = *shards
 	cfg.Parallelism = *parallel
 	if *faults != "" {
 		plan, err := pmsnet.ParseFaults(*faults)

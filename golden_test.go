@@ -41,6 +41,12 @@ func goldenWorkloads(t *testing.T) map[string]*Workload {
 // TestGoldenReportBitIdentity locks every pre-existing Switching mode to the
 // Report it produced at the seed commit of the refactor. Any drift in event
 // ordering, RNG draws or accounting shows up as a field-level diff here.
+//
+// These pins double as the Report-level sparse-vs-dense identity check: the
+// golden files were captured on the dense request path, and the default
+// execution path is now the sparse one, so any sparse-path divergence
+// surfaces here field by field. (The tdm-level identity suite additionally
+// toggles the Sparse knob directly.)
 func TestGoldenReportBitIdentity(t *testing.T) {
 	wls := goldenWorkloads(t)
 	wlOrder := []string{"scatter", "ordered-mesh", "random-mesh", "all-to-all", "two-phase"}
@@ -99,6 +105,45 @@ func TestGoldenReportBitIdentity(t *testing.T) {
 		}
 		if grep != wrep {
 			t.Errorf("%s: report drifted from seed\n got: %+v\nwant: %+v", name, grep, wrep)
+		}
+	}
+}
+
+// TestGoldenShardedReportBitIdentity extends the golden pins to per-leaf
+// sharded scheduling: on leafed fabrics, every shard count must reproduce
+// the unsharded Report byte for byte, over the same Switching×workload
+// matrix the seed goldens pin. Run with -race in CI, this is also the data-
+// race gate on the parallel shard phase.
+func TestGoldenShardedReportBitIdentity(t *testing.T) {
+	wls := goldenWorkloads(t)
+	for _, sw := range []Switching{DynamicTDM, PreloadTDM, HybridTDM} {
+		for _, fab := range []Fabric{FabricClos, FabricBenes} {
+			for wname, wl := range wls {
+				if sw == PreloadTDM || sw == HybridTDM {
+					an, _, err := AnalyzeWorkload(wl)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wl = an
+				}
+				cfg := Config{Switching: sw, N: 16, K: 4, PreloadSlots: 1, Fabric: fab}
+				base, err := Run(cfg, wl)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", sw, fab, wname, err)
+				}
+				for _, shards := range []int{2, 8} {
+					cfgS := cfg
+					cfgS.SchedShards = shards
+					rep, err := Run(cfgS, wl)
+					if err != nil {
+						t.Fatalf("%s/%s/%s shards=%d: %v", sw, fab, wname, shards, err)
+					}
+					if rep != base {
+						t.Errorf("%s/%s/%s: %d shards drifted from unsharded\n got: %+v\nwant: %+v",
+							sw, fab, wname, shards, rep, base)
+					}
+				}
+			}
 		}
 	}
 }

@@ -21,9 +21,9 @@ import (
 // (K=0 hashes like the documented K=4, a nil SchedCache like the enabled
 // default), the deprecated OmegaFabric flag is folded into the effective
 // fabric, and an inactive fault plan hashes like no plan at all. Fields that
-// never change the Report are excluded: Parallelism and Probe only affect
-// how a run executes and what observes it, both proven bit-identical by the
-// identity test suites.
+// never change the Report are excluded: Parallelism, SchedShards and Probe
+// only affect how a run executes and what observes it, all proven
+// bit-identical by the identity test suites.
 func (c Config) Hash() uint64 {
 	c = c.withDefaults()
 	h := fnv.New64a()
@@ -42,6 +42,7 @@ func (c Config) Hash() uint64 {
 	word('h', c.EvictionThreshold)
 	word('a', uint64(c.AmplifyBytes))
 	word('f', uint64(c.effectiveFabric()))
+	word('S', uint64(c.Scheduler))
 	if c.SchedCache == nil || *c.SchedCache {
 		word('c', 1)
 	} else {

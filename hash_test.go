@@ -21,6 +21,7 @@ func hashBaseConfig() Config {
 		EvictionThreshold: 12,
 		AmplifyBytes:      256,
 		Fabric:            FabricClos,
+		Scheduler:         SchedulerISLIP,
 		Faults: &fault.Plan{
 			Seed:            9,
 			LinkMTBF:        1_000_000,
@@ -104,6 +105,7 @@ func TestConfigHashFieldSensitivity(t *testing.T) {
 		{"EvictionThreshold", func(c *Config) { c.EvictionThreshold = 13 }},
 		{"AmplifyBytes", func(c *Config) { c.AmplifyBytes = 512 }},
 		{"Fabric", func(c *Config) { c.Fabric = FabricBenes }},
+		{"Scheduler", func(c *Config) { c.Scheduler = SchedulerWavefront }},
 		{"SchedCache", func(c *Config) { c.SchedCache = boolPtr(true) }},
 		{"Faults.Seed", func(c *Config) { c.Faults.Seed = 10 }},
 		{"Faults.LinkMTBF", func(c *Config) { c.Faults.LinkMTBF = 2_000_000 }},
@@ -151,6 +153,11 @@ func TestConfigHashIgnoresExecutionOnlyFields(t *testing.T) {
 	withProbe.Probe = NewProbe(NewCounterSink())
 	if base.Hash() != withProbe.Hash() {
 		t.Error("Probe changed the hash; probes are observational only")
+	}
+	withShards := hashBaseConfig()
+	withShards.SchedShards = 4
+	if base.Hash() != withShards.Hash() {
+		t.Error("SchedShards changed the hash; sharded scheduling is bit-identical")
 	}
 }
 

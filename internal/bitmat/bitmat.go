@@ -116,6 +116,17 @@ func (m *Matrix) check(i, j int) {
 	}
 }
 
+// RowWords returns row i's packed words. The slice is live — the Matrix's
+// own storage — and read-only for callers; bits past Cols are zero. It
+// exists for word-parallel row computations (the scheduler's adaptive
+// dense-row fallback) that per-bit Get calls would dominate.
+func (m *Matrix) RowWords(i int) []uint64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("bitmat: row %d out of range %dx%d", i, m.rows, m.cols))
+	}
+	return m.bits[i*m.wordsPerRow : (i+1)*m.wordsPerRow]
+}
+
 // Get reports whether bit (i, j) is set.
 func (m *Matrix) Get(i, j int) bool {
 	m.check(i, j)
@@ -308,34 +319,7 @@ func (m *Matrix) AppendRowOnesFrom(dst []int, i, from int) []int {
 	if from < 0 || from >= m.cols {
 		panic(fmt.Sprintf("bitmat: column origin %d out of range %d", from, m.cols))
 	}
-	row := m.bits[i*m.wordsPerRow : (i+1)*m.wordsPerRow]
-	wFrom := from / wordBits
-	lowMask := (uint64(1) << (uint(from) % wordBits)) - 1
-	// Segment 1: columns [from, cols).
-	for w := wFrom; w < len(row); w++ {
-		word := row[w]
-		if w == wFrom {
-			word &^= lowMask
-		}
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			dst = append(dst, w*wordBits+b)
-			word &= word - 1
-		}
-	}
-	// Segment 2: columns [0, from).
-	for w := 0; w <= wFrom && from > 0; w++ {
-		word := row[w]
-		if w == wFrom {
-			word &= lowMask
-		}
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			dst = append(dst, w*wordBits+b)
-			word &= word - 1
-		}
-	}
-	return dst
+	return appendOnesFrom(dst, m.bits[i*m.wordsPerRow:(i+1)*m.wordsPerRow], from)
 }
 
 // ColumnUnion ORs every row of m into dst, a bitmask with bit j set when

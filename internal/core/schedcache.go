@@ -124,13 +124,19 @@ func (c *passCache) record(key passKey, r *bitmat.Matrix, s *Scheduler) {
 // computed pass would have done, without touching the scheduling array.
 // Every est/rel cell is distinct within one pass (a connection released in
 // one slot cannot be re-established in another during the same pass, and
-// vice versa), so the deltas commute and replay order is immaterial.
+// vice versa), so the bit-level deltas are disjoint.
 func (s *Scheduler) replay(e *passEntry) PassResult {
-	for _, c := range e.est {
-		s.configs[c.Slot].Set(c.Src, c.Dst)
-	}
+	// Deltas go through setConn/clearConn so the slot index, occupancy masks
+	// and B* track the replayed state exactly as a computed pass would.
+	// Releases apply first: an establish into a (slot, row) the pass also
+	// released from always followed the release in scan order (the row was
+	// occupied until then), and the index holds one destination per row, so
+	// the release must free it before the establish refills it.
 	for _, c := range e.rel {
-		s.configs[c.Slot].Clear(c.Src, c.Dst)
+		s.clearConn(c.Slot, c.Src, c.Dst)
+	}
+	for _, c := range e.est {
+		s.setConn(c.Slot, c.Src, c.Dst)
 	}
 	if s.p.LatchRequests {
 		for _, c := range e.est {
@@ -139,9 +145,6 @@ func (s *Scheduler) replay(e *passEntry) PassResult {
 		for _, p := range e.latchClr {
 			s.latch.Clear(int(p>>16), int(p&0xffff))
 		}
-	}
-	if len(e.est)+len(e.rel) > 0 {
-		s.dirty = true
 	}
 	s.stats.Established += uint64(len(e.est))
 	s.stats.Released += uint64(len(e.rel))

@@ -30,6 +30,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pmsnet/internal/bitmat"
 	"pmsnet/internal/probe"
@@ -75,14 +76,40 @@ type Params struct {
 	// state and request matrix have been seen before replay the recorded
 	// grant set instead of re-running the scheduling array. The cache is
 	// exact (results are bit-identical with and without it) — see
-	// schedcache.go.
+	// schedcache.go. Only the paper algorithm memoizes: the iSLIP matcher
+	// carries pointer state the cache key does not cover, so withDefaults
+	// forces Memoize off for the alternative algorithms.
 	Memoize bool
+	// Algorithm selects the matching algorithm a pass runs: the paper-exact
+	// Tables 1–2 scheduling array (the default), iSLIP, or wavefront
+	// matching. See match.go for the alternatives' semantics and provenance.
+	Algorithm Algorithm
+	// ShardBounds, when non-nil, splits the rows into contiguous shards for
+	// the paper algorithm's sparse pass: shard i owns rows
+	// [ShardBounds[i], ShardBounds[i+1]). Shards precompute their rows' change
+	// cells independently (possibly in parallel via ShardRun); grants are then
+	// merged serially in the exact rotated row order, so results are
+	// bit-identical to unsharded scheduling. Bounds must start at 0, end at N
+	// and be strictly ascending — callers align them to the fabric's leaf
+	// boundaries.
+	ShardBounds []int
+	// ShardRun executes fn(i) for every shard i in [0, n), returning only
+	// when all calls completed. nil runs the shards serially in the calling
+	// goroutine. A parallel executor (runner.Pool.Run) must keep per-shard
+	// work on distinct goroutines only — the scheduler guarantees shards
+	// touch disjoint state during the parallel phase.
+	ShardRun func(n int, fn func(int))
 }
 
 // withDefaults normalizes zero values.
 func (p Params) withDefaults() Params {
 	if p.SLCopies == 0 {
 		p.SLCopies = 1
+	}
+	if p.Algorithm != AlgPaper {
+		// The memo cache key covers (state, cursors, R); iSLIP's grant/accept
+		// pointers live outside it, and wavefront gains little from replay.
+		p.Memoize = false
 	}
 	return p
 }
@@ -97,6 +124,27 @@ func (p Params) Validate() error {
 	}
 	if p.SLCopies < 1 || p.SLCopies > p.K {
 		return fmt.Errorf("core: SLCopies=%d must be in [1,%d]", p.SLCopies, p.K)
+	}
+	known := false
+	for _, a := range algorithmValues {
+		if p.Algorithm == a {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("core: unknown algorithm %d (valid: %v)", int(p.Algorithm), AlgorithmNames())
+	}
+	if p.ShardBounds != nil {
+		b := p.ShardBounds
+		if len(b) < 2 || b[0] != 0 || b[len(b)-1] != p.N {
+			return fmt.Errorf("core: shard bounds %v must run from 0 to N=%d", b, p.N)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				return fmt.Errorf("core: shard bounds %v not strictly ascending", b)
+			}
+		}
 	}
 	return nil
 }
@@ -140,9 +188,21 @@ type Scheduler struct {
 	p       Params
 	configs []*bitmat.Matrix
 	pinned  []bool
-	latch   *bitmat.Matrix
+	latch   *bitmat.Sparse
 	bstar   *bitmat.Matrix
-	dirty   bool // bstar needs recomputation
+
+	// Incrementally-maintained per-pair slot index. Every configuration is a
+	// partial permutation, so a slot holds at most one connection per input
+	// row and per output column; the index stores it directly. All config
+	// mutation funnels through setConn/clearConn (including cache replays and
+	// preloads), which also keep B* current — the former lazy dirty/refresh
+	// cycle is gone, and SlotsOf/slotCountOf/GrantRow drop from O(K·N/64)
+	// word scans to O(K) array reads.
+	rowDst     [][]int32 // [slot][u] = v of the connection u→v, or -1
+	colSrc     [][]int32 // [slot][v] = u of the connection u→v, or -1
+	cfgRowMask [][]uint64 // [slot]: AI bitmask (input u occupied)
+	cfgColMask [][]uint64 // [slot]: AO bitmask (output v occupied)
+	cfgCount   []int      // [slot]: established connections
 
 	slCursor  int
 	tdmCursor int
@@ -163,6 +223,24 @@ type Scheduler struct {
 	latchClrBuf []uint32       // packed latch clears of the current pass
 	fabricBuf   *bitmat.Matrix // NextFabricSlot result
 	invBuf      *bitmat.Matrix // CheckInvariants B* recomputation
+
+	// Sparse-pass scratch (sparsepass.go).
+	activeMask  []uint64 // row mask: rows the sparse pass must visit
+	pendingMask []uint64 // per-pass row mask: rows with a request not in B*
+	rowsBuf     []int    // rotated active-row iteration order
+	cellBuf     []int32  // one row's change cells, ascending
+	wordRowMin  int      // row nonzeros at which to switch to the word path
+
+	// Shard scratch (non-nil only with Params.ShardBounds): per-shard cell
+	// arenas and the per-row (shard, offset, length) records that resolve a
+	// row's precomputed cells after the parallel phase.
+	shardArena [][]int32
+	rowCellPos []int32
+	rowCellLen []int32
+	rowShard   []int32
+
+	// Alternative-algorithm scratch (match.go); nil for AlgPaper.
+	match *matchState
 
 	// Observability (nil when off). now supplies timestamps for emitted
 	// events; the scheduler has no clock of its own.
@@ -188,26 +266,101 @@ func NewScheduler(p Params) (*Scheduler, error) {
 		return nil, fmt.Errorf("core: invalid scheduler parameters: %w", err)
 	}
 	s := &Scheduler{
-		p:       p,
-		configs: make([]*bitmat.Matrix, p.K),
-		pinned:  make([]bool, p.K),
-		latch:   bitmat.NewSquare(p.N),
-		bstar:   bitmat.NewSquare(p.N),
-		lBuf:    bitmat.NewSquare(p.N),
+		p:          p,
+		configs:    make([]*bitmat.Matrix, p.K),
+		pinned:     make([]bool, p.K),
+		latch:      bitmat.NewSparse(p.N, p.N),
+		bstar:      bitmat.NewSquare(p.N),
+		lBuf:       bitmat.NewSquare(p.N),
+		rowDst:     make([][]int32, p.K),
+		colSrc:     make([][]int32, p.K),
+		cfgRowMask: make([][]uint64, p.K),
+		cfgColMask: make([][]uint64, p.K),
+		cfgCount:   make([]int, p.K),
 	}
+	occWords := (p.N + 63) / 64
 	for i := range s.configs {
 		s.configs[i] = bitmat.NewSquare(p.N)
+		s.rowDst[i] = make([]int32, p.N)
+		s.colSrc[i] = make([]int32, p.N)
+		for j := 0; j < p.N; j++ {
+			s.rowDst[i][j] = -1
+			s.colSrc[i][j] = -1
+		}
+		s.cfgRowMask[i] = make([]uint64, occWords)
+		s.cfgColMask[i] = make([]uint64, occWords)
 	}
 	if p.LatchRequests {
 		s.effBuf = bitmat.NewSquare(p.N)
 	}
-	occWords := (p.N + 63) / 64
 	s.occOut = make([]uint64, occWords)
 	s.occIn = make([]uint64, occWords)
+	s.activeMask = make([]uint64, occWords)
+	s.pendingMask = make([]uint64, occWords)
+	s.wordRowMin = wordRowThreshold(p.N)
 	if p.Memoize {
 		s.cache = newPassCache()
 	}
+	if p.ShardBounds != nil {
+		shards := len(p.ShardBounds) - 1
+		s.shardArena = make([][]int32, shards)
+		s.rowCellPos = make([]int32, p.N)
+		s.rowCellLen = make([]int32, p.N)
+		s.rowShard = make([]int32, p.N)
+		for sh := 0; sh < shards; sh++ {
+			for u := p.ShardBounds[sh]; u < p.ShardBounds[sh+1]; u++ {
+				s.rowShard[u] = int32(sh)
+			}
+		}
+	}
+	if p.Algorithm != AlgPaper {
+		s.match = newMatchState(p)
+	}
 	return s, nil
+}
+
+// --- per-pair slot index ---
+
+// setConn establishes u→v in a slot, updating the configuration matrix, the
+// slot index, the per-slot occupancy masks and B* together. The caller must
+// have verified the slot's row u and column v are free (partial-permutation
+// discipline); every establish path does.
+func (s *Scheduler) setConn(slot, u, v int) {
+	s.configs[slot].Set(u, v)
+	s.rowDst[slot][u] = int32(v)
+	s.colSrc[slot][v] = int32(u)
+	maskSet(s.cfgRowMask[slot], u)
+	maskSet(s.cfgColMask[slot], v)
+	s.cfgCount[slot]++
+	s.bstar.Set(u, v)
+}
+
+// clearConn releases u→v from a slot. The connection must be present there.
+// B* drops the bit only when the pair is gone from every slot (AddBandwidth
+// can hold it in several).
+func (s *Scheduler) clearConn(slot, u, v int) {
+	s.configs[slot].Clear(u, v)
+	s.rowDst[slot][u] = -1
+	s.colSrc[slot][v] = -1
+	maskClear(s.cfgRowMask[slot], u)
+	maskClear(s.cfgColMask[slot], v)
+	s.cfgCount[slot]--
+	if s.slotCountOf(u, v) == 0 {
+		s.bstar.Clear(u, v)
+	}
+}
+
+// clearSlot releases every connection of a slot through clearConn, in
+// ascending row order. O(connections), not O(N²/64).
+func (s *Scheduler) clearSlot(slot int) {
+	mask := s.cfgRowMask[slot]
+	for w, word := range mask {
+		for word != 0 {
+			u := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			s.clearConn(slot, u, int(s.rowDst[slot][u]))
+		}
+	}
 }
 
 // MustScheduler is NewScheduler for static configurations known to be valid
@@ -248,27 +401,15 @@ func (s *Scheduler) Config(slot int) *bitmat.Matrix {
 }
 
 // BStar returns a copy of B*, the OR of all configuration matrices: every
-// connection currently established in any slot.
+// connection currently established in any slot. B* is maintained
+// incrementally by the connection index, so this is just a copy.
 func (s *Scheduler) BStar() *bitmat.Matrix {
-	s.refreshBStar()
 	return s.bstar.Clone()
-}
-
-func (s *Scheduler) refreshBStar() {
-	if !s.dirty {
-		return
-	}
-	s.bstar.Reset()
-	for _, c := range s.configs {
-		s.bstar.Or(c)
-	}
-	s.dirty = false
 }
 
 // Connected reports whether the connection src→dst is established in any
 // slot (the B* bit).
 func (s *Scheduler) Connected(src, dst int) bool {
-	s.refreshBStar()
 	return s.bstar.Get(src, dst)
 }
 
@@ -280,10 +421,11 @@ func (s *Scheduler) SlotsOf(src, dst int) []int {
 
 // AppendSlotsOf appends the slots in which src→dst is established to dst
 // and returns the extended slice — the allocation-free variant of SlotsOf
-// for hot paths that hold a reusable buffer.
+// for hot paths that hold a reusable buffer. The slot index makes this O(K)
+// array reads instead of K row-word scans.
 func (s *Scheduler) AppendSlotsOf(dst []int, src, dstPort int) []int {
-	for i, c := range s.configs {
-		if c.Get(src, dstPort) {
+	for i := 0; i < s.p.K; i++ {
+		if s.rowDst[i][src] == int32(dstPort) {
 			dst = append(dst, i)
 		}
 	}
@@ -294,8 +436,8 @@ func (s *Scheduler) AppendSlotsOf(dst []int, src, dstPort int) []int {
 // materializing the slot list.
 func (s *Scheduler) slotCountOf(src, dst int) int {
 	n := 0
-	for _, c := range s.configs {
-		if c.Get(src, dst) {
+	for i := 0; i < s.p.K; i++ {
+		if s.rowDst[i][src] == int32(dst) {
 			n++
 		}
 	}
@@ -304,7 +446,6 @@ func (s *Scheduler) slotCountOf(src, dst int) int {
 
 // Connections returns the number of distinct established connections.
 func (s *Scheduler) Connections() int {
-	s.refreshBStar()
 	return s.bstar.Count()
 }
 
@@ -318,8 +459,8 @@ func (s *Scheduler) ActiveSlots() []int {
 // AppendActiveSlots appends the active slot indices to dst and returns the
 // extended slice — the allocation-free variant of ActiveSlots.
 func (s *Scheduler) AppendActiveSlots(dst []int) []int {
-	for i, c := range s.configs {
-		if !c.IsZero() {
+	for i, n := range s.cfgCount {
+		if n > 0 {
 			dst = append(dst, i)
 		}
 	}
@@ -330,12 +471,29 @@ func (s *Scheduler) AppendActiveSlots(dst []int) []int {
 // materializing the index list.
 func (s *Scheduler) ActiveSlotCount() int {
 	n := 0
-	for _, c := range s.configs {
-		if !c.IsZero() {
+	for _, c := range s.cfgCount {
+		if c > 0 {
 			n++
 		}
 	}
 	return n
+}
+
+// AppendSlotConns appends every connection of a slot to dst in ascending
+// row order and returns the extended slice — the data-plane grant snapshot,
+// read straight from the slot index in O(connections) instead of N
+// first-in-row word scans.
+func (s *Scheduler) AppendSlotConns(dst []Change, slot int) []Change {
+	s.checkSlot(slot)
+	mask := s.cfgRowMask[slot]
+	for w, word := range mask {
+		for word != 0 {
+			u := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			dst = append(dst, Change{Src: u, Dst: int(s.rowDst[slot][u]), Slot: slot})
+		}
+	}
+	return dst
 }
 
 func (s *Scheduler) checkSlot(slot int) {
@@ -362,7 +520,7 @@ func (s *Scheduler) NextFabricSlot() (slot int, cfg *bitmat.Matrix, ok bool) {
 	for tried := 0; tried < s.p.K; tried++ {
 		t := s.tdmCursor
 		s.tdmCursor = (s.tdmCursor + 1) % s.p.K
-		if s.p.SkipEmptySlots && s.configs[t].IsZero() {
+		if s.p.SkipEmptySlots && s.cfgCount[t] == 0 {
 			continue
 		}
 		if s.fabricBuf == nil {
@@ -381,7 +539,7 @@ func (s *Scheduler) NextFabricSlot() (slot int, cfg *bitmat.Matrix, ok bool) {
 func (s *Scheduler) GrantRow(slot, u int) int {
 	s.checkSlot(slot)
 	s.checkPort(u)
-	return s.configs[slot].FirstInRow(u)
+	return int(s.rowDst[slot][u])
 }
 
 // --- scheduling logic (SL side) ---
@@ -395,7 +553,7 @@ func (s *Scheduler) effectiveRequests(r *bitmat.Matrix) *bitmat.Matrix {
 		return r
 	}
 	s.effBuf.CopyFrom(r)
-	s.effBuf.Or(s.latch)
+	s.effBuf.Or(s.latch.Matrix())
 	return s.effBuf
 }
 
@@ -407,7 +565,6 @@ func (s *Scheduler) effectiveRequests(r *bitmat.Matrix) *bitmat.Matrix {
 func (s *Scheduler) PreSchedule(r *bitmat.Matrix, slot int) *bitmat.Matrix {
 	s.checkSlot(slot)
 	s.checkShape(r)
-	s.refreshBStar()
 	eff := s.effectiveRequests(r)
 
 	// Release term: not requested, realized in slot s -> B(s) &^ Reff.
@@ -437,7 +594,7 @@ func (s *Scheduler) ScheduleSlot(r *bitmat.Matrix, slot int) (established, relea
 	s.estBuf = s.estBuf[:0]
 	s.relBuf = s.relBuf[:0]
 	s.latchClrBuf = s.latchClrBuf[:0]
-	s.scheduleSlot(r, slot)
+	s.dispatchSlot(r, nil, slot)
 	if len(s.estBuf)+len(s.relBuf) > 0 {
 		// A direct caller mutated scheduler state outside Pass's cache
 		// bookkeeping; retire the current state ID so no stale cached
@@ -451,6 +608,25 @@ func (s *Scheduler) ScheduleSlot(r *bitmat.Matrix, slot int) (established, relea
 func maskTest(m []uint64, i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
 func maskSet(m []uint64, i int)       { m[i>>6] |= 1 << (uint(i) & 63) }
 func maskClear(m []uint64, i int)     { m[i>>6] &^= 1 << (uint(i) & 63) }
+
+// dispatchSlot routes one slot evaluation to the configured matching
+// algorithm. For the paper algorithm, a non-nil sp selects the sparse-path
+// evaluation (bit-identical to the dense one — see sparsepass.go); the
+// alternative matchers consume the dense form either way.
+func (s *Scheduler) dispatchSlot(r *bitmat.Matrix, sp *bitmat.Sparse, slot int) {
+	switch s.p.Algorithm {
+	case AlgISLIP:
+		s.scheduleSlotISLIP(r, slot)
+	case AlgWavefront:
+		s.scheduleSlotWavefront(r, slot)
+	default:
+		if sp != nil {
+			s.scheduleSlotSparse(sp, slot)
+		} else {
+			s.scheduleSlot(r, slot)
+		}
+	}
+}
 
 // scheduleSlot is the allocation-free SL-array evaluation shared by
 // ScheduleSlot and Pass. It appends changes to estBuf/relBuf (without
@@ -470,9 +646,10 @@ func (s *Scheduler) scheduleSlot(r *bitmat.Matrix, slot int) {
 	estStart, relStart := len(s.estBuf), len(s.relBuf)
 
 	// A[v]: output v occupied in this slot (paper's AO). D[u]: input u
-	// occupied (paper's AI). Both are word-parallel bitmask scans of B(s).
-	s.occOut = b.ColumnUnion(s.occOut)
-	s.occIn = b.RowOccupancy(s.occIn)
+	// occupied (paper's AI). The slot index maintains both masks
+	// incrementally; the pass works on copies it mutates as it goes.
+	s.occOut = append(s.occOut[:0], s.cfgColMask[slot]...)
+	s.occIn = append(s.occIn[:0], s.cfgRowMask[slot]...)
 
 	a, bo := 0, 0
 	if s.p.RotatePriority {
@@ -493,7 +670,7 @@ func (s *Scheduler) scheduleSlot(r *bitmat.Matrix, slot int) {
 			// whose ports happen to be busy.
 			if b.Get(u, v) {
 				// Table 2 row (L=1, A=1, D=1): release, ports become free.
-				b.Clear(u, v)
+				s.clearConn(slot, u, v)
 				maskClear(s.occOut, v)
 				maskClear(s.occIn, u)
 				s.relBuf = append(s.relBuf, Change{Src: u, Dst: v, Slot: slot})
@@ -505,7 +682,7 @@ func (s *Scheduler) scheduleSlot(r *bitmat.Matrix, slot int) {
 					continue
 				}
 				// Table 2 row (L=1, A=0, D=0): establish, ports become busy.
-				b.Set(u, v)
+				s.setConn(slot, u, v)
 				maskSet(s.occOut, v)
 				maskSet(s.occIn, u)
 				s.estBuf = append(s.estBuf, Change{Src: u, Dst: v, Slot: slot})
@@ -514,12 +691,14 @@ func (s *Scheduler) scheduleSlot(r *bitmat.Matrix, slot int) {
 			// signals pass through unchanged.
 		}
 	}
+	s.finishSlot(slot, estStart, relStart)
+}
 
+// finishSlot is the shared slot epilogue: latch maintenance and activity
+// counters over the changes appended since (estStart, relStart).
+func (s *Scheduler) finishSlot(slot, estStart, relStart int) {
 	established := s.estBuf[estStart:]
 	released := s.relBuf[relStart:]
-	if len(established) > 0 || len(released) > 0 {
-		s.dirty = true
-	}
 	if s.p.LatchRequests {
 		for _, c := range established {
 			s.latch.Set(c.Src, c.Dst)
@@ -546,15 +725,29 @@ func (s *Scheduler) scheduleSlot(r *bitmat.Matrix, slot int) {
 // slices are scheduler-owned and valid until the next Pass or ScheduleSlot
 // call.
 func (s *Scheduler) Pass(r *bitmat.Matrix) PassResult {
+	return s.passProbed(r, nil)
+}
+
+// PassSparse is Pass taking the request matrix in sparse form. For the
+// paper algorithm it runs the sparse-path evaluation — cost proportional to
+// the active rows and their nonzeros instead of N²/64 words — and is
+// bit-identical to Pass over sp's dense form, memo cache included. The
+// alternative algorithms consume the dense backing either way.
+func (s *Scheduler) PassSparse(sp *bitmat.Sparse) PassResult {
+	return s.passProbed(sp.Matrix(), sp)
+}
+
+// passProbed wraps the pass body with probe emission when attached.
+func (s *Scheduler) passProbed(r *bitmat.Matrix, sp *bitmat.Sparse) PassResult {
 	if s.probe == nil {
-		return s.pass(r)
+		return s.pass(r, sp)
 	}
 	// The wrapper covers all three internal paths (no dynamic slots, cache
 	// replay, computed) identically, so traces match with the memo cache on
 	// or off.
 	now := s.now()
 	s.probe.Emit(probe.Event{Kind: probe.SchedPassBegin, At: now})
-	res := s.pass(r)
+	res := s.pass(r, sp)
 	for _, c := range res.Established {
 		s.probe.Emit(probe.Event{Kind: probe.ConnEstablished, At: now,
 			Src: int32(c.Src), Dst: int32(c.Dst), Slot: int32(c.Slot)})
@@ -568,8 +761,11 @@ func (s *Scheduler) Pass(r *bitmat.Matrix) PassResult {
 	return res
 }
 
-// pass is the probe-free body of Pass.
-func (s *Scheduler) pass(r *bitmat.Matrix) PassResult {
+// pass is the probe-free body of Pass. A non-nil sp must wrap r (sp.Matrix()
+// == r); it selects the sparse-path slot evaluation for the paper algorithm.
+// The memo cache keys on the dense form either way, so hit/miss sequences —
+// and therefore Stats — are identical across the two entry points.
+func (s *Scheduler) pass(r *bitmat.Matrix, sp *bitmat.Sparse) PassResult {
 	s.stats.Passes++
 	dyn := s.DynamicSlotCount()
 	if dyn == 0 {
@@ -594,6 +790,9 @@ func (s *Scheduler) pass(r *bitmat.Matrix) PassResult {
 	s.relBuf = s.relBuf[:0]
 	s.slotsBuf = s.slotsBuf[:0]
 	s.latchClrBuf = s.latchClrBuf[:0]
+	if sp != nil && s.p.Algorithm == AlgPaper {
+		s.computePendingMask(sp)
+	}
 	for c := 0; c < copies; c++ {
 		// Advance the SL cursor to the next dynamic slot.
 		var slot int
@@ -604,7 +803,7 @@ func (s *Scheduler) pass(r *bitmat.Matrix) PassResult {
 				break
 			}
 		}
-		s.scheduleSlot(r, slot)
+		s.dispatchSlot(r, sp, slot)
 		s.slotsBuf = append(s.slotsBuf, slot)
 	}
 	if s.p.RotatePriority {
@@ -662,9 +861,12 @@ func (s *Scheduler) LoadConfig(slot int, cfg *bitmat.Matrix, pin bool) error {
 	if !cfg.IsPartialPermutation() {
 		return fmt.Errorf("core: configuration for slot %d is not a partial permutation", slot)
 	}
-	s.configs[slot].CopyFrom(cfg)
+	s.clearSlot(slot)
+	cfg.Ones(func(u, v int) bool {
+		s.setConn(slot, u, v)
+		return true
+	})
 	s.pinned[slot] = pin
-	s.dirty = true
 	s.invalidate()
 	return nil
 }
@@ -700,20 +902,16 @@ func (s *Scheduler) AddBandwidth(src, dst, extra int) int {
 	}
 	added := 0
 	for slot := 0; slot < s.p.K && added < extra; slot++ {
-		if s.pinned[slot] || s.configs[slot].Get(src, dst) {
-			continue
-		}
-		if s.configs[slot].RowAny(src) || s.configs[slot].ColAny(dst) {
+		if s.pinned[slot] || s.rowDst[slot][src] >= 0 || s.colSrc[slot][dst] >= 0 {
 			continue
 		}
 		if s.p.CanEstablish != nil && !s.p.CanEstablish(s.configs[slot], src, dst) {
 			continue
 		}
-		s.configs[slot].Set(src, dst)
+		s.setConn(slot, src, dst)
 		added++
 	}
 	if added > 0 {
-		s.dirty = true
 		s.invalidate()
 	}
 	return added
@@ -731,15 +929,14 @@ func (s *Scheduler) Evict(src, dst int) int {
 		if s.pinned[slot] {
 			continue
 		}
-		if s.configs[slot].Get(src, dst) {
-			s.configs[slot].Clear(src, dst)
+		if s.rowDst[slot][src] == int32(dst) {
+			s.clearConn(slot, src, dst)
 			removed++
 		}
 	}
 	latched := s.latch.Get(src, dst)
 	s.latch.Clear(src, dst)
 	if removed > 0 {
-		s.dirty = true
 		s.stats.Evictions += uint64(removed)
 		s.stats.Released += uint64(removed)
 	}
@@ -766,23 +963,22 @@ func (s *Scheduler) EvictPort(p int) []Change {
 		if s.pinned[slot] {
 			continue
 		}
-		c := s.configs[slot]
-		if v := c.FirstInRow(p); v >= 0 {
-			c.Clear(p, v)
-			out = append(out, Change{Src: p, Dst: v, Slot: slot})
+		// Row side first, then column side, matching the original scan order.
+		// A self-loop p→p clears colSrc[p] with the row entry, so it is not
+		// reported twice.
+		if v := s.rowDst[slot][p]; v >= 0 {
+			s.clearConn(slot, p, int(v))
+			out = append(out, Change{Src: p, Dst: int(v), Slot: slot})
 		}
-		for u := 0; u < s.p.N; u++ {
-			if c.Get(u, p) {
-				c.Clear(u, p)
-				out = append(out, Change{Src: u, Dst: p, Slot: slot})
-			}
+		if u := s.colSrc[slot][p]; u >= 0 {
+			s.clearConn(slot, int(u), p)
+			out = append(out, Change{Src: int(u), Dst: p, Slot: slot})
 		}
 	}
 	for _, ch := range out {
 		s.latch.Clear(ch.Src, ch.Dst)
 	}
 	if len(out) > 0 {
-		s.dirty = true
 		s.stats.Evictions += uint64(len(out))
 		s.stats.Released += uint64(len(out))
 		s.invalidate()
@@ -803,11 +999,10 @@ func (s *Scheduler) EvictPort(p int) []Change {
 func (s *Scheduler) Flush() {
 	for slot := 0; slot < s.p.K; slot++ {
 		if !s.pinned[slot] {
-			s.configs[slot].Reset()
+			s.clearSlot(slot)
 		}
 	}
 	s.latch.Reset()
-	s.dirty = true
 	s.stats.Flushes++
 	s.invalidate()
 	if s.probe != nil {
@@ -818,11 +1013,10 @@ func (s *Scheduler) Flush() {
 // FlushAll clears everything, including pinned slots, and unpins them.
 func (s *Scheduler) FlushAll() {
 	for slot := 0; slot < s.p.K; slot++ {
-		s.configs[slot].Reset()
+		s.clearSlot(slot)
 		s.pinned[slot] = false
 	}
 	s.latch.Reset()
-	s.dirty = true
 	s.stats.Flushes++
 	s.invalidate()
 	if s.probe != nil {
@@ -836,9 +1030,11 @@ func (s *Scheduler) Latched(src, dst int) bool {
 }
 
 // CheckInvariants verifies the structural invariants of the scheduler state:
-// every configuration is a partial permutation and B* equals the OR of the
-// configurations. It returns an error describing the first violation. Tests
-// and the simulation's self-checks call this; it is cheap (O(K·N²/64)).
+// every configuration is a partial permutation, B* equals the OR of the
+// configurations, the per-pair slot index (rowDst/colSrc, occupancy masks,
+// counts) matches the matrices, and the sparse latch matches its dense
+// backing. It returns an error describing the first violation. Tests and the
+// simulation's self-checks call this; it is cheap (O(K·N²/64)).
 func (s *Scheduler) CheckInvariants() error {
 	for i, c := range s.configs {
 		if !c.IsPartialPermutation() {
@@ -853,9 +1049,41 @@ func (s *Scheduler) CheckInvariants() error {
 	for _, c := range s.configs {
 		want.Or(c)
 	}
-	s.refreshBStar()
 	if !s.bstar.Equal(want) {
 		return fmt.Errorf("core: B* out of sync with configurations")
+	}
+	for i, c := range s.configs {
+		count := 0
+		for u := 0; u < s.p.N; u++ {
+			v := c.FirstInRow(u)
+			if int(s.rowDst[i][u]) != v {
+				return fmt.Errorf("core: slot %d rowDst[%d]=%d, matrix says %d", i, u, s.rowDst[i][u], v)
+			}
+			if maskTest(s.cfgRowMask[i], u) != (v >= 0) {
+				return fmt.Errorf("core: slot %d row mask out of sync at input %d", i, u)
+			}
+			if v >= 0 {
+				count++
+				if int(s.colSrc[i][v]) != u {
+					return fmt.Errorf("core: slot %d colSrc[%d]=%d, matrix says %d", i, v, s.colSrc[i][v], u)
+				}
+			}
+		}
+		for v := 0; v < s.p.N; v++ {
+			has := c.ColAny(v)
+			if maskTest(s.cfgColMask[i], v) != has {
+				return fmt.Errorf("core: slot %d column mask out of sync at output %d", i, v)
+			}
+			if !has && s.colSrc[i][v] != -1 {
+				return fmt.Errorf("core: slot %d colSrc[%d]=%d, column is empty", i, v, s.colSrc[i][v])
+			}
+		}
+		if s.cfgCount[i] != count {
+			return fmt.Errorf("core: slot %d count %d, matrix holds %d", i, s.cfgCount[i], count)
+		}
+	}
+	if err := s.latch.CheckParity(); err != nil {
+		return fmt.Errorf("core: latch: %w", err)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"pmsnet/internal/bitmat"
+	"pmsnet/internal/runner"
 )
 
 func newTest(n, k int) *Scheduler {
@@ -662,5 +663,96 @@ func BenchmarkPass128Dense(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Pass(r)
+	}
+}
+
+// --- large-N scaling benches (dense vs sparse vs sharded passes) ---
+
+// benchSparseRequests builds the scale-out benchmark pattern: one random
+// destination per source, so the request matrix carries N nonzeros out of
+// N² cells (occupancy 1/N — 0.1% at N=1024, well under the 5% gate) — the
+// Solstice-style skew regime large multiprocessor request matrices live in.
+func benchSparseRequests(n int) (*bitmat.Matrix, *bitmat.Sparse) {
+	rng := rand.New(rand.NewSource(9))
+	r := bitmat.NewSquare(n)
+	sp := bitmat.NewSparse(n, n)
+	for i := 0; i < n; i++ {
+		v := rng.Intn(n)
+		if v != i {
+			r.Set(i, v)
+			sp.Set(i, v)
+		}
+	}
+	return r, sp
+}
+
+// benchPassScale measures the steady-state pass over a sparse request set:
+// after a warm-up sweep establishes the working set, each iteration is one
+// full scheduling pass whose cost is pure scanning — the axis the sparse
+// representation attacks. Memoization is off so the scheduling array runs
+// on every iteration in both variants.
+func benchPassScale(b *testing.B, n int, sparse bool, shards int) {
+	b.Helper()
+	p := Params{N: n, K: 4, RotatePriority: true, SkipEmptySlots: true}
+	if shards > 1 {
+		bounds := make([]int, shards+1)
+		for i := 1; i <= shards; i++ {
+			bounds[i] = i * n / shards
+		}
+		p.ShardBounds = bounds
+		pool := runner.NewPool(shards)
+		defer pool.Close()
+		p.ShardRun = pool.Run
+	}
+	s := MustScheduler(p)
+	r, sp := benchSparseRequests(n)
+	for pass := 0; pass < p.K; pass++ {
+		if sparse {
+			s.PassSparse(sp)
+		} else {
+			s.Pass(r)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sparse {
+			s.PassSparse(sp)
+		} else {
+			s.Pass(r)
+		}
+	}
+}
+
+func BenchmarkPass512Dense(b *testing.B)     { benchPassScale(b, 512, false, 0) }
+func BenchmarkPass512Sparse(b *testing.B)    { benchPassScale(b, 512, true, 0) }
+func BenchmarkPass1024Dense(b *testing.B)    { benchPassScale(b, 1024, false, 0) }
+func BenchmarkPass1024Sparse(b *testing.B)   { benchPassScale(b, 1024, true, 0) }
+func BenchmarkPass2048Dense(b *testing.B)    { benchPassScale(b, 2048, false, 0) }
+func BenchmarkPass2048Sparse(b *testing.B)   { benchPassScale(b, 2048, true, 0) }
+func BenchmarkPass1024Sharded8(b *testing.B) { benchPassScale(b, 1024, true, 8) }
+func BenchmarkPass2048Sharded8(b *testing.B) { benchPassScale(b, 2048, true, 8) }
+
+// BenchmarkSlotsOf1024 measures the per-pair slot index (satellite of the
+// scale-out issue): SlotsOf used to rescan all K configuration matrices per
+// call; the incrementally-maintained index answers from rowDst directly.
+func BenchmarkSlotsOf1024(b *testing.B) {
+	const n = 1024
+	s := MustScheduler(Params{N: n, K: 8, RotatePriority: true})
+	r, _ := benchSparseRequests(n)
+	for pass := 0; pass < 8; pass++ {
+		s.Pass(r)
+	}
+	pairs := make([][2]int, 0, n)
+	r.Ones(func(u, v int) bool {
+		pairs = append(pairs, [2]int{u, v})
+		return true
+	})
+	var buf []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		buf = s.AppendSlotsOf(buf[:0], p[0], p[1])
 	}
 }

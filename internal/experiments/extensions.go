@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pmsnet/internal/core"
 	"pmsnet/internal/fabric"
 	"pmsnet/internal/meshnet"
 	"pmsnet/internal/metrics"
@@ -261,6 +262,42 @@ func FabricBackendSweepExec(ex Exec, n, bytes int, seed int64) ([]NamedResult, e
 		}
 		return NamedResult{
 			Label:  fmt.Sprintf("%s on %s", p, fab),
+			Result: res,
+		}, nil
+	})
+}
+
+// SchedulerSweep runs dynamic TDM under every matching algorithm — the
+// paper's Tables 1–2 scheduler, iSLIP, and wavefront — over the paper's
+// four Figure 4 traffic patterns. All three produce maximal matchings, so
+// efficiency figures land close together; the interesting deltas are in the
+// scheduler counters (establishments vs evictions) where the rotation
+// disciplines differ.
+func SchedulerSweep(n, bytes int, seed int64) ([]NamedResult, error) {
+	return SchedulerSweepExec(Serial, n, bytes, seed)
+}
+
+// SchedulerSweepExec is SchedulerSweep with an explicit executor; each
+// (pattern, algorithm) pair is one sweep point.
+func SchedulerSweepExec(ex Exec, n, bytes int, seed int64) ([]NamedResult, error) {
+	panels := Panels()
+	algs := []core.Algorithm{core.AlgPaper, core.AlgISLIP, core.AlgWavefront}
+	return sweep(ex, len(panels)*len(algs), func(i int) (NamedResult, error) {
+		p, alg := panels[i/len(algs)], algs[i%len(algs)]
+		wl, err := p.Workload(n, bytes, seed)
+		if err != nil {
+			return NamedResult{}, err
+		}
+		nw, err := newTDM(tdm.Config{N: n, K: Fig4K, Algorithm: alg})
+		if err != nil {
+			return NamedResult{}, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return NamedResult{}, fmt.Errorf("experiments: %s with %s: %w", p, alg, err)
+		}
+		return NamedResult{
+			Label:  fmt.Sprintf("%s with %s", p, alg),
 			Result: res,
 		}, nil
 	})

@@ -51,6 +51,10 @@ func (o *Omega) Stages() int { return o.stages }
 // SwitchesPerStage returns N/2.
 func (o *Omega) SwitchesPerStage() int { return o.n / 2 }
 
+// Leaves returns the number of input-stage 2x2 switch elements, N/2 — the
+// natural sharding grain of the fabric's input side.
+func (o *Omega) Leaves() int { return o.n / 2 }
+
 // Settings holds one switch state per stage and switch: false = through,
 // true = cross. Only switches on active paths are meaningful; the Route
 // simulation treats unconstrained switches as through.

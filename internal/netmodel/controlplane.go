@@ -117,23 +117,28 @@ func (cp *ControlPlane) sendToken(label, retryLabel string, grant bool, deliver 
 // transitions written through Set appear in View one control delay later.
 // Events fire in order, so the view always equals the NIC state one control
 // delay ago — wire semantics. Fault reactions that must take effect
-// immediately (a failed port's requests vanishing with it) clear View
-// directly.
+// immediately (a failed port's requests vanishing with it) clear the view
+// through ClearNow, which keeps the sparse form in sync.
 type RequestWire struct {
 	eng   *sim.Engine
 	delay sim.Time
 	label string
-	view  *bitmat.Matrix
+	view  *bitmat.Sparse
 }
 
 // NewRequestWire builds an n×n request wire with the given propagation delay
 // and event label.
 func NewRequestWire(eng *sim.Engine, n int, delay sim.Time, label string) *RequestWire {
-	return &RequestWire{eng: eng, delay: delay, label: label, view: bitmat.NewSquare(n)}
+	return &RequestWire{eng: eng, delay: delay, label: label, view: bitmat.NewSparse(n, n)}
 }
 
-// View returns the delayed request matrix (live; do not retain across runs).
-func (w *RequestWire) View() *bitmat.Matrix { return w.view }
+// View returns the delayed request matrix (live; do not retain across runs,
+// and do not mutate — use Set/ClearNow).
+func (w *RequestWire) View() *bitmat.Matrix { return w.view.Matrix() }
+
+// ViewSparse returns the delayed request matrix in sparse form, same aliasing
+// rules as View.
+func (w *RequestWire) ViewSparse() *bitmat.Sparse { return w.view }
 
 // Set propagates a queue-state transition to the view after the wire delay.
 // The written value is the one sampled now.
@@ -145,6 +150,12 @@ func (w *RequestWire) Set(u, v int, val bool) {
 			w.view.Clear(u, v)
 		}
 	})
+}
+
+// ClearNow clears a view bit immediately, bypassing the wire delay — the
+// fault path where a failed port's requests vanish with the port.
+func (w *RequestWire) ClearNow(u, v int) {
+	w.view.Clear(u, v)
 }
 
 // PortEngine serializes each source NIC's output port: one message in flight

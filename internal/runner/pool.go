@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool for repeated small fan-outs inside a hot
+// loop — the per-leaf scheduler shards that match in parallel inside one
+// simulated TDM slot. Map spawns fresh goroutines per call, which is fine
+// for sweeps of whole simulations but too heavy to run every scheduling
+// pass; Pool keeps its workers parked between runs.
+//
+// Run is a barrier: it returns only after fn(i) completed for every
+// i in [0, n). Indices are claimed atomically, so fn must be safe to call
+// concurrently for distinct indices; the work itself must keep outputs
+// disjoint per index for the result to be deterministic.
+type Pool struct {
+	jobs    chan *poolJob
+	wg      sync.WaitGroup
+	workers int
+	closed  bool
+}
+
+type poolJob struct {
+	fn   func(int)
+	n    int
+	next atomic.Int64
+	done sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of worker goroutines (minimum
+// 1). Callers must Close it when done.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{jobs: make(chan *poolJob, workers), workers: workers}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				for {
+					i := int(job.next.Add(1)) - 1
+					if i >= job.n {
+						break
+					}
+					job.fn(i)
+					job.done.Done()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(i) for every i in [0, n) across the pool's workers and
+// returns once all calls completed. The calling goroutine participates, so a
+// Run never deadlocks even if the workers are saturated by another job.
+func (p *Pool) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	job := &poolJob{fn: fn, n: n}
+	job.done.Add(n)
+	// Wake up to n-1 parked workers; the caller claims indices too, below.
+	for w := 0; w < p.workers && w < n-1; w++ {
+		select {
+		case p.jobs <- job:
+		default:
+			// Queue full: every worker already has the chance to pick work up.
+		}
+	}
+	for {
+		i := int(job.next.Add(1)) - 1
+		if i >= job.n {
+			break
+		}
+		job.fn(i)
+		job.done.Done()
+	}
+	job.done.Wait()
+}
+
+// Close stops the workers. Run must not be called after Close; Close is
+// idempotent.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.wg.Wait()
+}

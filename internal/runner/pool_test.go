@@ -1,0 +1,42 @@
+package runner
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryIndexOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + trial%17
+		hits := make([]atomic.Int32, n)
+		p.Run(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("trial %d: index %d ran %d times", trial, i, got)
+			}
+		}
+	}
+}
+
+func TestPoolZeroAndSingle(t *testing.T) {
+	p := NewPool(0) // clamps to 1
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("workers %d, want 1", p.Workers())
+	}
+	p.Run(0, func(int) { t.Fatal("fn called for n=0") })
+	ran := false
+	p.Run(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("single index did not run")
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Run(8, func(int) {})
+	p.Close()
+	p.Close()
+}

@@ -100,7 +100,12 @@ func (r *run) onSLPass() {
 		r.reqMerge.Or(r.specReq)
 		req = r.reqMerge
 	}
-	res := r.sched.Pass(req)
+	var res core.PassResult
+	if r.useSparse {
+		res = r.sched.PassSparse(req)
+	} else {
+		res = r.sched.Pass(req.Matrix())
+	}
 	for _, c := range res.Established {
 		r.deliverGrant(c.Src, c.Dst, 0)
 		r.specReq.Clear(c.Src, c.Dst)

@@ -28,8 +28,8 @@ func (r *run) onPortDown(p int, permanent bool) {
 		if x == p {
 			continue
 		}
-		r.reqView.Clear(p, x)
-		r.reqView.Clear(x, p)
+		r.reqWire.ClearNow(p, x)
+		r.reqWire.ClearNow(x, p)
 		r.specReq.Clear(p, x)
 		r.specReq.Clear(x, p)
 	}
@@ -83,7 +83,7 @@ func (r *run) onCrosspointDead(in, out int) {
 			r.pred.OnRelease(topology.Conn{Src: in, Dst: out})
 		}
 	}
-	r.reqView.Clear(in, out)
+	r.reqWire.ClearNow(in, out)
 	r.specReq.Clear(in, out)
 	if r.pre != nil {
 		if r.pre.breakConn(topology.Conn{Src: in, Dst: out}) {

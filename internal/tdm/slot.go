@@ -42,11 +42,12 @@ func (r *run) onSlot() {
 	}
 	slotStart := r.eng.Now()
 	used := false
-	for u := 0; u < r.cfg.N; u++ {
-		v := cfg.FirstInRow(u)
-		if v < 0 {
-			continue
-		}
+	// Snapshot the slot's connections from the scheduler's slot index —
+	// O(connections), in the same ascending-row order as the former
+	// first-in-row scan over all N rows.
+	r.connsBuf = r.sched.AppendSlotConns(r.connsBuf[:0], slot)
+	for _, conn := range r.connsBuf {
+		u, v := conn.Src, conn.Dst
 		if r.grantAt[u][v] > slotStart {
 			// The grant for this freshly established connection has not
 			// reached the NIC yet; the slot passes unused for this port.

@@ -32,6 +32,7 @@ package tdm
 
 import (
 	"fmt"
+	"runtime"
 
 	"pmsnet/internal/bitmat"
 	"pmsnet/internal/core"
@@ -42,6 +43,7 @@ import (
 	"pmsnet/internal/netmodel"
 	"pmsnet/internal/predictor"
 	"pmsnet/internal/probe"
+	"pmsnet/internal/runner"
 	"pmsnet/internal/sim"
 	"pmsnet/internal/traffic"
 )
@@ -117,6 +119,24 @@ type Config struct {
 	AmplifyBytes int
 	// Fabric selects the switching-fabric backend (default crossbar).
 	Fabric fabric.Kind
+	// Algorithm selects the scheduler's matching algorithm (default: the
+	// paper-exact Tables 1–2 array). The alternatives (iSLIP, wavefront) are
+	// comparison baselines; only the paper algorithm is bit-pinned by the
+	// golden reports and memoized.
+	Algorithm core.Algorithm
+	// Sparse selects the sparse request-matrix path (default on): request
+	// wires and scheduling passes carry per-row nonzero lists alongside the
+	// dense words, so low-occupancy passes skip the dense word scans. Results
+	// are bit-identical either way; turn it off to benchmark the dense path
+	// or bisect a suspected sparsity defect.
+	Sparse *bool
+	// Shards caps the number of per-leaf scheduler shards for the paper
+	// algorithm's sparse pass: the pass precomputes change cells in parallel
+	// across leaf-aligned row shards, then merges grants serially in priority
+	// order, so results stay bit-identical to unsharded scheduling. Zero
+	// disables sharding. Sharding engages only on fabrics with a leaf seam
+	// (Leaves() > 1) under the paper algorithm with the sparse path on.
+	Shards int
 	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
 	Horizon sim.Time
 	// Faults, when non-nil and active, injects link failures, corrupted
@@ -157,6 +177,9 @@ func (c Config) withDefaults() Config {
 	if c.SLCopies == 0 {
 		c.SLCopies = 1
 	}
+	if c.Sparse == nil {
+		c.Sparse = boolPtr(true)
+	}
 	if c.Horizon == 0 {
 		c.Horizon = netmodel.DefaultHorizon
 	}
@@ -183,7 +206,13 @@ func (c Config) Validate() error {
 	if c.AmplifyBytes < 0 {
 		return fmt.Errorf("tdm: negative amplification threshold %d", c.AmplifyBytes)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("tdm: negative scheduler shard count %d", c.Shards)
+	}
 	if _, err := fabric.NewBackend(c.Fabric, c.N); err != nil {
+		return err
+	}
+	if _, err := core.ParseAlgorithm(c.Algorithm.String()); err != nil {
 		return err
 	}
 	switch c.Mode {
@@ -227,6 +256,9 @@ func (n *Network) Name() string {
 	if n.cfg.Fabric != fabric.KindCrossbar {
 		name += "/" + n.cfg.Fabric.String()
 	}
+	if n.cfg.Algorithm != core.AlgPaper {
+		name += "/" + n.cfg.Algorithm.String()
+	}
 	return name
 }
 
@@ -243,17 +275,27 @@ type run struct {
 	// fault-aware loss/backoff, one control delay per signal.
 	cp *netmodel.ControlPlane
 	// reqWire drives reqView, the request matrix as the scheduler sees it:
-	// NIC queue state delayed by the control-line latency.
+	// NIC queue state delayed by the control-line latency, maintained in
+	// sparse form (per-row nonzero lists over the dense words).
 	reqWire *netmodel.RequestWire
-	reqView *bitmat.Matrix
+	reqView *bitmat.Sparse
 	// specReq holds speculative requests injected by a prefetching
 	// predictor (predictor.Prefetcher): they are OR-ed into the request
 	// matrix until the connection establishes, then cleared — the latch
 	// keeps the connection alive from there.
-	specReq *bitmat.Matrix
+	specReq *bitmat.Sparse
 	// reqMerge is the reusable scratch for reqView|specReq so the per-pass
 	// merge does not allocate.
-	reqMerge *bitmat.Matrix
+	reqMerge *bitmat.Sparse
+	// useSparse selects PassSparse over Pass (Config.Sparse); results are
+	// bit-identical either way.
+	useSparse bool
+	// connsBuf is the reusable slot-connection snapshot of the data-plane
+	// grant loop.
+	connsBuf []core.Change
+	// pool runs scheduler shards in parallel (nil when sharding is off);
+	// closed when the run finishes.
+	pool *runner.Pool
 	// queued counts messages pending per (src, dst) pair.
 	queued *netmodel.PairQueues
 	// grantAt[u][v] is the earliest time NIC u may use a dynamically
@@ -317,6 +359,35 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 			return fab.CanRealize(trial)
 		}
 	}
+	// Per-leaf scheduler sharding engages only where it can help and cannot
+	// change results: the paper algorithm's sparse pass, on a fabric with a
+	// leaf seam. Shard bounds align to leaf boundaries (contiguous port
+	// ranges per leaf), and the shards run on a persistent worker pool.
+	var shardBounds []int
+	var shardRun func(int, func(int))
+	var pool *runner.Pool
+	if shards := cfg.Shards; shards > 1 && cfg.Algorithm == core.AlgPaper && *cfg.Sparse {
+		if leaves := fab.Leaves(); leaves > 1 {
+			if shards > leaves {
+				shards = leaves
+			}
+			portsPerLeaf := cfg.N / leaves
+			shardBounds = make([]int, shards+1)
+			for i := 1; i < shards; i++ {
+				shardBounds[i] = (i * leaves / shards) * portsPerLeaf
+			}
+			shardBounds[shards] = cfg.N
+			workers := shards
+			if g := runtime.GOMAXPROCS(0); workers > g {
+				workers = g
+			}
+			pool = runner.NewPool(workers)
+			shardRun = pool.Run
+		}
+	}
+	if pool != nil {
+		defer pool.Close()
+	}
 	sched, err := core.NewScheduler(core.Params{
 		N:              cfg.N,
 		K:              cfg.K,
@@ -326,24 +397,29 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		LatchRequests:  pred != nil,
 		CanEstablish:   canEstablish,
 		Memoize:        *cfg.SchedCache,
+		Algorithm:      cfg.Algorithm,
+		ShardBounds:    shardBounds,
+		ShardRun:       shardRun,
 	})
 	if err != nil {
 		return metrics.Result{}, err
 	}
 	reqWire := netmodel.NewRequestWire(eng, cfg.N, cfg.Link.ControlDelay(), "request-wire")
 	r := &run{
-		cfg:      cfg,
-		eng:      eng,
-		fab:      fab,
-		sched:    sched,
-		pred:     pred,
-		reqWire:  reqWire,
-		reqView:  reqWire.View(),
-		specReq:  bitmat.NewSquare(cfg.N),
-		reqMerge: bitmat.NewSquare(cfg.N),
-		queued:   netmodel.NewPairQueues(cfg.N),
-		grantAt:  make([][]sim.Time, cfg.N),
-		probe:    cfg.Probe,
+		cfg:       cfg,
+		eng:       eng,
+		fab:       fab,
+		sched:     sched,
+		pred:      pred,
+		reqWire:   reqWire,
+		reqView:   reqWire.ViewSparse(),
+		specReq:   bitmat.NewSparse(cfg.N, cfg.N),
+		reqMerge:  bitmat.NewSparse(cfg.N, cfg.N),
+		useSparse: *cfg.Sparse,
+		pool:      pool,
+		queued:    netmodel.NewPairQueues(cfg.N),
+		grantAt:   make([][]sim.Time, cfg.N),
+		probe:     cfg.Probe,
 	}
 	if cfg.Probe != nil {
 		sched.SetProbe(cfg.Probe, eng.Now)
@@ -440,6 +516,12 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 func (r *run) checkInvariants() error {
 	if err := r.sched.CheckInvariants(); err != nil {
 		return err
+	}
+	if err := r.reqView.CheckParity(); err != nil {
+		return fmt.Errorf("tdm: request wire: %w", err)
+	}
+	if err := r.specReq.CheckParity(); err != nil {
+		return fmt.Errorf("tdm: speculative requests: %w", err)
 	}
 	if u, v, q, bad := r.queued.Negative(); bad {
 		return fmt.Errorf("tdm: negative queue count %d for %d->%d", q, u, v)

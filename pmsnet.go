@@ -40,6 +40,7 @@ import (
 
 	"pmsnet/internal/circuit"
 	"pmsnet/internal/compiler"
+	"pmsnet/internal/core"
 	"pmsnet/internal/fabric"
 	"pmsnet/internal/fault"
 	"pmsnet/internal/meshnet"
@@ -280,6 +281,74 @@ var fabricKinds = [...]fabric.Kind{
 	FabricBenes:    fabric.KindBenes,
 }
 
+// Scheduler selects the matching algorithm the TDM scheduler runs each pass.
+// The baselines model their own arbitration and ignore it.
+type Scheduler int
+
+// Scheduling algorithms.
+const (
+	// SchedulerPaper is the paper-exact Tables 1–2 scheduling array (the
+	// default): the change matrix L resolved by the N×N scheduling-logic
+	// cells against the propagating port-availability signals.
+	SchedulerPaper Scheduler = iota
+	// SchedulerISLIP is iSLIP (McKeown 1999, the Tiny Tera scheduler):
+	// iterative request–grant–accept matching with desynchronizing
+	// round-robin pointers, ~log2(N) iterations per pass.
+	SchedulerISLIP
+	// SchedulerWavefront is wavefront matching (after Tamir & Chi's
+	// symmetric crossbar arbiters): requests resolved along conflict-free
+	// anti-diagonals swept in rotated order.
+	SchedulerWavefront
+)
+
+// String implements fmt.Stringer with the cmd/pmsim -sched vocabulary.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerPaper:
+		return "paper"
+	case SchedulerISLIP:
+		return "islip"
+	case SchedulerWavefront:
+		return "wavefront"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// schedulerValues lists every valid scheduler, in flag-name order.
+var schedulerValues = []Scheduler{SchedulerPaper, SchedulerISLIP, SchedulerWavefront}
+
+// SchedulerNames returns the canonical names accepted by ParseScheduler, in a
+// stable order — the vocabulary of the cmd/pmsim -sched flag.
+func SchedulerNames() []string {
+	out := make([]string, len(schedulerValues))
+	for i, v := range schedulerValues {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// ParseScheduler is the inverse of Scheduler.String: it maps a canonical
+// algorithm name ("paper", "islip", "wavefront") back to its value. Unknown
+// names produce an error listing every valid name.
+func ParseScheduler(name string) (Scheduler, error) {
+	for _, v := range schedulerValues {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("pmsnet: unknown scheduler %q (valid: %s)",
+		name, strings.Join(SchedulerNames(), ", "))
+}
+
+// schedulerAlgs maps the public Scheduler vocabulary onto the internal
+// algorithm values, indexed by Scheduler value.
+var schedulerAlgs = [...]core.Algorithm{
+	SchedulerPaper:     core.AlgPaper,
+	SchedulerISLIP:     core.AlgISLIP,
+	SchedulerWavefront: core.AlgWavefront,
+}
+
 // Config selects and parameterizes a network.
 type Config struct {
 	// Switching selects the paradigm.
@@ -317,6 +386,21 @@ type Config struct {
 	// FabricOmega; setting it alongside a different non-crossbar Fabric is
 	// a configuration error.
 	OmegaFabric bool
+	// Scheduler selects the matching algorithm for the TDM modes: the
+	// paper-exact scheduling array (the zero value), iSLIP, or wavefront
+	// matching. Only the paper algorithm is bit-pinned by the golden
+	// reports; the alternatives are comparison baselines. The non-TDM
+	// baselines ignore the field.
+	Scheduler Scheduler
+	// SchedShards caps the number of per-leaf scheduler shards for the TDM
+	// modes: scheduling passes precompute change cells in parallel across
+	// leaf-aligned port shards, then merge grants serially in priority
+	// order, so results are bit-identical to unsharded scheduling (the
+	// Report does not change; only wall-clock cost does, which is why the
+	// field is excluded from Config.Hash). Zero disables sharding. Sharding
+	// engages only on fabrics with a leaf seam (Clos, Omega, Benes) under
+	// the paper scheduler.
+	SchedShards int
 	// Faults, when non-nil and active, injects faults per the plan: link
 	// failures (MTBF/MTTR or scripted), corrupted payloads caught by the
 	// receiving NIC's CRC, lost scheduler request/grant tokens and dead
@@ -431,6 +515,20 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "Fabric", Value: c.Fabric.String(),
 			Reason: "conflicts with the deprecated OmegaFabric flag"}
 	}
+	knownSched := false
+	for _, v := range schedulerValues {
+		if c.Scheduler == v {
+			knownSched = true
+			break
+		}
+	}
+	if !knownSched {
+		return &ConfigError{Field: "Scheduler", Value: int(c.Scheduler),
+			Reason: fmt.Sprintf("unknown scheduler (valid: %s)", strings.Join(SchedulerNames(), ", "))}
+	}
+	if c.SchedShards < 0 {
+		return &ConfigError{Field: "SchedShards", Value: c.SchedShards, Reason: "must not be negative"}
+	}
 	switch c.Switching {
 	case DynamicTDM, PreloadTDM, HybridTDM:
 		if _, err := fabric.NewBackend(fabricKinds[c.effectiveFabric()], c.N); err != nil {
@@ -512,6 +610,8 @@ func (c Config) network() (netmodel.Network, error) {
 		}
 		cfg := tdm.Config{N: c.N, K: c.K, NewPredictor: pf, AmplifyBytes: c.AmplifyBytes, Faults: c.Faults, SchedCache: c.SchedCache, Probe: c.Probe}
 		cfg.Fabric = fabricKinds[c.effectiveFabric()]
+		cfg.Algorithm = schedulerAlgs[c.Scheduler]
+		cfg.Shards = c.SchedShards
 		switch c.Switching {
 		case PreloadTDM:
 			cfg.Mode = tdm.Preload

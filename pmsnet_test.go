@@ -2,6 +2,7 @@ package pmsnet
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -102,6 +103,67 @@ func TestFabricStringsAndParse(t *testing.T) {
 	}
 	if got := strings.Join(FabricNames(), ","); got != "crossbar,omega,clos,benes" {
 		t.Errorf("FabricNames() = %q", got)
+	}
+}
+
+func TestSchedulerStringsAndParse(t *testing.T) {
+	names := map[Scheduler]string{
+		SchedulerPaper:     "paper",
+		SchedulerISLIP:     "islip",
+		SchedulerWavefront: "wavefront",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+		got, err := ParseScheduler(want)
+		if err != nil || got != s {
+			t.Errorf("ParseScheduler(%q) = %v, %v; want %v", want, got, err, s)
+		}
+	}
+	if Scheduler(99).String() == "" {
+		t.Error("unknown scheduler should render")
+	}
+	if _, err := ParseScheduler("pim"); err == nil ||
+		!strings.Contains(err.Error(), "paper, islip, wavefront") {
+		t.Errorf("ParseScheduler should list the vocabulary, got %v", err)
+	}
+	if got := strings.Join(SchedulerNames(), ","); got != "paper,islip,wavefront" {
+		t.Errorf("SchedulerNames() = %q", got)
+	}
+}
+
+func TestSchedulerConfigValidation(t *testing.T) {
+	wl := ScatterWorkload(8, 64)
+	var cerr *ConfigError
+	if _, err := Run(Config{Switching: DynamicTDM, N: 8, Scheduler: Scheduler(9)}, wl); !errors.As(err, &cerr) {
+		t.Errorf("unknown scheduler: got %v, want a *ConfigError", err)
+	}
+	if _, err := Run(Config{Switching: DynamicTDM, N: 8, SchedShards: -1}, wl); !errors.As(err, &cerr) {
+		t.Errorf("negative SchedShards: got %v, want a *ConfigError", err)
+	}
+}
+
+func TestRunSchedulerAlgorithms(t *testing.T) {
+	// End-to-end dynamic TDM through the facade under every matching
+	// algorithm. The alternatives deliver the full workload too; only the
+	// paper algorithm keeps the undecorated network name.
+	wl := RandomMesh(16, 64, 6, 2)
+	for _, s := range []Scheduler{SchedulerPaper, SchedulerISLIP, SchedulerWavefront} {
+		rep, err := Run(Config{Switching: DynamicTDM, N: 16, K: 4, Scheduler: s}, wl)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if rep.Messages != wl.Messages() || rep.Bytes != wl.TotalBytes() {
+			t.Fatalf("%v: conservation violated: %+v", s, rep)
+		}
+		wantName := "tdm-dynamic/k=4"
+		if s != SchedulerPaper {
+			wantName += "/" + s.String()
+		}
+		if rep.Network != wantName {
+			t.Fatalf("%v: network name %q, want %q", s, rep.Network, wantName)
+		}
 	}
 }
 
