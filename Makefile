@@ -93,6 +93,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzPlan -fuzztime=30s ./internal/fault/
 	$(GO) test -run=NONE -fuzz=FuzzSchedCache -fuzztime=30s ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzSparseParity -fuzztime=30s ./internal/bitmat/
+	$(GO) test -run=NONE -fuzz=FuzzWarmStartParity -fuzztime=30s ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzClosRoute -fuzztime=30s ./internal/multistage/
 
 figures:

@@ -10,9 +10,11 @@
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_1.json
 //
 // With -compare BASELINE.json it additionally diffs the fresh run against a
-// previously captured JSON document and exits non-zero when any benchmark
-// regressed by more than -threshold percent (default 20) in ns/op or
-// allocs/op — the regression gate behind `make bench-compare`.
+// previously captured JSON document, printing one line per shared benchmark
+// and watched metric with its percent delta and an ok/improved/REGRESSION
+// verdict, and exits non-zero when any benchmark regressed by more than
+// -threshold percent (default 20) in ns/op or allocs/op — the regression
+// gate behind `make bench-compare`.
 package main
 
 import (
@@ -100,8 +102,9 @@ func loadBaseline(path string) ([]Benchmark, error) {
 // costs, so they are reported informally but never gate.
 var comparedMetrics = []string{"ns/op", "allocs/op"}
 
-// compare diffs the fresh run against the baseline and reports every shared
-// benchmark whose ns/op or allocs/op grew by more than threshold percent.
+// compare diffs the fresh run against the baseline: every shared benchmark
+// gets one line per watched metric with its percent delta and a verdict —
+// "ok" within the threshold, "improved" below it, "REGRESSION" above it.
 // It returns the number of regressed (benchmark, metric) pairs. Benchmarks
 // present on only one side are noted but never count as regressions —
 // renames and new benchmarks must not break the gate.
@@ -127,13 +130,16 @@ func compare(baseline, fresh []Benchmark, threshold float64, w io.Writer) int {
 				continue
 			}
 			pct := deltaPercent(old, now)
+			verdict := "ok"
 			switch {
 			case pct > threshold:
 				regressions++
-				fmt.Fprintf(w, "  REGRESSION %s %s: %s -> %s (%+.1f%%)\n", f.Name, unit, fmtNum(old), fmtNum(now), pct)
+				verdict = "REGRESSION"
 			case pct < -threshold:
-				fmt.Fprintf(w, "  improved   %s %s: %s -> %s (%+.1f%%)\n", f.Name, unit, fmtNum(old), fmtNum(now), pct)
+				verdict = "improved"
 			}
+			fmt.Fprintf(w, "  %-10s %s %s: %s -> %s (%+.1f%%)\n",
+				verdict, f.Name, unit, fmtNum(old), fmtNum(now), pct)
 		}
 	}
 	for name := range base {

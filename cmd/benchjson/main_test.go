@@ -72,8 +72,9 @@ func TestCompareFlagsRegressions(t *testing.T) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
 	}
-	if strings.Contains(out, "BenchmarkSteady ns/op") {
-		t.Errorf("within-threshold drift reported as notable:\n%s", out)
+	// Within-threshold drift still gets its delta line, tagged ok.
+	if !strings.Contains(out, "ok         BenchmarkSteady ns/op: 200 -> 230 (+15.0%)") {
+		t.Errorf("within-threshold delta not reported with an ok verdict:\n%s", out)
 	}
 }
 

@@ -109,6 +109,46 @@ func TestGoldenReportBitIdentity(t *testing.T) {
 	}
 }
 
+// TestGoldenWarmStartReportBitIdentity extends the 40 golden pins to
+// warm-started scheduling: with SchedWarmStart on, every TDM case must still
+// reproduce the seed Report byte for byte once the warm telemetry counters —
+// the only fields allowed to move — are zeroed. Run with -race in CI.
+func TestGoldenWarmStartReportBitIdentity(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_reports.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run GoldenReport -update`): %v", err)
+	}
+	var want map[string]Report
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	wls := goldenWorkloads(t)
+	wlOrder := []string{"scatter", "ordered-mesh", "random-mesh", "all-to-all", "two-phase"}
+	for _, sw := range []Switching{DynamicTDM, PreloadTDM, HybridTDM} {
+		for _, wname := range wlOrder {
+			wl := wls[wname]
+			if sw == PreloadTDM || sw == HybridTDM {
+				an, _, err := AnalyzeWorkload(wl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wl = an
+			}
+			cfg := Config{Switching: sw, N: 16, K: 4, PreloadSlots: 1, SchedWarmStart: true}
+			rep, err := Run(cfg, wl)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sw, wname, err)
+			}
+			rep.Sched.WarmHits, rep.Sched.WarmMisses, rep.Sched.DirtyRows = 0, 0, 0
+			name := fmt.Sprintf("%s/%s", sw, wname)
+			if rep != want[name] {
+				t.Errorf("%s: warm-started report drifted from seed\n got: %+v\nwant: %+v",
+					name, rep, want[name])
+			}
+		}
+	}
+}
+
 // TestGoldenShardedReportBitIdentity extends the golden pins to per-leaf
 // sharded scheduling: on leafed fabrics, every shard count must reproduce
 // the unsharded Report byte for byte, over the same Switching×workload

@@ -21,9 +21,9 @@ import (
 // (K=0 hashes like the documented K=4, a nil SchedCache like the enabled
 // default), the deprecated OmegaFabric flag is folded into the effective
 // fabric, and an inactive fault plan hashes like no plan at all. Fields that
-// never change the Report are excluded: Parallelism, SchedShards and Probe
-// only affect how a run executes and what observes it, all proven
-// bit-identical by the identity test suites.
+// never change the Report are excluded: Parallelism, SchedShards,
+// SchedWarmStart and Probe only affect how a run executes and what observes
+// it, all proven bit-identical by the identity test suites.
 func (c Config) Hash() uint64 {
 	c = c.withDefaults()
 	h := fnv.New64a()

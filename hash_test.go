@@ -159,6 +159,11 @@ func TestConfigHashIgnoresExecutionOnlyFields(t *testing.T) {
 	if base.Hash() != withShards.Hash() {
 		t.Error("SchedShards changed the hash; sharded scheduling is bit-identical")
 	}
+	withWarm := hashBaseConfig()
+	withWarm.SchedWarmStart = true
+	if base.Hash() != withWarm.Hash() {
+		t.Error("SchedWarmStart changed the hash; warm-started scheduling is bit-identical")
+	}
 }
 
 func TestWorkloadHash(t *testing.T) {

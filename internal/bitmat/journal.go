@@ -1,0 +1,111 @@
+// Delta journal: an opt-in record of the cell mutations applied to a Sparse
+// since the last snapshot, consumed by the scheduler's warm-started pass
+// (internal/core/warmpass.go) to re-evaluate only the rows that changed
+// between two passes instead of rescanning the whole matrix.
+//
+// The journal funnels through Set/Clear — the only cell mutators — so it can
+// never miss a change. Bulk mutators (Reset, CopyFrom) cannot enumerate their
+// deltas cheaply; they mark the journal incomplete instead, and the consumer
+// falls back to a full rebuild. Or funnels through Set and needs no special
+// handling.
+package bitmat
+
+// journalCellCap bounds the per-cell log. The dirty-row mask is exact
+// regardless; beyond the cap only the cell list stops growing (Truncated),
+// so a burst of churn between snapshots degrades the log, never correctness.
+const journalCellCap = 4096
+
+// JournalCell is one recorded mutation: bit (Row, Col) transitioned to Set.
+type JournalCell struct {
+	Row, Col int
+	Set      bool
+}
+
+// Journal records the mutations applied to its Sparse since the last
+// ResetJournal. All views are live and read-only for callers.
+type Journal struct {
+	cells     []uint64 // packed row<<32 | col<<1 | set, in mutation order
+	dirty     []uint64 // row mask: rows with at least one recorded mutation
+	dirtyRows []int32  // rows in first-dirtied order, for O(changes) reset
+	complete  bool     // dirty covers every change since the last reset
+	truncated bool     // cell log hit journalCellCap and stopped recording
+}
+
+// EnableJournal attaches a delta journal to the matrix. Mutations from this
+// point on are recorded until ResetJournal; enabling twice is a no-op.
+func (s *Sparse) EnableJournal() {
+	if s.j != nil {
+		return
+	}
+	s.j = &Journal{
+		dirty:    make([]uint64, len(s.rowMask)),
+		complete: true,
+	}
+}
+
+// Journal returns the attached journal, or nil when journaling is off.
+func (s *Sparse) Journal() *Journal { return s.j }
+
+// ResetJournal snapshots the matrix: the journal forgets all recorded
+// mutations and starts clean. Cost is O(changes since the last reset), not
+// O(rows). A no-op without a journal.
+func (s *Sparse) ResetJournal() {
+	j := s.j
+	if j == nil {
+		return
+	}
+	for _, r := range j.dirtyRows {
+		MaskClear(j.dirty, int(r))
+	}
+	j.dirtyRows = j.dirtyRows[:0]
+	j.cells = j.cells[:0]
+	j.complete = true
+	j.truncated = false
+}
+
+// record logs one cell mutation. Callers (Set/Clear) guarantee the bit
+// actually changed.
+func (j *Journal) record(i, jj int, set bool) {
+	if !MaskTest(j.dirty, i) {
+		MaskSet(j.dirty, i)
+		j.dirtyRows = append(j.dirtyRows, int32(i))
+	}
+	if len(j.cells) < journalCellCap {
+		v := uint64(i)<<32 | uint64(uint32(jj))<<1
+		if set {
+			v |= 1
+		}
+		j.cells = append(j.cells, v)
+	} else {
+		j.truncated = true
+	}
+}
+
+// bulk marks the journal incomplete after a mutation whose deltas were not
+// enumerated (Reset, CopyFrom). Consumers must treat the whole matrix as
+// changed until the next ResetJournal.
+func (j *Journal) bulk() {
+	j.complete = false
+	j.truncated = true
+}
+
+// DirtyRows returns the live row mask of rows mutated since the last reset.
+// Meaningful only while Complete reports true.
+func (j *Journal) DirtyRows() []uint64 { return j.dirty }
+
+// Complete reports whether the dirty-row mask covers every change since the
+// last reset. Bulk mutations (Reset, CopyFrom) make it false.
+func (j *Journal) Complete() bool { return j.complete }
+
+// Truncated reports whether the per-cell log overflowed (or a bulk mutation
+// voided it); the dirty-row mask stays exact while Complete holds.
+func (j *Journal) Truncated() bool { return j.truncated }
+
+// Len returns the number of recorded cells.
+func (j *Journal) Len() int { return len(j.cells) }
+
+// Cell returns recorded cell k in mutation order.
+func (j *Journal) Cell(k int) JournalCell {
+	v := j.cells[k]
+	return JournalCell{Row: int(v >> 32), Col: int(uint32(v) >> 1), Set: v&1 != 0}
+}

@@ -1,0 +1,139 @@
+package bitmat
+
+import "testing"
+
+// checkJournal verifies journal coherence of s against the snapshot taken at
+// its last ResetJournal: while the journal is complete, the dirty-row mask
+// must cover every row that differs from the snapshot, and — unless the cell
+// log truncated — replaying the log over the snapshot must reproduce s.
+func checkJournal(t *testing.T, s, snap *Sparse) {
+	t.Helper()
+	j := s.Journal()
+	if j == nil {
+		t.Fatal("journal not attached")
+	}
+	if !j.Complete() {
+		return // a bulk mutation voided it; consumers rebuild
+	}
+	for i := 0; i < s.Matrix().Rows(); i++ {
+		if MaskTest(j.DirtyRows(), i) {
+			continue
+		}
+		sw, nw := s.Matrix().RowWords(i), snap.Matrix().RowWords(i)
+		for k := range sw {
+			if sw[k] != nw[k] {
+				t.Fatalf("row %d drifted from snapshot but is not journal-dirty", i)
+			}
+		}
+	}
+	if j.Truncated() {
+		return
+	}
+	replayed := NewSparse(snap.Matrix().Rows(), snap.Matrix().Cols())
+	replayed.CopyFrom(snap)
+	for k := 0; k < j.Len(); k++ {
+		c := j.Cell(k)
+		if c.Set {
+			replayed.Set(c.Row, c.Col)
+		} else {
+			replayed.Clear(c.Row, c.Col)
+		}
+	}
+	if !replayed.Matrix().Equal(s.Matrix()) {
+		t.Fatal("cell-log replay of the snapshot does not reproduce the matrix")
+	}
+}
+
+func TestJournalRecordsAndResets(t *testing.T) {
+	s := NewSparse(70, 70)
+	if s.Journal() != nil {
+		t.Fatal("journal attached before EnableJournal")
+	}
+	s.EnableJournal()
+	j := s.Journal()
+	if !j.Complete() || j.Len() != 0 {
+		t.Fatalf("fresh journal: complete=%v len=%d", j.Complete(), j.Len())
+	}
+
+	s.Set(3, 5)
+	s.Set(3, 5) // no-op: must not be recorded
+	s.Set(65, 1)
+	s.Clear(3, 5)
+	if j.Len() != 3 {
+		t.Fatalf("recorded %d cells, want 3", j.Len())
+	}
+	wantCells := []JournalCell{{3, 5, true}, {65, 1, true}, {3, 5, false}}
+	for k, want := range wantCells {
+		if got := j.Cell(k); got != want {
+			t.Errorf("cell %d: got %+v, want %+v", k, got, want)
+		}
+	}
+	for _, row := range []int{3, 65} {
+		if !MaskTest(j.DirtyRows(), row) {
+			t.Errorf("row %d not dirty", row)
+		}
+	}
+	if MaskTest(j.DirtyRows(), 5) {
+		t.Error("row 5 dirty without a mutation")
+	}
+
+	s.ResetJournal()
+	if j.Len() != 0 || !j.Complete() || j.Truncated() {
+		t.Fatalf("after reset: len=%d complete=%v truncated=%v", j.Len(), j.Complete(), j.Truncated())
+	}
+	for _, row := range []int{3, 65} {
+		if MaskTest(j.DirtyRows(), row) {
+			t.Errorf("row %d still dirty after reset", row)
+		}
+	}
+}
+
+func TestJournalBulkMutationsVoidIt(t *testing.T) {
+	s := NewSparse(8, 8)
+	s.EnableJournal()
+	s.Set(1, 1)
+	s.Reset()
+	if s.Journal().Complete() {
+		t.Error("Reset left the journal complete")
+	}
+	s.ResetJournal()
+	other := NewSparse(8, 8)
+	other.Set(2, 2)
+	s.CopyFrom(other)
+	if s.Journal().Complete() {
+		t.Error("CopyFrom left the journal complete")
+	}
+	// Or funnels through Set, so it stays journaled cell by cell.
+	s.ResetJournal()
+	s.Or(other) // already set: no-op, nothing recorded
+	third := NewSparse(8, 8)
+	third.Set(4, 7)
+	s.Or(third)
+	j := s.Journal()
+	if !j.Complete() || j.Len() != 1 || j.Cell(0) != (JournalCell{4, 7, true}) {
+		t.Errorf("Or journaling: complete=%v len=%d", j.Complete(), j.Len())
+	}
+}
+
+func TestJournalCellCapKeepsDirtyMaskExact(t *testing.T) {
+	s := NewSparse(64, 64)
+	s.EnableJournal()
+	for k := 0; k < journalCellCap+10; k++ {
+		i, jj := k%64, (k/64)%64
+		if s.Get(i, jj) {
+			s.Clear(i, jj)
+		} else {
+			s.Set(i, jj)
+		}
+	}
+	j := s.Journal()
+	if !j.Truncated() {
+		t.Fatal("cell log did not truncate past the cap")
+	}
+	if !j.Complete() {
+		t.Fatal("truncation must not void the dirty-row mask")
+	}
+	if j.Len() != journalCellCap {
+		t.Fatalf("cell log holds %d entries, cap is %d", j.Len(), journalCellCap)
+	}
+}

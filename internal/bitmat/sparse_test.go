@@ -122,8 +122,11 @@ func TestSparseMatchesDenseRandom(t *testing.T) {
 
 // FuzzSparseParity drives a Sparse and a plain Matrix through the same
 // fuzzer-chosen op sequence and requires word-for-word agreement, list/mask
-// coherence, and rotated-iteration agreement between AppendMaskOnesFrom over
-// the row mask and a dense row-occupancy recomputation.
+// coherence, rotated-iteration agreement between AppendMaskOnesFrom over
+// the row mask and a dense row-occupancy recomputation, and delta-journal
+// coherence: the dirty-row mask must cover every row that drifted from the
+// last snapshot, and the cell log must replay the snapshot into the current
+// state.
 func FuzzSparseParity(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(8), uint8(8))
 	f.Add([]byte{0xff, 0x00, 0x80, 0x7f}, uint8(65), uint8(3))
@@ -132,11 +135,13 @@ func FuzzSparseParity(f *testing.F) {
 		rows := 1 + int(rows8)%96
 		cols := 1 + int(cols8)%96
 		s := NewSparse(rows, cols)
+		s.EnableJournal()
 		d := New(rows, cols)
+		snap := NewSparse(rows, cols) // state at the last ResetJournal
 		for k := 0; k+2 < len(ops); k += 3 {
 			i := int(ops[k]) % rows
 			j := int(ops[k+1]) % cols
-			switch ops[k+2] % 8 {
+			switch ops[k+2] % 9 {
 			case 0, 1, 2, 3:
 				s.Set(i, j)
 				d.Set(i, j)
@@ -146,11 +151,15 @@ func FuzzSparseParity(f *testing.F) {
 			case 7:
 				s.Reset()
 				d.Reset()
+			case 8:
+				s.ResetJournal()
+				snap.CopyFrom(s)
 			}
 		}
 		if !s.Matrix().Equal(d) {
 			t.Fatal("dense forms diverged")
 		}
+		checkJournal(t, s, snap)
 		if err := s.CheckParity(); err != nil {
 			t.Fatal(err)
 		}

@@ -24,6 +24,7 @@ func drivePair(t errorfer, rng *rand.Rand, n, passes int, dense, other *Schedule
 	feed func(s *Scheduler, r *bitmat.Matrix, sp *bitmat.Sparse) PassResult) bool {
 	r := bitmat.NewSquare(n)
 	sp := bitmat.NewSparse(n, n)
+	sp.EnableJournal() // consumed by the warm feed; inert for the others
 	for pass := 0; pass < passes; pass++ {
 		// Random occupancy per pass, biased low to exercise the sparse
 		// fast path, with occasional dense bursts.
@@ -121,8 +122,13 @@ func schedStatesEqual(t errorfer, a, b *Scheduler) bool {
 			return false
 		}
 	}
-	if a.Stats() != b.Stats() {
-		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	// Warm counters are pure telemetry, documented to differ between warm-on
+	// and warm-off runs; everything else must match exactly.
+	as, bs := a.Stats(), b.Stats()
+	as.WarmHits, as.WarmMisses, as.DirtyRows = 0, 0, 0
+	bs.WarmHits, bs.WarmMisses, bs.DirtyRows = 0, 0, 0
+	if as != bs {
+		t.Errorf("stats diverged: %+v vs %+v", as, bs)
 		return false
 	}
 	return true

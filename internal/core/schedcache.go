@@ -139,11 +139,13 @@ func (s *Scheduler) replay(e *passEntry) PassResult {
 		s.setConn(c.Slot, c.Src, c.Dst)
 	}
 	if s.p.LatchRequests {
+		// Through the latch funnels, so a replay dirties the warm-path rows
+		// exactly like the computed pass it stands in for.
 		for _, c := range e.est {
-			s.latch.Set(c.Src, c.Dst)
+			s.latchSet(c.Src, c.Dst)
 		}
 		for _, p := range e.latchClr {
-			s.latch.Clear(int(p>>16), int(p&0xffff))
+			s.latchClear(int(p>>16), int(p&0xffff))
 		}
 	}
 	s.stats.Established += uint64(len(e.est))

@@ -99,6 +99,12 @@ type Params struct {
 	// work on distinct goroutines only — the scheduler guarantees shards
 	// touch disjoint state during the parallel phase.
 	ShardRun func(n int, fn func(int))
+	// WarmStart enables the warm-started incremental pass (warmpass.go):
+	// PassWarm seeds each pass from the state the previous pass left behind
+	// and re-evaluates only the dirty-row closure, consuming the request
+	// matrix's delta journal. Bit-identical to the cold pass; paper algorithm
+	// only (withDefaults forces it off otherwise, like Memoize).
+	WarmStart bool
 }
 
 // withDefaults normalizes zero values.
@@ -110,6 +116,9 @@ func (p Params) withDefaults() Params {
 		// The memo cache key covers (state, cursors, R); iSLIP's grant/accept
 		// pointers live outside it, and wavefront gains little from replay.
 		p.Memoize = false
+		// The warm masks encode the paper's Table 1 terms; the alternative
+		// matchers evaluate the dense request form directly.
+		p.WarmStart = false
 	}
 	return p
 }
@@ -180,6 +189,14 @@ type Stats struct {
 	// cache-on and cache-off runs.
 	CacheHits   uint64
 	CacheMisses uint64
+	// WarmHits counts warm passes served incrementally, WarmMisses full mask
+	// rebuilds, and DirtyRows the rows re-evaluated across incremental
+	// passes (zero unless Params.WarmStart). Like the cache counters, they
+	// are pure telemetry: the only counters allowed to differ between
+	// warm-on and warm-off runs.
+	WarmHits   uint64
+	WarmMisses uint64
+	DirtyRows  uint64
 }
 
 // Scheduler is the TDM connection scheduler. It is not safe for concurrent
@@ -238,6 +255,9 @@ type Scheduler struct {
 	rowCellPos []int32
 	rowCellLen []int32
 	rowShard   []int32
+
+	// Warm-start state (warmpass.go); nil unless Params.WarmStart.
+	warm *warmState
 
 	// Alternative-algorithm scratch (match.go); nil for AlgPaper.
 	match *matchState
@@ -313,6 +333,16 @@ func NewScheduler(p Params) (*Scheduler, error) {
 			}
 		}
 	}
+	if p.WarmStart {
+		s.warm = &warmState{
+			pending: make([]uint64, occWords),
+			dirty:   make([]uint64, occWords),
+			stale:   make([][]uint64, p.K),
+		}
+		for i := range s.warm.stale {
+			s.warm.stale[i] = make([]uint64, occWords)
+		}
+	}
 	if p.Algorithm != AlgPaper {
 		s.match = newMatchState(p)
 	}
@@ -333,6 +363,7 @@ func (s *Scheduler) setConn(slot, u, v int) {
 	maskSet(s.cfgColMask[slot], v)
 	s.cfgCount[slot]++
 	s.bstar.Set(u, v)
+	s.warmDirty(u)
 }
 
 // clearConn releases u→v from a slot. The connection must be present there.
@@ -348,6 +379,21 @@ func (s *Scheduler) clearConn(slot, u, v int) {
 	if s.slotCountOf(u, v) == 0 {
 		s.bstar.Clear(u, v)
 	}
+	s.warmDirty(u)
+}
+
+// latchSet and latchClear are the latch-mutation funnels: every latch bit
+// change flows through them (finishSlot, cache replay, evictions) so the
+// warm path sees the row as dirty. Flush paths bulk-reset the latch and
+// call warmInvalidate instead.
+func (s *Scheduler) latchSet(u, v int) {
+	s.latch.Set(u, v)
+	s.warmDirty(u)
+}
+
+func (s *Scheduler) latchClear(u, v int) {
+	s.latch.Clear(u, v)
+	s.warmDirty(u)
 }
 
 // clearSlot releases every connection of a slot through clearConn, in
@@ -701,13 +747,13 @@ func (s *Scheduler) finishSlot(slot, estStart, relStart int) {
 	released := s.relBuf[relStart:]
 	if s.p.LatchRequests {
 		for _, c := range established {
-			s.latch.Set(c.Src, c.Dst)
+			s.latchSet(c.Src, c.Dst)
 		}
 		for _, c := range released {
 			// Released connections (evicted or flushed) lose their latch if
 			// they are gone from every slot.
 			if s.slotCountOf(c.Src, c.Dst) == 0 {
-				s.latch.Clear(c.Src, c.Dst)
+				s.latchClear(c.Src, c.Dst)
 				s.latchClrBuf = append(s.latchClrBuf, uint32(c.Src)<<16|uint32(c.Dst))
 			}
 		}
@@ -725,7 +771,7 @@ func (s *Scheduler) finishSlot(slot, estStart, relStart int) {
 // slices are scheduler-owned and valid until the next Pass or ScheduleSlot
 // call.
 func (s *Scheduler) Pass(r *bitmat.Matrix) PassResult {
-	return s.passProbed(r, nil)
+	return s.passProbed(r, nil, false)
 }
 
 // PassSparse is Pass taking the request matrix in sparse form. For the
@@ -734,20 +780,20 @@ func (s *Scheduler) Pass(r *bitmat.Matrix) PassResult {
 // bit-identical to Pass over sp's dense form, memo cache included. The
 // alternative algorithms consume the dense backing either way.
 func (s *Scheduler) PassSparse(sp *bitmat.Sparse) PassResult {
-	return s.passProbed(sp.Matrix(), sp)
+	return s.passProbed(sp.Matrix(), sp, false)
 }
 
 // passProbed wraps the pass body with probe emission when attached.
-func (s *Scheduler) passProbed(r *bitmat.Matrix, sp *bitmat.Sparse) PassResult {
+func (s *Scheduler) passProbed(r *bitmat.Matrix, sp *bitmat.Sparse, warm bool) PassResult {
 	if s.probe == nil {
-		return s.pass(r, sp)
+		return s.pass(r, sp, warm)
 	}
 	// The wrapper covers all three internal paths (no dynamic slots, cache
 	// replay, computed) identically, so traces match with the memo cache on
 	// or off.
 	now := s.now()
 	s.probe.Emit(probe.Event{Kind: probe.SchedPassBegin, At: now})
-	res := s.pass(r, sp)
+	res := s.pass(r, sp, warm)
 	for _, c := range res.Established {
 		s.probe.Emit(probe.Event{Kind: probe.ConnEstablished, At: now,
 			Src: int32(c.Src), Dst: int32(c.Dst), Slot: int32(c.Slot)})
@@ -762,10 +808,12 @@ func (s *Scheduler) passProbed(r *bitmat.Matrix, sp *bitmat.Sparse) PassResult {
 }
 
 // pass is the probe-free body of Pass. A non-nil sp must wrap r (sp.Matrix()
-// == r); it selects the sparse-path slot evaluation for the paper algorithm.
-// The memo cache keys on the dense form either way, so hit/miss sequences —
-// and therefore Stats — are identical across the two entry points.
-func (s *Scheduler) pass(r *bitmat.Matrix, sp *bitmat.Sparse) PassResult {
+// == r); it selects the sparse-path slot evaluation for the paper algorithm,
+// and warm additionally selects the warm-started mask preparation (tier 2;
+// the memo cache, tier 1, is consulted before either). The memo cache keys
+// on the dense form every way, so hit/miss sequences — and therefore Stats —
+// are identical across the entry points.
+func (s *Scheduler) pass(r *bitmat.Matrix, sp *bitmat.Sparse, warm bool) PassResult {
 	s.stats.Passes++
 	dyn := s.DynamicSlotCount()
 	if dyn == 0 {
@@ -791,7 +839,12 @@ func (s *Scheduler) pass(r *bitmat.Matrix, sp *bitmat.Sparse) PassResult {
 	s.slotsBuf = s.slotsBuf[:0]
 	s.latchClrBuf = s.latchClrBuf[:0]
 	if sp != nil && s.p.Algorithm == AlgPaper {
-		s.computePendingMask(sp)
+		if warm && s.warm != nil {
+			s.warmPrepare(sp)
+			s.warm.passActive = true
+		} else {
+			s.computePendingMask(sp)
+		}
 	}
 	for c := 0; c < copies; c++ {
 		// Advance the SL cursor to the next dynamic slot.
@@ -805,6 +858,9 @@ func (s *Scheduler) pass(r *bitmat.Matrix, sp *bitmat.Sparse) PassResult {
 		}
 		s.dispatchSlot(r, sp, slot)
 		s.slotsBuf = append(s.slotsBuf, slot)
+	}
+	if s.warm != nil {
+		s.warm.passActive = false
 	}
 	if s.p.RotatePriority {
 		s.rot = (s.rot + 1) % s.p.N
@@ -935,7 +991,9 @@ func (s *Scheduler) Evict(src, dst int) int {
 		}
 	}
 	latched := s.latch.Get(src, dst)
-	s.latch.Clear(src, dst)
+	if latched {
+		s.latchClear(src, dst)
+	}
 	if removed > 0 {
 		s.stats.Evictions += uint64(removed)
 		s.stats.Released += uint64(removed)
@@ -976,7 +1034,7 @@ func (s *Scheduler) EvictPort(p int) []Change {
 		}
 	}
 	for _, ch := range out {
-		s.latch.Clear(ch.Src, ch.Dst)
+		s.latchClear(ch.Src, ch.Dst)
 	}
 	if len(out) > 0 {
 		s.stats.Evictions += uint64(len(out))
@@ -1003,6 +1061,7 @@ func (s *Scheduler) Flush() {
 		}
 	}
 	s.latch.Reset()
+	s.warmInvalidate()
 	s.stats.Flushes++
 	s.invalidate()
 	if s.probe != nil {
@@ -1017,6 +1076,7 @@ func (s *Scheduler) FlushAll() {
 		s.pinned[slot] = false
 	}
 	s.latch.Reset()
+	s.warmInvalidate()
 	s.stats.Flushes++
 	s.invalidate()
 	if s.probe != nil {
@@ -1085,5 +1145,5 @@ func (s *Scheduler) CheckInvariants() error {
 	if err := s.latch.CheckParity(); err != nil {
 		return fmt.Errorf("core: latch: %w", err)
 	}
-	return nil
+	return s.checkWarmInvariants()
 }

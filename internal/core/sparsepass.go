@@ -94,10 +94,16 @@ func (s *Scheduler) scheduleSlotSparse(sp *bitmat.Sparse, slot int) {
 	// A row can hold an L cell only if it has an unserved request (the
 	// pending mask — a row whose requests are all realized in B* cannot
 	// yield an establish), a latched request, or a connection in this slot.
+	// On a warm-prepared pass the incrementally-maintained masks give the
+	// exact support instead: pending (over Reff, so latch rows are folded
+	// in) plus this slot's stale rows (see warmpass.go).
 	am := s.activeMask
-	spMask := s.pendingMask
-	cfgMask := s.cfgRowMask[slot]
-	if s.p.LatchRequests {
+	if w := s.warm; w != nil && w.passActive {
+		st := w.stale[slot]
+		for k := range am {
+			am[k] = w.pending[k] | st[k]
+		}
+	} else if spMask, cfgMask := s.pendingMask, s.cfgRowMask[slot]; s.p.LatchRequests {
 		lm := s.latch.RowMask()
 		for w := range am {
 			am[w] = spMask[w] | lm[w] | cfgMask[w]

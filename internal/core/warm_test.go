@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmsnet/internal/bitmat"
+)
+
+// Warm-start identity suite: PassWarm is a pure performance feature, so the
+// pinned property is bit-identity — same PassResults, same final state —
+// against the dense cold pass, under every parameter the warm masks interact
+// with (rotation, latching, SL copies, the memo cache, fabric constraints,
+// evictions, preloads and flushes).
+
+// TestQuickWarmColdParity drives a warm-started scheduler and a dense cold
+// one through the same random request churn and eviction sequence.
+func TestQuickWarmColdParity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, n := randomPairParams(rng)
+		warm := p
+		warm.WarmStart = true
+		dense := MustScheduler(p)
+		warmSched := MustScheduler(warm)
+		return drivePair(t, rng, n, 25, dense, warmSched,
+			func(s *Scheduler, _ *bitmat.Matrix, sp *bitmat.Sparse) PassResult {
+				return s.PassWarm(sp)
+			})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWarmShardedParity composes the two scale-out features: the warm
+// masks feed the sharded slot evaluation unchanged.
+func TestQuickWarmShardedParity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, n := randomPairParams(rng)
+		warm := p
+		warm.WarmStart = true
+		warm.ShardBounds = randomBounds(rng, n)
+		dense := MustScheduler(p)
+		warmSched := MustScheduler(warm)
+		return drivePair(t, rng, n, 25, dense, warmSched,
+			func(s *Scheduler, _ *bitmat.Matrix, sp *bitmat.Sparse) PassResult {
+				return s.PassWarm(sp)
+			})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmStartCounters pins the telemetry semantics: the first warm pass is
+// a full rebuild (miss), stable traffic converges to incremental hits with
+// zero dirty rows, and request churn re-dirties exactly the touched rows.
+func TestWarmStartCounters(t *testing.T) {
+	const n = 32
+	s := MustScheduler(Params{N: n, K: 4, WarmStart: true, RotatePriority: true})
+	sp := bitmat.NewSparse(n, n)
+	sp.EnableJournal()
+	for i := 0; i < n; i++ {
+		if v := (i + 1) % n; v != i {
+			sp.Set(i, v)
+		}
+	}
+	s.PassWarm(sp)
+	if st := s.Stats(); st.WarmMisses != 1 || st.WarmHits != 0 {
+		t.Fatalf("first pass: %+v, want one rebuild", st)
+	}
+	// The first pass established connections (dirtying their rows); drive to
+	// steady state, then expect hits with zero new dirty rows.
+	for i := 0; i < 4; i++ {
+		s.PassWarm(sp)
+	}
+	before := s.Stats()
+	if before.WarmHits != 4 || before.WarmMisses != 1 {
+		t.Fatalf("after settle: %+v", before)
+	}
+	s.PassWarm(sp)
+	after := s.Stats()
+	if after.WarmHits != before.WarmHits+1 || after.DirtyRows != before.DirtyRows {
+		t.Fatalf("steady pass re-evaluated rows: before %+v after %+v", before, after)
+	}
+	// One toggled request dirties exactly one row.
+	sp.Clear(0, 1)
+	s.PassWarm(sp)
+	final := s.Stats()
+	if final.DirtyRows != after.DirtyRows+1 {
+		t.Fatalf("one-cell churn: dirty rows %d -> %d, want +1", after.DirtyRows, final.DirtyRows)
+	}
+}
+
+// TestWarmStartRebuildTriggers pins every fallback to a full rebuild: a
+// request matrix without a journal, a bulk mutation voiding the journal, a
+// different matrix pointer, and a flush.
+func TestWarmStartRebuildTriggers(t *testing.T) {
+	const n = 16
+	newReq := func(journal bool) *bitmat.Sparse {
+		sp := bitmat.NewSparse(n, n)
+		if journal {
+			sp.EnableJournal()
+		}
+		for i := 0; i < n-1; i++ {
+			sp.Set(i, i+1)
+		}
+		return sp
+	}
+	misses := func(s *Scheduler) uint64 { return s.Stats().WarmMisses }
+
+	s := MustScheduler(Params{N: n, K: 2, WarmStart: true})
+	bare := newReq(false)
+	s.PassWarm(bare)
+	s.PassWarm(bare)
+	if got := misses(s); got != 2 {
+		t.Errorf("journal-less matrix: %d rebuilds over 2 passes, want 2", got)
+	}
+
+	s = MustScheduler(Params{N: n, K: 2, WarmStart: true})
+	sp := newReq(true)
+	s.PassWarm(sp)
+	sp.Reset() // bulk: journal incomplete
+	s.PassWarm(sp)
+	if got := misses(s); got != 2 {
+		t.Errorf("bulk reset: %d rebuilds, want 2", got)
+	}
+
+	s = MustScheduler(Params{N: n, K: 2, WarmStart: true})
+	s.PassWarm(newReq(true))
+	s.PassWarm(newReq(true)) // different matrix identity
+	if got := misses(s); got != 2 {
+		t.Errorf("matrix swap: %d rebuilds, want 2", got)
+	}
+
+	s = MustScheduler(Params{N: n, K: 2, WarmStart: true})
+	sp = newReq(true)
+	s.PassWarm(sp)
+	s.Flush() // latch bulk reset invalidates the warm masks
+	s.PassWarm(sp)
+	if got := misses(s); got != 2 {
+		t.Errorf("flush: %d rebuilds, want 2", got)
+	}
+}
+
+// TestPassWarmWithoutWarmStartDegrades pins the graceful path: PassWarm on a
+// scheduler built without Params.WarmStart behaves exactly like PassSparse
+// and keeps the warm counters at zero.
+func TestPassWarmWithoutWarmStartDegrades(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, n := randomPairParams(rng)
+		dense := MustScheduler(p)
+		cold := MustScheduler(p)
+		ok := drivePair(t, rng, n, 10, dense, cold,
+			func(s *Scheduler, _ *bitmat.Matrix, sp *bitmat.Sparse) PassResult {
+				return s.PassWarm(sp)
+			})
+		st := cold.Stats()
+		return ok && st.WarmHits == 0 && st.WarmMisses == 0 && st.DirtyRows == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonPaperAlgorithmsDisableWarmStart pins the withDefaults guard, the
+// warm twin of the Memoize one.
+func TestNonPaperAlgorithmsDisableWarmStart(t *testing.T) {
+	for _, alg := range []Algorithm{AlgISLIP, AlgWavefront} {
+		p := Params{N: 8, K: 2, Algorithm: alg, WarmStart: true}.withDefaults()
+		if p.WarmStart {
+			t.Errorf("%v: WarmStart survived withDefaults", alg)
+		}
+	}
+	p := Params{N: 8, K: 2, Algorithm: AlgPaper, WarmStart: true}.withDefaults()
+	if !p.WarmStart {
+		t.Error("paper algorithm must keep WarmStart")
+	}
+}
+
+// FuzzWarmStartParity drives a warm scheduler and a cold dense one through a
+// fuzzer-chosen sequence of request churn, evictions, port evictions,
+// bandwidth amplification, preloads and flushes, requiring lockstep pass
+// results, identical visible state and clean invariants (which include the
+// warm-mask coherence check) at every step.
+func FuzzWarmStartParity(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 40, 5, 6, 0x80, 9}, uint8(12), uint8(3), uint8(0))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0x22, 0x11}, uint8(20), uint8(4), uint8(7))
+	f.Add([]byte{}, uint8(4), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, ops []byte, n8, k8, flags uint8) {
+		n := 2 + int(n8)%30
+		k := 1 + int(k8)%4
+		p := Params{
+			N:              n,
+			K:              k,
+			SLCopies:       1 + int(flags)%k,
+			RotatePriority: flags&4 != 0,
+			SkipEmptySlots: flags&8 != 0,
+			LatchRequests:  flags&16 != 0,
+			Memoize:        flags&32 != 0,
+		}
+		warm := p
+		warm.WarmStart = true
+		dense := MustScheduler(p)
+		ws := MustScheduler(warm)
+		r := bitmat.NewSquare(n)
+		sp := bitmat.NewSparse(n, n)
+		sp.EnableJournal()
+		for i := 0; i+2 < len(ops); i += 3 {
+			u, v := int(ops[i])%n, int(ops[i+1])%n
+			switch op := ops[i+2] % 16; {
+			case op < 6: // raise request
+				r.Set(u, v)
+				sp.Set(u, v)
+			case op < 9: // drop request
+				r.Clear(u, v)
+				sp.Clear(u, v)
+			case op < 13: // scheduling pass
+				want := dense.Pass(r)
+				got := ws.PassWarm(sp)
+				if !passResultsEqual(want, got) {
+					t.Fatalf("op %d: pass diverged:\n cold %+v\n warm %+v", i, want, got)
+				}
+			case op == 13: // predictor eviction
+				dense.Evict(u, v)
+				ws.Evict(u, v)
+			case op == 14: // fault-style port eviction or amplification
+				if ops[i]&1 == 0 {
+					dense.EvictPort(u)
+					ws.EvictPort(u)
+				} else if dense.Connected(u, v) {
+					dense.AddBandwidth(u, v, 1)
+					ws.AddBandwidth(u, v, 1)
+				}
+			default: // phase flush
+				dense.Flush()
+				ws.Flush()
+			}
+			if err := ws.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: warm invariants: %v", i, err)
+			}
+		}
+		if !schedStatesEqual(t, dense, ws) {
+			t.Fatal("final states diverged")
+		}
+	})
+}
+
+// --- warm-path scaling benches (BENCH_5 additions) ---
+
+// benchPassWarm measures the steady-state warm pass: after the working set
+// settles, a fixed pool of churn cells is toggled each iteration (0 = fully
+// idle steady state) and one warm pass runs. The pool is fixed so the live
+// request set stays bounded at any benchtime — the scenario is "few rows
+// change per pass", not "requests accumulate forever". The cold sparse
+// equivalents of these scenarios are the BenchmarkPassNSparse entries.
+func benchPassWarm(b *testing.B, n, churn int) {
+	b.Helper()
+	s := MustScheduler(Params{N: n, K: 4, RotatePriority: true, SkipEmptySlots: true, WarmStart: true})
+	_, sp := benchSparseRequests(n)
+	sp.EnableJournal()
+	for pass := 0; pass < 4; pass++ {
+		s.PassWarm(sp)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < churn; c++ {
+			u := (c * 37) % n
+			v := (u + 2) % n
+			if sp.Get(u, v) {
+				sp.Clear(u, v)
+			} else {
+				sp.Set(u, v)
+			}
+		}
+		s.PassWarm(sp)
+	}
+}
+
+func BenchmarkPass512Warm(b *testing.B)        { benchPassWarm(b, 512, 0) }
+func BenchmarkPass1024Warm(b *testing.B)       { benchPassWarm(b, 1024, 0) }
+func BenchmarkPass2048Warm(b *testing.B)       { benchPassWarm(b, 2048, 0) }
+func BenchmarkPass1024WarmChurn4(b *testing.B) { benchPassWarm(b, 1024, 4) }
+func BenchmarkPass2048WarmChurn4(b *testing.B) { benchPassWarm(b, 2048, 4) }

@@ -1,0 +1,281 @@
+// Warm-started pass evaluation for the paper algorithm.
+//
+// A cold sparse pass (sparsepass.go) rebuilds its pending-row mask from the
+// whole request matrix every time — O(occupied rows) per pass even when
+// nothing changed since the previous one. The warm path seeds each pass from
+// the state the previous pass left behind and re-derives only the dirty-row
+// closure: rows whose requests changed since the last pass (reported by the
+// request matrix's delta journal), plus rows whose scheduler-side state —
+// grants, latches, per-pair slot index — was mutated by evictions, preloads,
+// cache replays or the passes themselves (marked at the setConn/clearConn
+// and latch funnels). Steady-state cost is O(changed rows), not O(N).
+//
+// The per-slot active mask it produces is exact, not a superset: row u of
+// the change matrix L = (B(s) &^ Reff) | (Reff &^ B*) is nonempty iff
+//
+//   - pending(u): row u of Reff &^ B* is nonempty (the establish term), or
+//   - stale(s,u): slot s connects u→v (rowDst, at most one per row in a
+//     partial permutation) with (u,v) ∉ Reff (the release term).
+//
+// Note pending is defined over Reff = R | latch, not R alone: a preload can
+// replace a slot's connections while their latches survive, stranding latch
+// bits outside B* — the cold path covers those rows with a separate
+// latch-row term in its active mask; the warm mask folds them into pending.
+//
+// Determinism argument. The masks are computed at pass entry, but a pass
+// mutates state as it schedules (SLCopies slots in sequence). The pass-entry
+// masks remain supersets of the true support at every later slot's
+// evaluation: R is fixed for the pass; an establish adds a latch bit only
+// alongside the matching B* bit (no new pending); a release (u,v) requires
+// (u,v) ∉ Reff at release time and no in-pass mutation can re-add (u,v) to
+// Reff, so the freed B* bit creates no pending either; and a slot's own
+// rowDst is untouched until that slot is evaluated, while its latch bits
+// cannot be cleared early (a latch clear requires the pair gone from every
+// slot). Rows visited beyond the live support contribute zero change cells,
+// and the shared sparse slot body visits rows in the identical rotated order
+// with the identical live Table 2 checks — so a warm pass is bit-identical
+// to the cold sparse pass, which is bit-identical to the dense one.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pmsnet/internal/bitmat"
+	"pmsnet/internal/probe"
+)
+
+// warmState is the cross-pass scheduler state of the warm path. The masks
+// describe the scheduler+request state as of the last warm pass, except for
+// rows flagged in dirty (scheduler-side mutations since) and rows flagged in
+// the request matrix's journal (request-side mutations since).
+type warmState struct {
+	req        *bitmat.Sparse // matrix the masks were derived from
+	valid      bool           // false until the first pass and after bulk resets
+	passActive bool           // a warm-prepared pass is running; slot evals use the warm masks
+	pending    []uint64       // rows of Reff with a request realized nowhere
+	stale      [][]uint64     // [slot]: rows whose slot connection is no longer in Reff
+	dirty      []uint64       // rows whose masks need recomputation at the next warm pass
+}
+
+// warmDirty flags a row for recomputation at the next warm pass. It sits on
+// the setConn/clearConn/latch funnels, so every scheduler-side mutation of a
+// row's B*, slot index or latch state lands here — including memo-cache
+// replays and out-of-band mutations (Evict, AddBandwidth, LoadConfig).
+func (s *Scheduler) warmDirty(u int) {
+	if s.warm != nil {
+		s.warm.dirty[u>>6] |= 1 << (uint(u) & 63)
+	}
+}
+
+// warmInvalidate discards the warm masks entirely; the next warm pass does a
+// full rebuild. Flush paths use it: latch.Reset clears rows the dirty mask
+// never saw.
+func (s *Scheduler) warmInvalidate() {
+	if s.warm != nil {
+		s.warm.valid = false
+	}
+}
+
+// PassWarm is PassSparse evaluated through the warm-started incremental path
+// when Params.WarmStart is on (without it, it degrades to PassSparse). The
+// request matrix should carry a delta journal (bitmat.Sparse.EnableJournal);
+// without one — or after a bulk mutation voided it, or when sp is not the
+// matrix of the previous warm pass — the pass falls back to a full mask
+// rebuild and warm-starts from there. Results are bit-identical to Pass and
+// PassSparse either way, memo cache included: the cache (tier 1, exact
+// replay) is consulted first, and the warm path only replaces the cold
+// mask computation of a computed pass (tier 2).
+func (s *Scheduler) PassWarm(sp *bitmat.Sparse) PassResult {
+	return s.passProbed(sp.Matrix(), sp, true)
+}
+
+// warmPrepare brings the warm masks up to date with the current scheduler
+// and request state, consuming (and resetting) the request journal. After it
+// returns, pending and stale[slot] are exact and dirty is clear.
+func (s *Scheduler) warmPrepare(sp *bitmat.Sparse) {
+	w := s.warm
+	jr := sp.Journal()
+	if !w.valid || w.req != sp || jr == nil || !jr.Complete() {
+		s.warmRebuild(sp)
+		if jr != nil {
+			sp.ResetJournal()
+		}
+		s.stats.WarmMisses++
+		if s.probe != nil {
+			s.probe.Emit(probe.Event{Kind: probe.SchedWarmPass, At: s.now(), Aux: -1})
+		}
+		return
+	}
+	dirty := w.dirty
+	for i, dw := range jr.DirtyRows() {
+		dirty[i] |= dw
+	}
+	sp.ResetJournal()
+	rows := 0
+	for wi := range dirty {
+		word := dirty[wi]
+		if word == 0 {
+			continue
+		}
+		dirty[wi] = 0
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			s.warmRefreshRow(sp, wi*64+b)
+			rows++
+		}
+	}
+	s.stats.WarmHits++
+	s.stats.DirtyRows += uint64(rows)
+	if s.probe != nil {
+		s.probe.Emit(probe.Event{Kind: probe.SchedWarmPass, At: s.now(), Aux: int64(rows), ID: 1})
+	}
+}
+
+// warmRebuild recomputes every mask from scratch: pending over the occupied
+// rows of R (and the latch), stale over each slot's connected rows.
+func (s *Scheduler) warmRebuild(sp *bitmat.Sparse) {
+	w := s.warm
+	for i := range w.pending {
+		w.pending[i] = 0
+		w.dirty[i] = 0
+	}
+	for _, st := range w.stale {
+		for i := range st {
+			st[i] = 0
+		}
+	}
+	rm := sp.RowMask()
+	var lm []uint64
+	if s.p.LatchRequests {
+		lm = s.latch.RowMask()
+	}
+	for wi := range rm {
+		word := rm[wi]
+		if lm != nil {
+			word |= lm[wi]
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			u := wi*64 + b
+			if s.warmPendingRow(sp, u) {
+				maskSet(w.pending, u)
+			}
+		}
+	}
+	for slot := 0; slot < s.p.K; slot++ {
+		for wi, word := range s.cfgRowMask[slot] {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				u := wi*64 + b
+				if s.warmStaleRow(sp, slot, u) {
+					maskSet(w.stale[slot], u)
+				}
+			}
+		}
+	}
+	w.req = sp
+	w.valid = true
+}
+
+// warmRefreshRow recomputes one dirty row's pending bit and its stale bit in
+// every slot. O(row nonzeros + K).
+func (s *Scheduler) warmRefreshRow(sp *bitmat.Sparse, u int) {
+	w := s.warm
+	if s.warmPendingRow(sp, u) {
+		maskSet(w.pending, u)
+	} else {
+		maskClear(w.pending, u)
+	}
+	for slot := 0; slot < s.p.K; slot++ {
+		if s.warmStaleRow(sp, slot, u) {
+			maskSet(w.stale[slot], u)
+		} else {
+			maskClear(w.stale[slot], u)
+		}
+	}
+}
+
+// warmPendingRow reports whether row u of Reff &^ B* is nonempty, with the
+// same adaptive list/word split as the cold computePendingMask.
+func (s *Scheduler) warmPendingRow(sp *bitmat.Sparse, u int) bool {
+	nnz := len(sp.Row(u))
+	if s.p.LatchRequests {
+		nnz += len(s.latch.Row(u))
+	}
+	if nnz >= s.wordRowMin {
+		reqRow := sp.Matrix().RowWords(u)
+		bsRow := s.bstar.RowWords(u)
+		var latchRow []uint64
+		if s.p.LatchRequests {
+			latchRow = s.latch.Matrix().RowWords(u)
+		}
+		for k, rw := range reqRow {
+			if latchRow != nil {
+				rw |= latchRow[k]
+			}
+			if rw&^bsRow[k] != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range sp.Row(u) {
+		if !s.bstar.Get(u, int(v)) {
+			return true
+		}
+	}
+	if s.p.LatchRequests {
+		for _, v := range s.latch.Row(u) {
+			if !s.bstar.Get(u, int(v)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// warmStaleRow reports whether slot `slot` connects u to a destination no
+// longer in Reff. Maintained for pinned slots too — pinning is a scheduling
+// gate, not a row-state change, so PinSlot needs no warm bookkeeping.
+func (s *Scheduler) warmStaleRow(sp *bitmat.Sparse, slot, u int) bool {
+	v := s.rowDst[slot][u]
+	if v < 0 {
+		return false
+	}
+	vv := int(v)
+	return !sp.Get(u, vv) && !(s.p.LatchRequests && s.latch.Get(u, vv))
+}
+
+// checkWarmInvariants verifies the warm masks against a fresh recomputation
+// for every row not awaiting a recompute (scheduler-dirty or journal-dirty
+// rows are allowed to lag by construction). Called from CheckInvariants; the
+// check is skipped while the masks are invalid, unbuilt, or the journal
+// cannot vouch for the request matrix.
+func (s *Scheduler) checkWarmInvariants() error {
+	w := s.warm
+	if w == nil || !w.valid || w.req == nil {
+		return nil
+	}
+	jr := w.req.Journal()
+	if jr == nil || !jr.Complete() {
+		return nil
+	}
+	for u := 0; u < s.p.N; u++ {
+		if maskTest(w.dirty, u) || bitmat.MaskTest(jr.DirtyRows(), u) {
+			continue
+		}
+		if got, want := maskTest(w.pending, u), s.warmPendingRow(w.req, u); got != want {
+			return fmt.Errorf("core: warm pending mask row %d is %v, want %v", u, got, want)
+		}
+		for slot := 0; slot < s.p.K; slot++ {
+			if got, want := maskTest(w.stale[slot], u), s.warmStaleRow(w.req, slot, u); got != want {
+				return fmt.Errorf("core: warm stale mask slot %d row %d is %v, want %v", slot, u, got, want)
+			}
+		}
+	}
+	return nil
+}

@@ -41,6 +41,14 @@ type NetStats struct {
 	// not model state — every other field is bit-identical whether the
 	// cache is on or off.
 	SchedCacheHits, SchedCacheMisses uint64
+	// SchedWarmHits / SchedWarmMisses count warm-started scheduling passes:
+	// hits repaired the previous pass's masks incrementally from the request
+	// journal, misses rebuilt them from scratch. SchedDirtyRows totals the
+	// rows re-evaluated across incremental passes. Zero unless warm-start
+	// scheduling is enabled; like the cache counters these are pure
+	// performance telemetry — the only fields allowed to differ between
+	// warm-on and warm-off runs.
+	SchedWarmHits, SchedWarmMisses, SchedDirtyRows uint64
 	// SlotsUsed / SlotsTotal measure TDM slot utilization: a used slot
 	// carried at least one byte.
 	SlotsUsed, SlotsTotal uint64

@@ -46,6 +46,14 @@ type ConfigSpec struct {
 	// Faults is a fault-plan spec in the pmsnet.ParseFaults syntax.
 	Faults     string `json:"faults,omitempty"`
 	SchedCache *bool  `json:"sched_cache,omitempty"`
+	// Scheduler selects the TDM scheduling algorithm (paper, islip,
+	// wavefront); empty means the paper scheduler.
+	Scheduler string `json:"scheduler,omitempty"`
+	// SchedShards and SchedWarmStart are the execution-only scheduler
+	// knobs: bit-identical results, wall-clock cost only. They do not
+	// fragment the result cache (excluded from Config.Hash).
+	SchedShards    int  `json:"sched_shards,omitempty"`
+	SchedWarmStart bool `json:"sched_warm_start,omitempty"`
 }
 
 // WorkloadSpec selects a built-in traffic pattern (the cmd/pmsim
@@ -252,11 +260,18 @@ func buildConfig(spec ConfigSpec) (pmsnet.Config, error) {
 		EvictionThreshold: spec.EvictionThreshold,
 		AmplifyBytes:      spec.AmplifyBytes,
 		SchedCache:        spec.SchedCache,
+		SchedShards:       spec.SchedShards,
+		SchedWarmStart:    spec.SchedWarmStart,
 		Parallelism:       1, // each job owns exactly one worker
 	}
 	var err error
 	if cfg.Switching, err = pmsnet.ParseSwitching(spec.Switching); err != nil {
 		return cfg, &AdmissionError{Field: "config.switching", Reason: err.Error()}
+	}
+	if spec.Scheduler != "" {
+		if cfg.Scheduler, err = pmsnet.ParseScheduler(spec.Scheduler); err != nil {
+			return cfg, &AdmissionError{Field: "config.scheduler", Reason: err.Error()}
+		}
 	}
 	if spec.Eviction != "" {
 		if cfg.Eviction, err = pmsnet.ParseEviction(spec.Eviction); err != nil {

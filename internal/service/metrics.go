@@ -58,6 +58,15 @@ type metrics struct {
 	cancelled   atomic.Uint64 // StateCancelled
 	inFlight    atomic.Int64  // jobs currently on a worker
 
+	// Scheduler activity aggregated from every report of every freshly
+	// completed job (cache replays don't re-run the simulation, so they
+	// add nothing here).
+	schedCacheHits   atomic.Uint64
+	schedCacheMisses atomic.Uint64
+	schedWarmHits    atomic.Uint64
+	schedWarmMisses  atomic.Uint64
+	schedDirtyRows   atomic.Uint64
+
 	wait durationStat // admission -> worker pickup
 	run  durationStat // worker pickup -> terminal
 }
@@ -83,6 +92,15 @@ type MetricsSnapshot struct {
 	Deadlines     uint64  `json:"deadlines"`
 	Cancelled     uint64  `json:"cancelled"`
 
+	// Scheduler counters summed over the reports of completed jobs: the
+	// memo-cache and warm-start activity of the simulations themselves
+	// (as opposed to the service's own result cache above).
+	SchedCacheHits   uint64 `json:"sched_cache_hits"`
+	SchedCacheMisses uint64 `json:"sched_cache_misses"`
+	SchedWarmHits    uint64 `json:"sched_warm_hits"`
+	SchedWarmMisses  uint64 `json:"sched_warm_misses"`
+	SchedDirtyRows   uint64 `json:"sched_dirty_rows"`
+
 	QueueWait DurationStatSnapshot `json:"queue_wait"`
 	RunTime   DurationStatSnapshot `json:"run_time"`
 }
@@ -102,6 +120,13 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Panicked:    m.panicked.Load(),
 		Deadlines:   m.deadlines.Load(),
 		Cancelled:   m.cancelled.Load(),
+
+		SchedCacheHits:   m.schedCacheHits.Load(),
+		SchedCacheMisses: m.schedCacheMisses.Load(),
+		SchedWarmHits:    m.schedWarmHits.Load(),
+		SchedWarmMisses:  m.schedWarmMisses.Load(),
+		SchedDirtyRows:   m.schedDirtyRows.Load(),
+
 		QueueWait:   m.wait.snapshot(),
 		RunTime:     m.run.snapshot(),
 	}
@@ -109,6 +134,16 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		s.CacheHitRate = float64(hits) / float64(hits+misses)
 	}
 	return s
+}
+
+// recordSched folds one completed report's scheduler counters into the
+// aggregate /metrics view.
+func (m *metrics) recordSched(hits, misses, warmHits, warmMisses, dirtyRows uint64) {
+	m.schedCacheHits.Add(hits)
+	m.schedCacheMisses.Add(misses)
+	m.schedWarmHits.Add(warmHits)
+	m.schedWarmMisses.Add(warmMisses)
+	m.schedDirtyRows.Add(dirtyRows)
 }
 
 // recordTerminal bumps the counter matching a terminal state.

@@ -150,5 +150,9 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, rep := range reports {
+		s.metrics.recordSched(rep.Sched.CacheHits, rep.Sched.CacheMisses,
+			rep.Sched.WarmHits, rep.Sched.WarmMisses, rep.Sched.DirtyRows)
+	}
 	return json.Marshal(JobResult{Reports: reports})
 }

@@ -593,3 +593,37 @@ func TestJobRegistryPrunesTerminalJobs(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%s", firstID)
 }
+
+// TestMetricsAggregateSchedCounters pins the /metrics scheduler aggregation:
+// a freshly completed warm-start job contributes its report's sched-cache and
+// warm-start counters, and a cached replay of the same job contributes
+// nothing (the simulation never re-ran).
+func TestMetricsAggregateSchedCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	spec := JobSpec{
+		Config:   ConfigSpec{Switching: "tdm-dynamic", N: 16, SchedWarmStart: true},
+		Workload: WorkloadSpec{Pattern: "random-mesh", Msgs: 20, Seed: 3},
+	}
+	if resp, body := post(t, ts, spec, true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm job: status %d: %s", resp.StatusCode, body)
+	}
+	m := fetchMetrics(t, ts)
+	if m.SchedCacheHits+m.SchedCacheMisses == 0 {
+		t.Error("sched cache counters stayed zero after a completed TDM job")
+	}
+	if m.SchedWarmHits+m.SchedWarmMisses == 0 {
+		t.Error("warm counters stayed zero after a completed warm-start job")
+	}
+	// The replay is a service-cache hit: aggregates must not move.
+	if resp, body := post(t, ts, spec, true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: status %d: %s", resp.StatusCode, body)
+	}
+	m2 := fetchMetrics(t, ts)
+	if m2.CacheHits != m.CacheHits+1 {
+		t.Fatalf("replay was not a cache hit: %+v -> %+v", m, m2)
+	}
+	if m2.SchedWarmHits != m.SchedWarmHits || m2.SchedCacheMisses != m.SchedCacheMisses ||
+		m2.SchedDirtyRows != m.SchedDirtyRows {
+		t.Errorf("cached replay moved the sched aggregates: %+v -> %+v", m, m2)
+	}
+}

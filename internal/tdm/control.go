@@ -101,9 +101,15 @@ func (r *run) onSLPass() {
 		req = r.reqMerge
 	}
 	var res core.PassResult
-	if r.useSparse {
+	switch {
+	case r.useWarm:
+		// A merge pass hands the scheduler reqMerge instead of the journaled
+		// reqView; PassWarm detects the swap and rebuilds its masks for that
+		// pass, staying bit-identical.
+		res = r.sched.PassWarm(req)
+	case r.useSparse:
 		res = r.sched.PassSparse(req)
-	} else {
+	default:
 		res = r.sched.Pass(req.Matrix())
 	}
 	for _, c := range res.Established {

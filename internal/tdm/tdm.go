@@ -137,6 +137,13 @@ type Config struct {
 	// disables sharding. Sharding engages only on fabrics with a leaf seam
 	// (Leaves() > 1) under the paper algorithm with the sparse path on.
 	Shards int
+	// WarmStart enables warm-started incremental scheduling for the paper
+	// algorithm's sparse pass: the request wire carries a delta journal and
+	// each pass re-evaluates only the rows that changed since the previous
+	// one. Results are bit-identical to cold scheduling; like Shards, the
+	// knob engages only for the paper algorithm with the sparse path on and
+	// silently runs cold otherwise.
+	WarmStart bool
 	// Horizon bounds simulated time; zero means netmodel.DefaultHorizon.
 	Horizon sim.Time
 	// Faults, when non-nil and active, injects link failures, corrupted
@@ -288,8 +295,10 @@ type run struct {
 	// merge does not allocate.
 	reqMerge *bitmat.Sparse
 	// useSparse selects PassSparse over Pass (Config.Sparse); results are
-	// bit-identical either way.
+	// bit-identical either way. useWarm additionally selects PassWarm
+	// (Config.WarmStart; implies useSparse).
 	useSparse bool
+	useWarm   bool
 	// connsBuf is the reusable slot-connection snapshot of the data-plane
 	// grant loop.
 	connsBuf []core.Change
@@ -388,6 +397,9 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 	if pool != nil {
 		defer pool.Close()
 	}
+	// Warm-started scheduling has the same engagement rule as sharding:
+	// paper algorithm, sparse path. Anything else runs cold, bit-identically.
+	useWarm := cfg.WarmStart && cfg.Algorithm == core.AlgPaper && *cfg.Sparse
 	sched, err := core.NewScheduler(core.Params{
 		N:              cfg.N,
 		K:              cfg.K,
@@ -400,6 +412,7 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		Algorithm:      cfg.Algorithm,
 		ShardBounds:    shardBounds,
 		ShardRun:       shardRun,
+		WarmStart:      useWarm,
 	})
 	if err != nil {
 		return metrics.Result{}, err
@@ -416,10 +429,17 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 		specReq:   bitmat.NewSparse(cfg.N, cfg.N),
 		reqMerge:  bitmat.NewSparse(cfg.N, cfg.N),
 		useSparse: *cfg.Sparse,
+		useWarm:   useWarm,
 		pool:      pool,
 		queued:    netmodel.NewPairQueues(cfg.N),
 		grantAt:   make([][]sim.Time, cfg.N),
 		probe:     cfg.Probe,
+	}
+	if useWarm {
+		// The journal feeds the warm pass its dirty-row closure; every
+		// request mutation (control wire, completion drops, fault recovery)
+		// funnels through the Sparse mutators and lands in it.
+		r.reqView.EnableJournal()
 	}
 	if cfg.Probe != nil {
 		sched.SetProbe(cfg.Probe, eng.Now)
@@ -500,6 +520,9 @@ func (n *Network) Run(wl *traffic.Workload) (metrics.Result, error) {
 	r.stats.Flushes = st.Flushes
 	r.stats.SchedCacheHits = st.CacheHits
 	r.stats.SchedCacheMisses = st.CacheMisses
+	r.stats.SchedWarmHits = st.WarmHits
+	r.stats.SchedWarmMisses = st.WarmMisses
+	r.stats.SchedDirtyRows = st.DirtyRows
 	if r.inj != nil {
 		fs := driver.FaultStats()
 		fs.Reschedules = r.reschedules

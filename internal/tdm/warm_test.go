@@ -1,0 +1,115 @@
+package tdm
+
+import (
+	"reflect"
+	"testing"
+
+	"pmsnet/internal/core"
+	"pmsnet/internal/fabric"
+	"pmsnet/internal/fault"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/sim"
+	"pmsnet/internal/traffic"
+)
+
+// Identity suite for warm-started incremental scheduling: like the sparse
+// path and sharding, warm starting is a pure performance feature, so the
+// pinned property is a bit-identical metrics.Result against the cold run —
+// modulo the three warm telemetry counters, which exist only to observe the
+// warm path and are zeroed before comparing.
+
+// stripWarm zeroes the warm-start telemetry, the only Result fields allowed
+// to differ between warm-on and warm-off runs.
+func stripWarm(r metrics.Result) metrics.Result {
+	r.Stats.SchedWarmHits = 0
+	r.Stats.SchedWarmMisses = 0
+	r.Stats.SchedDirtyRows = 0
+	return r
+}
+
+// TestWarmStartReportBitIdentical pins the warm pass end to end: turning
+// WarmStart on must not change a single non-telemetry field of the Result,
+// across modes, fabrics, cache settings and workloads.
+func TestWarmStartReportBitIdentical(t *testing.T) {
+	off := false
+	configs := map[string]Config{
+		"dynamic":          {N: 16, K: 4},
+		"hybrid":           {N: 16, K: 4, Mode: Hybrid, PreloadSlots: 1},
+		"preload":          {N: 16, K: 4, Mode: Preload},
+		"dynamic/no-cache": {N: 16, K: 4, SchedCache: &off},
+		"dynamic/benes":    {N: 16, K: 4, Fabric: fabric.KindBenes},
+		"dynamic/omega":    {N: 16, K: 4, Fabric: fabric.KindOmega},
+		"dynamic/sharded":  {N: 16, K: 4, Fabric: fabric.KindClos, Shards: 4},
+	}
+	for mode, cfg := range configs {
+		for wname, wl := range identityWorkloads() {
+			cold := identityRun(t, cfg, wl)
+			warm := cfg
+			warm.WarmStart = true
+			got := identityRun(t, warm, wl)
+			if mode != "preload" && got.Stats.SchedWarmHits+got.Stats.SchedWarmMisses == 0 {
+				t.Errorf("%s/%s: warm path never engaged", mode, wname)
+			}
+			if !reflect.DeepEqual(stripWarm(cold), stripWarm(got)) {
+				t.Errorf("%s/%s: warm start changed the report:\n cold: %+v\n warm: %+v",
+					mode, wname, cold, got)
+			}
+		}
+	}
+}
+
+// TestWarmStartFaultReportBitIdentical composes warm starting with fault
+// injection and recovery: evictions, port evictions, preload fallbacks and
+// rescheduling all mutate scheduler state behind the warm masks, and the
+// Result must still match the cold run bit for bit.
+func TestWarmStartFaultReportBitIdentical(t *testing.T) {
+	configs := map[string]Config{
+		"dynamic": {N: 16, K: 4},
+		"hybrid":  {N: 16, K: 4, Mode: Hybrid, PreloadSlots: 1},
+	}
+	plans := map[string]*fault.Plan{
+		"links":  {Seed: 4, LinkMTBF: 50 * sim.Microsecond, LinkMTTR: sim.Microsecond},
+		"tokens": {Seed: 2, RequestLossProb: 0.1, GrantLossProb: 0.1},
+		"mixed": {Seed: 7, CorruptProb: 0.02, RequestLossProb: 0.05,
+			Links: []fault.LinkFault{{Port: 3, At: 10 * sim.Microsecond, For: 5 * sim.Microsecond}}},
+	}
+	for mode, cfg := range configs {
+		for pname, p := range plans {
+			cfgP := cfg
+			cfgP.Faults = p
+			wl := traffic.RandomMesh(16, 64, 8, 3)
+			cold := identityRun(t, cfgP, wl)
+			warm := cfgP
+			warm.WarmStart = true
+			got := identityRun(t, warm, traffic.RandomMesh(16, 64, 8, 3))
+			if !reflect.DeepEqual(stripWarm(cold), stripWarm(got)) {
+				t.Errorf("%s/%s: warm start changed the faulted report:\n cold: %+v\n warm: %+v",
+					mode, pname, cold, got)
+			}
+		}
+	}
+}
+
+// TestWarmStartDisengagesCleanly pins the gating: warm starting engages only
+// for the paper algorithm on the sparse path; every other combination
+// silently runs cold — zero warm counters, identical report.
+func TestWarmStartDisengagesCleanly(t *testing.T) {
+	off := false
+	wl := traffic.RandomMesh(16, 64, 6, 1)
+	cases := map[string]Config{
+		"dense path": {N: 16, K: 4, WarmStart: true, Sparse: &off},
+		"islip":      {N: 16, K: 4, WarmStart: true, Algorithm: core.AlgISLIP},
+	}
+	for name, cfg := range cases {
+		coldCfg := cfg
+		coldCfg.WarmStart = false
+		want := identityRun(t, coldCfg, wl)
+		got := identityRun(t, cfg, wl)
+		if got.Stats.SchedWarmHits+got.Stats.SchedWarmMisses+got.Stats.SchedDirtyRows != 0 {
+			t.Errorf("%s: warm counters moved on a disengaged path: %+v", name, got.Stats)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: warm request changed the report:\n want: %+v\n got:  %+v", name, want, got)
+		}
+	}
+}

@@ -401,6 +401,16 @@ type Config struct {
 	// engages only on fabrics with a leaf seam (Clos, Omega, Benes) under
 	// the paper scheduler.
 	SchedShards int
+	// SchedWarmStart enables warm-started incremental scheduling for the
+	// TDM modes: the request matrix keeps a delta journal, and each
+	// scheduling pass seeds itself from the previous pass's configuration
+	// state, re-evaluating only the rows whose requests or connections
+	// changed. Results are bit-identical to cold scheduling (the Report
+	// does not change beyond the Sched.Warm* telemetry counters; only
+	// wall-clock cost does, which is why the field is excluded from
+	// Config.Hash). Warm starting engages only under the paper scheduler;
+	// combining it with another Scheduler fails Validate.
+	SchedWarmStart bool
 	// Faults, when non-nil and active, injects faults per the plan: link
 	// failures (MTBF/MTTR or scripted), corrupted payloads caught by the
 	// receiving NIC's CRC, lost scheduler request/grant tokens and dead
@@ -531,8 +541,25 @@ func (c Config) Validate() error {
 	}
 	switch c.Switching {
 	case DynamicTDM, PreloadTDM, HybridTDM:
-		if _, err := fabric.NewBackend(fabricKinds[c.effectiveFabric()], c.N); err != nil {
+		be, err := fabric.NewBackend(fabricKinds[c.effectiveFabric()], c.N)
+		if err != nil {
 			return &ConfigError{Field: "Fabric", Value: c.effectiveFabric().String(), Reason: err.Error()}
+		}
+		// Sharding and warm starting are paper-scheduler features: both
+		// lean on the Tables 1–2 pass structure (leaf-aligned change cells,
+		// rotated-row re-evaluation). Asking for them elsewhere is a
+		// misconfiguration, not something to ignore silently.
+		if c.SchedShards > 1 && c.Scheduler != SchedulerPaper {
+			return &ConfigError{Field: "SchedShards", Value: c.SchedShards,
+				Reason: fmt.Sprintf("sharding requires the paper scheduler, not %s", c.Scheduler)}
+		}
+		if c.SchedShards > 1 && be.Leaves() < 2 {
+			return &ConfigError{Field: "SchedShards", Value: c.SchedShards,
+				Reason: fmt.Sprintf("fabric %s has a single leaf, no seam to shard on", c.effectiveFabric())}
+		}
+		if c.SchedWarmStart && c.Scheduler != SchedulerPaper {
+			return &ConfigError{Field: "SchedWarmStart", Value: c.Scheduler.String(),
+				Reason: "warm-start scheduling requires the paper scheduler"}
 		}
 	}
 	if c.Parallelism < 0 {
@@ -612,6 +639,7 @@ func (c Config) network() (netmodel.Network, error) {
 		cfg.Fabric = fabricKinds[c.effectiveFabric()]
 		cfg.Algorithm = schedulerAlgs[c.Scheduler]
 		cfg.Shards = c.SchedShards
+		cfg.WarmStart = c.SchedWarmStart
 		switch c.Switching {
 		case PreloadTDM:
 			cfg.Mode = tdm.Preload
@@ -693,6 +721,15 @@ type SchedReport struct {
 	// other Report fields are bit-identical with the cache on or off.
 	CacheHits   uint64
 	CacheMisses uint64
+	// WarmHits / WarmMisses count warm-started scheduling passes
+	// (Config.SchedWarmStart): hits repaired the previous pass's masks
+	// incrementally from the request journal, misses rebuilt them. DirtyRows
+	// totals the rows re-evaluated across incremental passes. Performance
+	// counters only — the only Report fields allowed to differ between
+	// warm-on and warm-off runs.
+	WarmHits   uint64
+	WarmMisses uint64
+	DirtyRows  uint64
 }
 
 // FaultReport is the fault-injection and recovery accounting of a run with
@@ -749,6 +786,9 @@ func toReport(r metrics.Result) Report {
 			Preloads:    r.Stats.Preloads,
 			CacheHits:   r.Stats.SchedCacheHits,
 			CacheMisses: r.Stats.SchedCacheMisses,
+			WarmHits:    r.Stats.SchedWarmHits,
+			WarmMisses:  r.Stats.SchedWarmMisses,
+			DirtyRows:   r.Stats.SchedDirtyRows,
 		},
 		Faults: toFaultReport(r.Stats.Faults),
 	}
