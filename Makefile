@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz bench bench-compare trace-smoke service-smoke figures clean
+.PHONY: all build test check vet race fuzz bench bench-compare trace-smoke service-smoke plan-smoke figures clean
 
 all: build test
 
@@ -86,6 +86,17 @@ service-smoke:
 		[ $$status -eq 0 ] && status=1; }; \
 	exit $$status
 
+# End-to-end planner check: plan a skewed demand workload with the Solstice
+# planner, run the plan and the hand-chunked static preloads through the
+# same preload TDM simulation, and fail unless the plan strictly wins on
+# both makespan and efficiency.
+plan-smoke:
+	$(GO) run ./cmd/pmsopt -planner solstice -pattern skewed -n 16 \
+		-compare -assert-better > /dev/null
+	$(GO) run ./cmd/pmsopt -planner bvn -pattern skewed -n 16 \
+		-o /tmp/pmsnet-plan-smoke.json > /dev/null
+	@test -s /tmp/pmsnet-plan-smoke.json
+
 # Short fuzzing passes over the text-format parsers, the scheduling-pass
 # cache, the sparse/dense bitmat parity, and the Clos spine router.
 fuzz:
@@ -95,6 +106,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzSparseParity -fuzztime=30s ./internal/bitmat/
 	$(GO) test -run=NONE -fuzz=FuzzWarmStartParity -fuzztime=30s ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzClosRoute -fuzztime=30s ./internal/multistage/
+	$(GO) test -run=NONE -fuzz=FuzzDecompose -fuzztime=30s ./internal/multistage/
 
 figures:
 	$(GO) run ./cmd/figures

@@ -232,6 +232,12 @@ func runAblations(ex experiments.Exec, seed int64) {
 	}
 	fmt.Println(experiments.AblationTable("Matching algorithms under dynamic TDM (paper patterns)", scheds))
 
+	planners, err := experiments.PlannerSweepExec(ex, n, experiments.PlannerDemandWorkloads(n, 64))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Preload planners vs reactive TDM (skewed/sparse demand)", planners))
+
 	for _, wl := range []*traffic.Workload{
 		traffic.RandomMesh(n, 64, experiments.MeshMsgs, seed),
 		traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4),

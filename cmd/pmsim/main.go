@@ -12,6 +12,8 @@
 // more; `pmsim -net list` prints the full vocabulary).
 // Patterns: scatter, ordered-mesh, random-mesh, all-to-all, two-phase, mix.
 // Fabrics (TDM modes): crossbar, omega, clos, benes (`pmsim -fabric list`).
+// Planners (tdm-preload/tdm-hybrid): static, solstice, bvn
+// (`pmsim -planner list`) pick the offline preload planner.
 // Schedulers (TDM modes): paper, islip, wavefront (`pmsim -sched list`);
 // -shards enables per-leaf sharded scheduling on leafed fabrics and -warm
 // enables warm-started incremental scheduling (paper scheduler only) —
@@ -56,8 +58,8 @@ func main() {
 		eviction = flag.String("eviction", "timeout", "eviction policy: reactive|timeout|counter|never|markov")
 		amplify  = flag.Int("amplify", 0, "bandwidth-amplification threshold in bytes (0 = off)")
 		fabName  = flag.String("fabric", "crossbar", "TDM fabric backend: crossbar|omega|clos|benes ('list' prints the vocabulary)")
-		omega    = flag.Bool("omega", false, "deprecated: shorthand for -fabric omega")
 		schedNm  = flag.String("sched", "paper", "TDM scheduling algorithm: paper|islip|wavefront ('list' prints the vocabulary)")
+		planNm   = flag.String("planner", "static", "preload planner (tdm-preload/tdm-hybrid): static|solstice|bvn ('list' prints the vocabulary)")
 		shards   = flag.Int("shards", 0, "per-leaf scheduler shards on leafed fabrics (0 = off; results are identical, only wall-clock changes)")
 		warm     = flag.Bool("warm", false, "warm-start incremental scheduling (paper scheduler only; results are identical, only wall-clock changes)")
 		hist     = flag.Bool("hist", false, "print the latency histogram")
@@ -89,6 +91,12 @@ func main() {
 		}
 		return
 	}
+	if *planNm == "list" {
+		for _, name := range pmsnet.PlannerNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	wl, err := buildWorkload(*pattern, *workload, *n, *size, *msgs, *rounds, *det, *think, *seed)
 	if err != nil {
@@ -102,8 +110,10 @@ func main() {
 	if cfg.Fabric, err = pmsnet.ParseFabric(*fabName); err != nil {
 		fatal(err)
 	}
-	cfg.OmegaFabric = *omega
 	if cfg.Scheduler, err = pmsnet.ParseScheduler(*schedNm); err != nil {
+		fatal(err)
+	}
+	if cfg.Planner, err = pmsnet.ParsePlanner(*planNm); err != nil {
 		fatal(err)
 	}
 	cfg.SchedShards = *shards
@@ -169,6 +179,10 @@ func main() {
 			fmt.Printf("warm start:  %d incremental, %d rebuilds, %d rows re-evaluated\n",
 				s.WarmHits, s.WarmMisses, s.DirtyRows)
 		}
+	}
+	if p := rep.Plan; p.Planner != "" {
+		fmt.Printf("planner:     %s — %d configs in %d groups, %d residual conns, drain estimate %d slots\n",
+			p.Planner, p.Configs, p.Groups, p.ResidualConns, p.DrainSlots)
 	}
 	if f := rep.Faults; f != nil {
 		fmt.Printf("faults:      %d link failures (%d repaired), %d dead crosspoints, %d corrupted, %d req lost, %d grants lost\n",

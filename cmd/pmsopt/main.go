@@ -1,0 +1,395 @@
+// Command pmsopt plans preload schedules offline: it turns a demand matrix
+// into the configuration groups a Preload/Hybrid TDM run would pin, prints
+// the planned schedule, and can A/B the plan against the hand-written static
+// preloads in a real simulation.
+//
+// Demand comes from one of three sources:
+//
+//	pmsopt -pattern skewed -n 16                demand of a built-in workload
+//	pmsopt -workload trace.pms                  demand of a PMSTRACE program
+//	pmsopt -demand matrix.csv                   an explicit NxN slot matrix
+//
+// With a workload source, planning is per static phase (falling back to the
+// compiler's phase analysis via -analyze when the workload carries no
+// annotations). -measure replaces the programmed byte counts with demand
+// measured by a probed dynamic run — the profile-guided variant.
+//
+// -compare runs the workload through preload TDM twice, statically chunked
+// and planned, and prints both results; -assert-better additionally exits
+// non-zero unless the plan strictly improves makespan and efficiency (the
+// `make plan-smoke` gate). -o writes the planned schedule as JSON.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pmsnet/internal/compiler"
+	"pmsnet/internal/link"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/plan"
+	"pmsnet/internal/probe"
+	"pmsnet/internal/tdm"
+	"pmsnet/internal/trace"
+	"pmsnet/internal/traffic"
+)
+
+func main() {
+	var (
+		planName = flag.String("planner", "solstice", "preload planner: static|solstice|bvn ('list' prints the vocabulary)")
+		pattern  = flag.String("pattern", "", "built-in workload: scatter|ordered-mesh|random-mesh|all-to-all|two-phase|skewed")
+		wlPath   = flag.String("workload", "", "plan a PMSTRACE command file")
+		dmPath   = flag.String("demand", "", "plan an explicit demand matrix (CSV, one row per source, slots per connection)")
+		outPath  = flag.String("o", "", "write the planned schedule as JSON to this file")
+		n        = flag.Int("n", 16, "processor count (built-in patterns)")
+		size     = flag.Int("size", 64, "message size in bytes (built-in patterns)")
+		msgs     = flag.Int("msgs", 4, "messages per connection (random-mesh, skewed)")
+		rounds   = flag.Int("rounds", 12, "rounds (ordered-mesh)")
+		factor   = flag.Int("factor", 8, "hot-shift demand multiplier (skewed)")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		k        = flag.Int("k", 4, "TDM multiplexing degree")
+		slots    = flag.Int("preload-slots", 0, "pinned slot registers per group (0 = k, pure preload)")
+		payload  = flag.Int("payload", 64, "usable payload bytes per slot")
+		analyze  = flag.Bool("analyze", false, "discover phases with the compiler analysis instead of workload annotations")
+		measure  = flag.Bool("measure", false, "measure demand from a probed dynamic run instead of the programmed byte counts")
+		compare  = flag.Bool("compare", false, "simulate static vs planned preloads and print both")
+		assert   = flag.Bool("assert-better", false, "with -compare: exit non-zero unless the plan strictly beats static preloads")
+	)
+	flag.Parse()
+
+	if *planName == "list" {
+		for _, name := range plan.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	kind, err := plan.Parse(*planName)
+	if err != nil {
+		fatal(err)
+	}
+	planner := plan.New(kind)
+	if *slots == 0 {
+		*slots = *k
+	}
+	if *slots < 0 || *slots > *k {
+		fatal(fmt.Errorf("-preload-slots %d must be within [0, k=%d]", *slots, *k))
+	}
+
+	// Demand-matrix mode: no workload, no phases, no simulation.
+	if *dmPath != "" {
+		if *compare || *measure || *analyze {
+			fatal(fmt.Errorf("-demand plans a bare matrix; -compare/-measure/-analyze need a workload"))
+		}
+		d, err := readDemandCSV(*dmPath)
+		if err != nil {
+			fatal(err)
+		}
+		sched, err := planner.Plan(d, *k, *slots, planOpts(true))
+		if err != nil {
+			fatal(err)
+		}
+		printSchedule(fmt.Sprintf("demand %s", *dmPath), sched)
+		writeSchedules(*outPath, []*plan.Schedule{sched})
+		return
+	}
+
+	wl, err := buildWorkload(*pattern, *wlPath, *n, *size, *msgs, *rounds, *factor, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	phases := wl.StaticPhases
+	var demands []*plan.Demand
+	if *analyze || len(phases) == 0 {
+		analyzed, an, err := compiler.Analyze(wl, compiler.Options{PayloadBytes: *payload})
+		if err != nil {
+			fatal(err)
+		}
+		wl, phases, demands = analyzed, an.Phases, an.Demands
+	} else {
+		whole := plan.FromWorkload(wl, *payload)
+		for _, phase := range phases {
+			demands = append(demands, whole.Restrict(phase))
+		}
+	}
+	if *measure {
+		measured, err := measureDemand(wl, *n, *k, *payload)
+		if err != nil {
+			fatal(err)
+		}
+		demands = demands[:0]
+		for _, phase := range phases {
+			demands = append(demands, measured.Restrict(phase))
+		}
+	}
+
+	var schedules []*plan.Schedule
+	for pi, d := range demands {
+		sched, err := planner.Plan(d, *k, *slots, planOpts(*slots == *k))
+		if err != nil {
+			fatal(err)
+		}
+		printSchedule(fmt.Sprintf("%s phase %d/%d", wl.Name, pi+1, len(demands)), sched)
+		schedules = append(schedules, sched)
+	}
+	writeSchedules(*outPath, schedules)
+
+	if *compare {
+		if err := runCompare(wl, planner, *n, *k, *slots, *assert); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// planOpts charges group swaps at the paper control plane's delay in slot
+// units (80 ns / 100 ns slots).
+func planOpts(coverAll bool) plan.Options {
+	return plan.Options{
+		ReconfigSlots: float64(link.Paper().ControlDelay()) / 100.0,
+		CoverAll:      coverAll,
+	}
+}
+
+// measureDemand runs the workload through dynamic TDM with a message-creation
+// probe and returns the observed per-connection demand in slots — the
+// profile-guided alternative to trusting the programmed byte counts.
+func measureDemand(wl *traffic.Workload, n, k, payload int) (*plan.Demand, error) {
+	sink := &demandSink{d: plan.NewDemand(n), payload: int64(payload)}
+	nw, err := tdm.New(tdm.Config{N: n, K: k, Probe: probe.New(sink)})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := nw.Run(wl); err != nil {
+		return nil, err
+	}
+	return sink.d, nil
+}
+
+// demandSink accumulates MsgCreated events into a slot-unit demand matrix.
+type demandSink struct {
+	d       *plan.Demand
+	payload int64
+}
+
+func (s *demandSink) Handle(ev probe.Event) {
+	if ev.Kind != probe.MsgCreated {
+		return
+	}
+	slots := (ev.Aux + s.payload - 1) / s.payload
+	if slots < 1 {
+		slots = 1
+	}
+	s.d.Add(int(ev.Src), int(ev.Dst), slots)
+}
+
+// runCompare simulates the workload under static and planned preloads and
+// prints both results; with assert it enforces a strict improvement.
+func runCompare(wl *traffic.Workload, planner plan.Planner, n, k, slots int, assert bool) error {
+	cfg := tdm.Config{N: n, K: k, Mode: tdm.Preload}
+	if slots < k {
+		cfg.Mode = tdm.Hybrid
+		cfg.PreloadSlots = slots
+	}
+	static, err := runOnce(cfg, wl)
+	if err != nil {
+		return fmt.Errorf("static preload: %w", err)
+	}
+	cfg.Planner = planner
+	planned, err := runOnce(cfg, wl)
+	if err != nil {
+		return fmt.Errorf("%s planner: %w", planner.Name(), err)
+	}
+	fmt.Printf("\n== static vs %s on %s ==\n", planner.Name(), wl.Name)
+	fmt.Printf("%-10s makespan %-12v efficiency %.4f  preloads %d\n",
+		"static", static.Makespan, static.Efficiency, static.Stats.Preloads)
+	fmt.Printf("%-10s makespan %-12v efficiency %.4f  preloads %d  (%d configs, %d residual conns)\n",
+		planner.Name(), planned.Makespan, planned.Efficiency, planned.Stats.Preloads,
+		planned.Stats.PlanConfigs, planned.Stats.PlanResidualConns)
+	if planned.Makespan < static.Makespan {
+		fmt.Printf("plan wins:  makespan -%v (%.1f%%), efficiency +%.4f\n",
+			static.Makespan-planned.Makespan,
+			100*float64(static.Makespan-planned.Makespan)/float64(static.Makespan),
+			planned.Efficiency-static.Efficiency)
+	} else {
+		fmt.Printf("plan does not improve makespan (+%v)\n", planned.Makespan-static.Makespan)
+	}
+	if assert && (planned.Makespan >= static.Makespan || planned.Efficiency <= static.Efficiency) {
+		return fmt.Errorf("plan did not strictly beat the static preloads")
+	}
+	return nil
+}
+
+func runOnce(cfg tdm.Config, wl *traffic.Workload) (metrics.Result, error) {
+	nw, err := tdm.New(cfg)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	return nw.Run(wl)
+}
+
+// printSchedule renders one phase's plan.
+func printSchedule(title string, s *plan.Schedule) {
+	fmt.Printf("== %s: %s plan (k=%d, %d pinned) ==\n", title, s.Planner, s.K, s.PreloadSlots)
+	fmt.Printf("%d configurations in %d groups, drain estimate %.1f slots (%d reconfigurations)\n",
+		s.NumConfigs(), len(s.Groups), s.DrainSlots, s.Reconfigs)
+	for gi, g := range s.Groups {
+		var parts []string
+		for _, e := range g {
+			parts = append(parts, fmt.Sprintf("%d conns x%d (demand %d)", e.Config.Count(), e.Share, e.Demand))
+		}
+		fmt.Printf("  group %d: %s\n", gi, strings.Join(parts, ", "))
+	}
+	if rc := s.Residual.Conns(); rc > 0 {
+		fmt.Printf("  residual: %d connections, %d slots ride the dynamic path\n", rc, s.Residual.Total())
+	}
+}
+
+// scheduleJSON is the -o serialization: groups of configurations as
+// connection lists with their register shares.
+type scheduleJSON struct {
+	Planner      string      `json:"planner"`
+	K            int         `json:"k"`
+	PreloadSlots int         `json:"preload_slots"`
+	DrainSlots   float64     `json:"drain_slots"`
+	Groups       [][]entryJS `json:"groups"`
+	Residual     []connJS    `json:"residual,omitempty"`
+}
+
+type entryJS struct {
+	Share  int      `json:"share"`
+	Demand int64    `json:"demand"`
+	Conns  []connJS `json:"conns"`
+}
+
+type connJS struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	W   int64 `json:"w,omitempty"`
+}
+
+func writeSchedules(path string, scheds []*plan.Schedule) {
+	if path == "" {
+		return
+	}
+	out := make([]scheduleJSON, len(scheds))
+	for i, s := range scheds {
+		js := scheduleJSON{Planner: s.Planner, K: s.K, PreloadSlots: s.PreloadSlots, DrainSlots: s.DrainSlots}
+		for _, g := range s.Groups {
+			var eg []entryJS
+			for _, e := range g {
+				ej := entryJS{Share: e.Share, Demand: e.Demand}
+				e.Config.Ones(func(u, v int) bool {
+					ej.Conns = append(ej.Conns, connJS{Src: u, Dst: v})
+					return true
+				})
+				eg = append(eg, ej)
+			}
+			js.Groups = append(js.Groups, eg)
+		}
+		for _, c := range s.Residual.WorkingSet().Conns() {
+			js.Residual = append(js.Residual, connJS{Src: c.Src, Dst: c.Dst, W: s.Residual.At(c.Src, c.Dst)})
+		}
+		out[i] = js
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d planned phase(s) to %s\n", len(out), path)
+}
+
+func buildWorkload(pattern, tracePath string, n, size, msgs, rounds, factor int, seed int64) (*traffic.Workload, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	}
+	switch pattern {
+	case "scatter":
+		return traffic.Scatter(n, size), nil
+	case "ordered-mesh":
+		return traffic.OrderedMesh(n, size, rounds), nil
+	case "random-mesh":
+		return traffic.RandomMesh(n, size, msgs, seed), nil
+	case "all-to-all":
+		return traffic.AllToAll(n, size), nil
+	case "two-phase":
+		return traffic.TwoPhase(n, size, seed), nil
+	case "skewed":
+		return traffic.Skewed("skewed", n, size, msgs, factor, []int{1, 2, 3, 4, 5, 6, 7, 8}), nil
+	case "":
+		return nil, fmt.Errorf("pick a demand source: -pattern, -workload or -demand")
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", pattern)
+	}
+}
+
+// readDemandCSV parses an NxN comma-separated integer matrix.
+func readDemandCSV(path string) (*plan.Demand, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows [][]int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var row []int64
+		for _, cell := range strings.Split(line, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(cell), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: row %d: %w", path, len(rows)+1, err)
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: empty demand matrix", path)
+	}
+	d := plan.NewDemand(len(rows))
+	for u, row := range rows {
+		if len(row) != len(rows) {
+			return nil, fmt.Errorf("%s: row %d has %d columns, want %d", path, u+1, len(row), len(rows))
+		}
+		for v, w := range row {
+			if w < 0 {
+				return nil, fmt.Errorf("%s: negative demand at (%d,%d)", path, u, v)
+			}
+			if w > 0 {
+				if u == v {
+					return nil, fmt.Errorf("%s: self-loop demand at (%d,%d)", path, u, v)
+				}
+				d.Set(u, v, w)
+			}
+		}
+	}
+	return d, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmsopt:", err)
+	os.Exit(1)
+}

@@ -19,9 +19,8 @@ import (
 //
 // Semantically equal configurations hash equal: defaults are applied first
 // (K=0 hashes like the documented K=4, a nil SchedCache like the enabled
-// default), the deprecated OmegaFabric flag is folded into the effective
-// fabric, and an inactive fault plan hashes like no plan at all. Fields that
-// never change the Report are excluded: Parallelism, SchedShards,
+// default), and an inactive fault plan hashes like no plan at all. Fields
+// that never change the Report are excluded: Parallelism, SchedShards,
 // SchedWarmStart and Probe only affect how a run executes and what observes
 // it, all proven bit-identical by the identity test suites.
 func (c Config) Hash() uint64 {
@@ -41,7 +40,8 @@ func (c Config) Hash() uint64 {
 	word('t', uint64(c.EvictionTimeout.Nanoseconds()))
 	word('h', c.EvictionThreshold)
 	word('a', uint64(c.AmplifyBytes))
-	word('f', uint64(c.effectiveFabric()))
+	word('f', uint64(c.Fabric))
+	word('P', uint64(c.Planner))
 	word('S', uint64(c.Scheduler))
 	if c.SchedCache == nil || *c.SchedCache {
 		word('c', 1)

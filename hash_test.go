@@ -21,6 +21,7 @@ func hashBaseConfig() Config {
 		EvictionThreshold: 12,
 		AmplifyBytes:      256,
 		Fabric:            FabricClos,
+		Planner:           PlannerSolstice,
 		Scheduler:         SchedulerISLIP,
 		Faults: &fault.Plan{
 			Seed:            9,
@@ -53,8 +54,8 @@ func TestConfigHashStableAndEqualForEqualConfigs(t *testing.T) {
 func TestConfigHashSemanticEquivalences(t *testing.T) {
 	// Each pair is semantically identical — same Report, bit for bit — and
 	// must therefore share a hash: documented defaults spelled out vs left
-	// zero, the deprecated OmegaFabric flag vs its Fabric value, a nil
-	// SchedCache vs the enabled default, and an inactive fault plan vs none.
+	// zero, a nil SchedCache vs the enabled default, and an inactive fault
+	// plan vs none.
 	cases := []struct {
 		name string
 		a, b Config
@@ -64,11 +65,6 @@ func TestConfigHashSemanticEquivalences(t *testing.T) {
 			Config{Switching: DynamicTDM, N: 16},
 			Config{Switching: DynamicTDM, N: 16, K: 4,
 				EvictionTimeout: 500 * time.Nanosecond, EvictionThreshold: 8},
-		},
-		{
-			"OmegaFabric flag vs Fabric value",
-			Config{Switching: DynamicTDM, N: 16, OmegaFabric: true},
-			Config{Switching: DynamicTDM, N: 16, Fabric: FabricOmega},
 		},
 		{
 			"nil SchedCache vs enabled",
@@ -105,6 +101,7 @@ func TestConfigHashFieldSensitivity(t *testing.T) {
 		{"EvictionThreshold", func(c *Config) { c.EvictionThreshold = 13 }},
 		{"AmplifyBytes", func(c *Config) { c.AmplifyBytes = 512 }},
 		{"Fabric", func(c *Config) { c.Fabric = FabricBenes }},
+		{"Planner", func(c *Config) { c.Planner = PlannerBvN }},
 		{"Scheduler", func(c *Config) { c.Scheduler = SchedulerWavefront }},
 		{"SchedCache", func(c *Config) { c.SchedCache = boolPtr(true) }},
 		{"Faults.Seed", func(c *Config) { c.Faults.Seed = 10 }},

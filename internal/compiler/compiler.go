@@ -25,6 +25,7 @@ package compiler
 import (
 	"fmt"
 
+	"pmsnet/internal/plan"
 	"pmsnet/internal/topology"
 	"pmsnet/internal/traffic"
 )
@@ -41,6 +42,10 @@ type Options struct {
 	// InsertDirectives adds FLUSH and PHASEHINT ops at detected boundaries,
 	// mimicking the compiler-inserted instructions of §3.3.
 	InsertDirectives bool
+	// PayloadBytes is the usable payload per TDM slot used to convert each
+	// phase's traffic into the slot-unit demand matrices of Analysis.Demands;
+	// zero defaults to 64, the slot model's default.
+	PayloadBytes int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +54,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Ratio <= 0 {
 		o.Ratio = 2.0
+	}
+	if o.PayloadBytes <= 0 {
+		o.PayloadBytes = 64
 	}
 	return o
 }
@@ -61,6 +69,11 @@ type Analysis struct {
 	Boundaries [][]int
 	// Phases holds the global per-phase working sets, in phase order.
 	Phases []*topology.WorkingSet
+	// Demands holds each phase's per-connection demand in TDM slots
+	// (payload-sized chunks per send, summed over the phase), aligned with
+	// Phases — the input the preload planners (internal/plan) consume for
+	// exact per-phase planning.
+	Demands []*plan.Demand
 }
 
 // PhaseCount returns the number of global phases discovered.
@@ -150,8 +163,10 @@ func Analyze(wl *traffic.Workload, opt Options) (*traffic.Workload, Analysis, er
 	// connections; processors with fewer segments fold their tail into
 	// their last segment's phase.
 	phases := make([]*topology.WorkingSet, maxSegments)
+	demands := make([]*plan.Demand, maxSegments)
 	for k := range phases {
 		phases[k] = topology.NewWorkingSet(base.N)
+		demands[k] = plan.NewDemand(base.N)
 	}
 	for p, segs := range segments {
 		for k, seg := range segs {
@@ -162,6 +177,11 @@ func Analyze(wl *traffic.Workload, opt Options) (*traffic.Workload, Analysis, er
 			for _, op := range base.Programs[p].Ops[seg.start:seg.end] {
 				if op.Kind == traffic.OpSend || op.Kind == traffic.OpSendWait {
 					phases[phase].Add(topology.Conn{Src: p, Dst: op.Dst})
+					slots := (int64(op.Bytes) + int64(opt.PayloadBytes) - 1) / int64(opt.PayloadBytes)
+					if slots < 1 {
+						slots = 1
+					}
+					demands[phase].Add(p, op.Dst, slots)
 				}
 			}
 		}
@@ -171,6 +191,7 @@ func Analyze(wl *traffic.Workload, opt Options) (*traffic.Workload, Analysis, er
 		phases = phases[:len(phases)-1]
 	}
 	an.Phases = phases
+	an.Demands = demands[:len(phases)]
 	base.StaticPhases = phases
 
 	if opt.InsertDirectives {

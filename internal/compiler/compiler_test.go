@@ -74,6 +74,42 @@ func TestAnalyzeRecoversTwoPhases(t *testing.T) {
 	}
 }
 
+// TestAnalyzeDemandsAlignWithPhases checks the planner bridge: Analyze emits
+// one slot-unit demand matrix per phase, with support exactly the phase's
+// working set and totals matching the phase's traffic at the payload size.
+func TestAnalyzeDemandsAlignWithPhases(t *testing.T) {
+	const n = 32
+	stripped := Strip(traffic.TwoPhase(n, 64, 3))
+	_, an, err := Analyze(stripped, Options{PayloadBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Demands) != an.PhaseCount() {
+		t.Fatalf("%d demand matrices for %d phases", len(an.Demands), an.PhaseCount())
+	}
+	for k, d := range an.Demands {
+		for _, c := range d.WorkingSet().Conns() {
+			if !an.Phases[k].Contains(c) {
+				t.Fatalf("phase %d: demand on %v outside the phase's working set", k, c)
+			}
+		}
+		for _, c := range an.Phases[k].Conns() {
+			if d.At(c.Src, c.Dst) <= 0 {
+				t.Fatalf("phase %d: working-set connection %v carries no demand", k, c)
+			}
+		}
+		if d.Total() <= 0 {
+			t.Fatalf("phase %d: empty demand", k)
+		}
+	}
+	// 64-byte sends at 64-byte payload: one slot per send, so the first
+	// (all-to-all) phase outweighs the local phase.
+	if an.Demands[0].Total() <= an.Demands[1].Total() {
+		t.Fatalf("demand totals %d, %d: the global phase should dominate",
+			an.Demands[0].Total(), an.Demands[1].Total())
+	}
+}
+
 func TestAnalyzeSinglePhaseWorkloads(t *testing.T) {
 	for _, wl := range []*traffic.Workload{
 		traffic.OrderedMesh(16, 64, 10),

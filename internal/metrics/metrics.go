@@ -54,6 +54,16 @@ type NetStats struct {
 	SlotsUsed, SlotsTotal uint64
 	// Preloads counts configuration groups loaded by the preload controller.
 	Preloads uint64
+	// Planner names the preload planner that computed the pinned schedule
+	// ("solstice", "bvn", ...); empty when the preloads were hand-written
+	// (no planner configured). The Plan* counters below describe its
+	// schedule: PlanConfigs distinct planned configurations, PlanGroups
+	// configuration groups, PlanResidualConns connections the plan spilled
+	// to the dynamic path, PlanDrainSlots the planner's own drain estimate
+	// in slots (reconfiguration charges included, rounded up). All zero
+	// without a planner.
+	Planner                                                    string
+	PlanConfigs, PlanGroups, PlanResidualConns, PlanDrainSlots uint64
 	// Amplifications counts extra slots granted to hot connections
 	// (bandwidth amplification, core extension 2).
 	Amplifications uint64

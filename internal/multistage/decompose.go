@@ -48,3 +48,122 @@ func DecomposeRealizable(ws *topology.WorkingSet, ports int, fabricName string, 
 	}
 	return configs, nil
 }
+
+// Weighted is one term of a Birkhoff–von-Neumann-style decomposition: a
+// conflict-free partial permutation carrying an integer weight.
+type Weighted struct {
+	// Weight is the term's coefficient in slots (always positive).
+	Weight int64
+	// Config is the partial permutation.
+	Config *bitmat.Matrix
+}
+
+// DecomposeBvN splits a non-negative integer n×n demand matrix — read
+// through the accessor `at` — into weighted partial permutations that sum
+// exactly to the input:
+//
+//	demand(u,v) = Σ over terms t with t.Config[u,v]=1 of t.Weight
+//
+// This is the integer analogue of the Birkhoff–von-Neumann theorem extended
+// to arbitrary (non-doubly-stochastic) matrices via partial permutations:
+// each round extracts a maximum-cardinality matching over the remaining
+// support (Kuhn's augmenting paths, deterministic adjacency order: heavier
+// columns first, ties to the lower column index) weighted by the smallest
+// remaining entry it touches. Every round zeroes at least one entry, so at
+// most nnz(demand) terms are produced. The decomposition is deterministic.
+func DecomposeBvN(n int, at func(u, v int) int64) ([]Weighted, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("multistage: invalid matrix size %d", n)
+	}
+	rem := make([]int64, n*n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			w := at(u, v)
+			if w < 0 {
+				return nil, fmt.Errorf("multistage: negative demand %d at (%d,%d)", w, u, v)
+			}
+			rem[u*n+v] = w
+		}
+	}
+	matchOf := make([]int, n) // row -> matched col, -1 if unmatched
+	colOf := make([]int, n)   // col -> matched row, -1 if unmatched
+	visited := make([]bool, n)
+	var augment func(u int) bool
+	augment = func(u int) bool {
+		// Try columns in deterministic order: heaviest remaining entry
+		// first so heavy edges tend to share a term, ties to the lower
+		// column index (sortColsByWeight is stable). The candidate list is
+		// per call — the recursion below must not clobber it.
+		adj := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			if rem[u*n+v] > 0 {
+				adj = append(adj, v)
+			}
+		}
+		row := rem[u*n : u*n+n]
+		sortColsByWeight(adj, row)
+		for _, v := range adj {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			if colOf[v] < 0 || augment(colOf[v]) {
+				matchOf[u], colOf[v] = v, u
+				return true
+			}
+		}
+		return false
+	}
+	var terms []Weighted
+	for {
+		for i := range matchOf {
+			matchOf[i], colOf[i] = -1, -1
+		}
+		size := 0
+		for u := 0; u < n; u++ {
+			for i := range visited {
+				visited[i] = false
+			}
+			if augment(u) {
+				size++
+			}
+		}
+		if size == 0 {
+			break
+		}
+		// The term's weight is the bottleneck entry of the matching, so
+		// subtracting it zeroes at least one entry.
+		var weight int64
+		for u := 0; u < n; u++ {
+			if v := matchOf[u]; v >= 0 {
+				if w := rem[u*n+v]; weight == 0 || w < weight {
+					weight = w
+				}
+			}
+		}
+		cfg := bitmat.NewSquare(n)
+		for u := 0; u < n; u++ {
+			if v := matchOf[u]; v >= 0 {
+				cfg.Set(u, v)
+				rem[u*n+v] -= weight
+			}
+		}
+		terms = append(terms, Weighted{Weight: weight, Config: cfg})
+	}
+	return terms, nil
+}
+
+// sortColsByWeight orders the candidate columns by decreasing remaining
+// weight, ties to the lower index (insertion sort keeps it allocation-free
+// and stable; candidate lists are at most the row's degree).
+func sortColsByWeight(cols []int, row []int64) {
+	for i := 1; i < len(cols); i++ {
+		c := cols[i]
+		j := i - 1
+		for j >= 0 && row[cols[j]] < row[c] {
+			cols[j+1] = cols[j]
+			j--
+		}
+		cols[j+1] = c
+	}
+}

@@ -1,0 +1,138 @@
+package multistage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkBvN asserts the decomposition invariants for a demand matrix: every
+// term is a conflict-free partial permutation with positive weight, and the
+// weighted sum of the terms reproduces the input exactly.
+func checkBvN(t *testing.T, n int, demand []int64, terms []Weighted) {
+	t.Helper()
+	sum := make([]int64, n*n)
+	for ti, term := range terms {
+		if term.Weight <= 0 {
+			t.Fatalf("term %d has non-positive weight %d", ti, term.Weight)
+		}
+		if term.Config == nil || term.Config.Rows() != n || term.Config.Cols() != n {
+			t.Fatalf("term %d has malformed config", ti)
+		}
+		if !term.Config.IsPartialPermutation() {
+			t.Fatalf("term %d is not a conflict-free partial permutation", ti)
+		}
+		if term.Config.IsZero() {
+			t.Fatalf("term %d is empty", ti)
+		}
+		term.Config.Ones(func(u, v int) bool {
+			sum[u*n+v] += term.Weight
+			return true
+		})
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if sum[u*n+v] != demand[u*n+v] {
+				t.Fatalf("entry (%d,%d): terms sum to %d, demand is %d",
+					u, v, sum[u*n+v], demand[u*n+v])
+			}
+		}
+	}
+}
+
+func TestDecomposeBvNProperty(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		demand func(n int) []int64
+	}{
+		{"empty", 4, func(n int) []int64 { return make([]int64, n*n) }},
+		{"uniform permutation", 8, func(n int) []int64 {
+			d := make([]int64, n*n)
+			for u := 0; u < n; u++ {
+				d[u*n+(u+1)%n] = 7
+			}
+			return d
+		}},
+		{"skewed shifts", 16, func(n int) []int64 {
+			d := make([]int64, n*n)
+			for u := 0; u < n; u++ {
+				d[u*n+(u+1)%n] = 64 // hot
+				d[u*n+(u+2)%n] = 3
+				d[u*n+(u+5)%n] = 1
+			}
+			return d
+		}},
+		{"dense random", 12, func(n int) []int64 {
+			rng := rand.New(rand.NewSource(42))
+			d := make([]int64, n*n)
+			for i := range d {
+				if rng.Intn(3) == 0 {
+					d[i] = int64(rng.Intn(100))
+				}
+			}
+			return d
+		}},
+		{"single hot entry", 6, func(n int) []int64 {
+			d := make([]int64, n*n)
+			d[0*n+3] = 1_000_000
+			return d
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.demand(tc.n)
+			terms, err := DecomposeBvN(tc.n, func(u, v int) int64 { return d[u*tc.n+v] })
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBvN(t, tc.n, d, terms)
+			// Term count is bounded by the support size.
+			nnz := 0
+			for _, w := range d {
+				if w > 0 {
+					nnz++
+				}
+			}
+			if len(terms) > nnz {
+				t.Fatalf("%d terms exceed support size %d", len(terms), nnz)
+			}
+		})
+	}
+}
+
+func TestDecomposeBvNDeterministic(t *testing.T) {
+	n := 10
+	rng := rand.New(rand.NewSource(7))
+	d := make([]int64, n*n)
+	for i := range d {
+		if rng.Intn(2) == 0 {
+			d[i] = int64(rng.Intn(50))
+		}
+	}
+	at := func(u, v int) int64 { return d[u*n+v] }
+	a, err := DecomposeBvN(n, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecomposeBvN(n, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("term counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Weight != b[i].Weight || !a[i].Config.Equal(b[i].Config) {
+			t.Fatalf("term %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestDecomposeBvNErrors(t *testing.T) {
+	if _, err := DecomposeBvN(0, func(u, v int) int64 { return 0 }); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := DecomposeBvN(4, func(u, v int) int64 { return -1 }); err == nil {
+		t.Error("negative demand should error")
+	}
+}

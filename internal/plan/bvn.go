@@ -1,0 +1,102 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"pmsnet/internal/bitmat"
+	"pmsnet/internal/multistage"
+)
+
+// BvN plans by Birkhoff–von-Neumann-style decomposition, after Minaeva et
+// al. ("Scalable and Efficient Configuration of Time-Division Multiplexed
+// Resources"): multistage.DecomposeBvN splits the integer demand matrix
+// exactly into weighted partial permutations, so the sum of the terms
+// reproduces the input entry for entry. Each term becomes one planned
+// configuration whose drain requirement is the term's weight; heavy terms
+// come first and collect proportionally more register shares. Unlike
+// solstice, a connection may appear in several configurations (one per
+// weight layer), which lets BvN shape service rates more finely at the cost
+// of more configurations.
+type BvN struct{}
+
+// Name implements Planner.
+func (BvN) Name() string { return "bvn" }
+
+// Plan implements Planner.
+func (BvN) Plan(d *Demand, k, preloadSlots int, opts Options) (*Schedule, error) {
+	if err := checkPlanArgs(d, k, preloadSlots); err != nil {
+		return nil, err
+	}
+	terms, err := multistage.DecomposeBvN(d.N(), d.At)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	var entries []Entry
+	for _, t := range terms {
+		for _, cfg := range splitRealizable(t.Config, opts.CanRealize) {
+			entries = append(entries, Entry{
+				Config:  cfg,
+				Demand:  t.Weight,
+				Covered: t.Weight * int64(cfg.Count()),
+			})
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Demand > entries[j].Demand
+	})
+	s := &Schedule{
+		Planner:      "bvn",
+		N:            d.N(),
+		K:            k,
+		PreloadSlots: preloadSlots,
+		Residual:     NewDemand(d.N()),
+	}
+	// Spill trailing light terms to the dynamic path. A dropped term removes
+	// only its own weight from each of its connections — earlier kept terms
+	// may still cover the rest of the connection's demand.
+	kept := entries
+	if !opts.CoverAll {
+		thr := residualThreshold(k, opts.ReconfigSlots)
+		for len(kept) > 1 && kept[len(kept)-1].Covered < thr {
+			e := kept[len(kept)-1]
+			e.Config.Ones(func(u, v int) bool {
+				s.Residual.Add(u, v, e.Demand)
+				return true
+			})
+			kept = kept[:len(kept)-1]
+		}
+	}
+	s.Covered = coveredDemand(d, s.Residual)
+	s.Groups, s.DrainSlots, s.Reconfigs = packGroups(kept, k, preloadSlots, opts.ReconfigSlots)
+	return s, nil
+}
+
+// splitRealizable returns cfg itself when the fabric can route it, or splits
+// it first-fit into realizable sub-configurations (mirroring
+// multistage.DecomposeRealizable) when it cannot. A single connection is
+// always realizable, so the split terminates.
+func splitRealizable(cfg *bitmat.Matrix, canRealize func(*bitmat.Matrix) bool) []*bitmat.Matrix {
+	if canRealize == nil || canRealize(cfg) {
+		return []*bitmat.Matrix{cfg}
+	}
+	n := cfg.Rows()
+	var parts []*bitmat.Matrix
+	cfg.Ones(func(u, v int) bool {
+		for _, p := range parts {
+			if p.RowAny(u) || p.ColAny(v) {
+				continue
+			}
+			p.Set(u, v)
+			if canRealize(p) {
+				return true
+			}
+			p.Clear(u, v)
+		}
+		p := bitmat.NewSquare(n)
+		p.Set(u, v)
+		parts = append(parts, p)
+		return true
+	})
+	return parts
+}

@@ -1,0 +1,59 @@
+package plan
+
+// Solstice plans by greedy cover, after "Costly Circuits, Submodular
+// Schedules" (Liu et al., CoNEXT'15): each round extracts the conflict-free
+// configuration covering the most remaining demand (heaviest-edge-first
+// greedy matching — the classic 1/2-approximation to the submodular
+// max-weight matching step), until the demand is exhausted. Because a pinned
+// configuration keeps serving its connections every cycle, each connection
+// is covered by exactly one configuration, and configurations extracted
+// later carry strictly less traffic — the natural heaviest-first order the
+// group packer expects.
+//
+// Two departures from today's static preloads make the schedule
+// demand-aware:
+//
+//   - Register shares. A group's pinned registers are divided in proportion
+//     to each configuration's drain requirement (assignShares), so a hot
+//     matching can hold several of the slot registers per cycle while light
+//     matchings share the rest — instead of everyone getting exactly one.
+//   - Reconfiguration charging. Group boundaries come from a dynamic
+//     program that prices every extra group at Options.ReconfigSlots (the
+//     80 ns control-plane delay in slot units), and in hybrid mode trailing
+//     configurations too light to pay for a register (less than one TDM
+//     cycle of coverage, residualThreshold) spill to the dynamic path.
+type Solstice struct{}
+
+// Name implements Planner.
+func (Solstice) Name() string { return "solstice" }
+
+// Plan implements Planner.
+func (Solstice) Plan(d *Demand, k, preloadSlots int, opts Options) (*Schedule, error) {
+	if err := checkPlanArgs(d, k, preloadSlots); err != nil {
+		return nil, err
+	}
+	rem := d.Clone()
+	var entries []Entry
+	for !rem.IsZero() {
+		cfg, maxConn, covered := heaviestMatching(rem, opts.CanRealize)
+		if cfg == nil {
+			break
+		}
+		entries = append(entries, Entry{Config: cfg, Demand: maxConn, Covered: covered})
+		cfg.Ones(func(u, v int) bool {
+			rem.Set(u, v, 0)
+			return true
+		})
+	}
+	s := &Schedule{
+		Planner:      "solstice",
+		N:            d.N(),
+		K:            k,
+		PreloadSlots: preloadSlots,
+	}
+	var kept []Entry
+	kept, s.Residual = splitResidual(entries, d, k, opts)
+	s.Covered = coveredDemand(d, s.Residual)
+	s.Groups, s.DrainSlots, s.Reconfigs = packGroups(kept, k, preloadSlots, opts.ReconfigSlots)
+	return s, nil
+}

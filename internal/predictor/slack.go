@@ -1,0 +1,117 @@
+package predictor
+
+import (
+	"fmt"
+
+	"pmsnet/internal/sim"
+	"pmsnet/internal/topology"
+)
+
+// ScheduleSlack is the first *principled* eviction signal: instead of
+// guessing from observed idleness (Timeout) or relative use counts
+// (Counter), it consumes the preload planner's per-connection service budget
+// (plan.Schedule.PlannedUses) — the number of slots the plan says each
+// connection needs. A connection that has used up its budget has, according
+// to the plan, no future traffic, and is nominated for eviction immediately;
+// its slack is gone. Connections the plan never saw, and planned connections
+// whose traffic diverges from the plan (demand is an estimate, not an
+// oracle), fall back to the classic idle timeout so the predictor can never
+// starve the cache by trusting a stale plan.
+type ScheduleSlack struct {
+	planned  map[topology.Conn]uint64
+	used     map[topology.Conn]uint64
+	lastUse  map[topology.Conn]sim.Time
+	fallback sim.Time
+	spent    []topology.Conn
+}
+
+// NewScheduleSlack builds the predictor from a plan's per-connection slot
+// budget (copied, not retained) and an idle-timeout fallback for unplanned
+// or misplanned connections. fallback must be positive.
+func NewScheduleSlack(planned map[topology.Conn]uint64, fallback sim.Time) *ScheduleSlack {
+	if fallback <= 0 {
+		panic(fmt.Sprintf("predictor: schedule-slack fallback %v must be positive", fallback))
+	}
+	p := &ScheduleSlack{
+		planned:  make(map[topology.Conn]uint64, len(planned)),
+		used:     make(map[topology.Conn]uint64),
+		lastUse:  make(map[topology.Conn]sim.Time),
+		fallback: fallback,
+	}
+	for c, n := range planned {
+		if n > 0 {
+			p.planned[c] = n
+		}
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *ScheduleSlack) Name() string { return fmt.Sprintf("schedule-slack(%v)", p.fallback) }
+
+// Slack returns the connection's remaining planned budget in slots, or 0
+// when the budget is spent or the plan never covered it.
+func (p *ScheduleSlack) Slack(c topology.Conn) uint64 {
+	total, ok := p.planned[c]
+	if !ok || p.used[c] >= total {
+		return 0
+	}
+	return total - p.used[c]
+}
+
+// OnEstablish implements Predictor.
+func (p *ScheduleSlack) OnEstablish(c topology.Conn, now sim.Time) {
+	p.lastUse[c] = now
+}
+
+// OnUse implements Predictor.
+func (p *ScheduleSlack) OnUse(c topology.Conn, now sim.Time) {
+	p.lastUse[c] = now
+	if _, ok := p.planned[c]; !ok {
+		return
+	}
+	p.used[c]++
+	if p.used[c] == p.planned[c] {
+		// Crossing the budget exactly once keeps the nomination list
+		// duplicate-free even when traffic overshoots the plan.
+		p.spent = append(p.spent, c)
+	}
+}
+
+// OnRelease implements Predictor.
+func (p *ScheduleSlack) OnRelease(c topology.Conn) {
+	delete(p.lastUse, c)
+	for i, s := range p.spent {
+		if s == c {
+			p.spent = append(p.spent[:i], p.spent[i+1:]...)
+			break
+		}
+	}
+}
+
+// Evictions implements Predictor.
+func (p *ScheduleSlack) Evictions(now sim.Time) []topology.Conn {
+	out := make([]topology.Conn, len(p.spent))
+	copy(out, p.spent)
+	for c, last := range p.lastUse {
+		if p.Slack(c) == 0 && now-last >= p.fallback {
+			// Either unplanned, or the budget is spent but the connection was
+			// already nominated and not yet released — the spent list covers
+			// the latter, so avoid duplicates.
+			if !p.inSpent(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	sortConns(out)
+	return out
+}
+
+func (p *ScheduleSlack) inSpent(c topology.Conn) bool {
+	for _, s := range p.spent {
+		if s == c {
+			return true
+		}
+	}
+	return false
+}

@@ -49,6 +49,9 @@ type ConfigSpec struct {
 	// Scheduler selects the TDM scheduling algorithm (paper, islip,
 	// wavefront); empty means the paper scheduler.
 	Scheduler string `json:"scheduler,omitempty"`
+	// Planner selects the preload planner for tdm-preload/tdm-hybrid
+	// (static, solstice, bvn); empty means the static decomposition.
+	Planner string `json:"planner,omitempty"`
 	// SchedShards and SchedWarmStart are the execution-only scheduler
 	// knobs: bit-identical results, wall-clock cost only. They do not
 	// fragment the result cache (excluded from Config.Hash).
@@ -271,6 +274,11 @@ func buildConfig(spec ConfigSpec) (pmsnet.Config, error) {
 	if spec.Scheduler != "" {
 		if cfg.Scheduler, err = pmsnet.ParseScheduler(spec.Scheduler); err != nil {
 			return cfg, &AdmissionError{Field: "config.scheduler", Reason: err.Error()}
+		}
+	}
+	if spec.Planner != "" {
+		if cfg.Planner, err = pmsnet.ParsePlanner(spec.Planner); err != nil {
+			return cfg, &AdmissionError{Field: "config.planner", Reason: err.Error()}
 		}
 	}
 	if spec.Eviction != "" {

@@ -67,6 +67,12 @@ type metrics struct {
 	schedWarmMisses  atomic.Uint64
 	schedDirtyRows   atomic.Uint64
 
+	// Preload-planner activity aggregated the same way: runs whose config
+	// selected a planner, and the schedule shapes those plans produced.
+	plannedRuns       atomic.Uint64
+	planConfigs       atomic.Uint64
+	planResidualConns atomic.Uint64
+
 	wait durationStat // admission -> worker pickup
 	run  durationStat // worker pickup -> terminal
 }
@@ -101,6 +107,12 @@ type MetricsSnapshot struct {
 	SchedWarmMisses  uint64 `json:"sched_warm_misses"`
 	SchedDirtyRows   uint64 `json:"sched_dirty_rows"`
 
+	// Preload-planner counters summed the same way: how many completed
+	// runs carried a planned schedule, and that schedule's shape.
+	PlannedRuns       uint64 `json:"planned_runs"`
+	PlanConfigs       uint64 `json:"plan_configs"`
+	PlanResidualConns uint64 `json:"plan_residual_conns"`
+
 	QueueWait DurationStatSnapshot `json:"queue_wait"`
 	RunTime   DurationStatSnapshot `json:"run_time"`
 }
@@ -127,8 +139,12 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		SchedWarmMisses:  m.schedWarmMisses.Load(),
 		SchedDirtyRows:   m.schedDirtyRows.Load(),
 
-		QueueWait:   m.wait.snapshot(),
-		RunTime:     m.run.snapshot(),
+		PlannedRuns:       m.plannedRuns.Load(),
+		PlanConfigs:       m.planConfigs.Load(),
+		PlanResidualConns: m.planResidualConns.Load(),
+
+		QueueWait: m.wait.snapshot(),
+		RunTime:   m.run.snapshot(),
 	}
 	if hits+misses > 0 {
 		s.CacheHitRate = float64(hits) / float64(hits+misses)
@@ -144,6 +160,17 @@ func (m *metrics) recordSched(hits, misses, warmHits, warmMisses, dirtyRows uint
 	m.schedWarmHits.Add(warmHits)
 	m.schedWarmMisses.Add(warmMisses)
 	m.schedDirtyRows.Add(dirtyRows)
+}
+
+// recordPlan folds one completed report's preload-planner counters into the
+// aggregate /metrics view; reports without a planner contribute nothing.
+func (m *metrics) recordPlan(planner string, configs, residualConns uint64) {
+	if planner == "" {
+		return
+	}
+	m.plannedRuns.Add(1)
+	m.planConfigs.Add(configs)
+	m.planResidualConns.Add(residualConns)
 }
 
 // recordTerminal bumps the counter matching a terminal state.

@@ -153,6 +153,7 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 	for _, rep := range reports {
 		s.metrics.recordSched(rep.Sched.CacheHits, rep.Sched.CacheMisses,
 			rep.Sched.WarmHits, rep.Sched.WarmMisses, rep.Sched.DirtyRows)
+		s.metrics.recordPlan(rep.Plan.Planner, rep.Plan.Configs, rep.Plan.ResidualConns)
 	}
 	return json.Marshal(JobResult{Reports: reports})
 }

@@ -130,6 +130,10 @@ func TestAdmissionRejectsInvalidSpecs(t *testing.T) {
 			Workload: WorkloadSpec{Pattern: "nonsense"}}, "workload.pattern"},
 		{"bad fabric", JobSpec{Config: ConfigSpec{Switching: "tdm-dynamic", N: 16, Fabric: "torus"},
 			Workload: WorkloadSpec{Pattern: "scatter"}}, "config.fabric"},
+		{"bad planner", JobSpec{Config: ConfigSpec{Switching: "tdm-preload", N: 16, Planner: "greedy"},
+			Workload: WorkloadSpec{Pattern: "two-phase"}}, "config.planner"},
+		{"planner on reactive mode", JobSpec{Config: ConfigSpec{Switching: "tdm-dynamic", N: 16, Planner: "solstice"},
+			Workload: WorkloadSpec{Pattern: "scatter"}}, "config.planner"},
 		{"negative deadline", JobSpec{Config: ConfigSpec{Switching: "tdm-dynamic", N: 16},
 			Workload: WorkloadSpec{Pattern: "scatter"}, DeadlineMS: -1}, "deadline_ms"},
 	}
@@ -625,5 +629,37 @@ func TestMetricsAggregateSchedCounters(t *testing.T) {
 	if m2.SchedWarmHits != m.SchedWarmHits || m2.SchedCacheMisses != m.SchedCacheMisses ||
 		m2.SchedDirtyRows != m.SchedDirtyRows {
 		t.Errorf("cached replay moved the sched aggregates: %+v -> %+v", m, m2)
+	}
+}
+
+func TestMetricsAggregatePlanCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	spec := JobSpec{
+		Config:   ConfigSpec{Switching: "tdm-preload", N: 16, Planner: "solstice"},
+		Workload: WorkloadSpec{Pattern: "two-phase", Seed: 3},
+	}
+	if resp, body := post(t, ts, spec, true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("planned job: status %d: %s", resp.StatusCode, body)
+	}
+	m := fetchMetrics(t, ts)
+	if m.PlannedRuns != 1 {
+		t.Errorf("planned_runs = %d, want 1", m.PlannedRuns)
+	}
+	if m.PlanConfigs == 0 {
+		t.Error("plan_configs stayed zero after a completed planned job")
+	}
+	// The replay is a service-cache hit: plan aggregates must not move.
+	if resp, body := post(t, ts, spec, true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: status %d: %s", resp.StatusCode, body)
+	}
+	if m2 := fetchMetrics(t, ts); m2.PlannedRuns != m.PlannedRuns || m2.PlanConfigs != m.PlanConfigs {
+		t.Errorf("cached replay moved the plan aggregates: %+v -> %+v", m, m2)
+	}
+	// An unplanned job contributes nothing.
+	if resp, body := post(t, ts, simSpec(9), true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("unplanned job: status %d: %s", resp.StatusCode, body)
+	}
+	if m3 := fetchMetrics(t, ts); m3.PlannedRuns != m.PlannedRuns {
+		t.Errorf("unplanned job bumped planned_runs to %d", m3.PlannedRuns)
 	}
 }

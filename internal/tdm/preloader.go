@@ -2,9 +2,11 @@ package tdm
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"pmsnet/internal/bitmat"
+	"pmsnet/internal/plan"
 	"pmsnet/internal/probe"
 	"pmsnet/internal/topology"
 	"pmsnet/internal/traffic"
@@ -49,25 +51,25 @@ func newPreloader(r *run, wl *traffic.Workload, slots int) (*preloader, error) {
 		slots:    slots,
 		groupsOf: make(map[topology.Conn][]int),
 	}
-	for _, phase := range wl.StaticPhases {
-		configs, err := r.fab.Decompose(phase)
-		if err != nil {
-			return nil, fmt.Errorf("tdm: %w", err)
+	if r.cfg.Planner != nil {
+		if err := p.planPhases(wl); err != nil {
+			return nil, err
 		}
-		for start := 0; start < len(configs); start += slots {
-			end := start + slots
-			if end > len(configs) {
-				end = len(configs)
+	} else {
+		for _, phase := range wl.StaticPhases {
+			configs, err := r.fab.Decompose(phase)
+			if err != nil {
+				return nil, fmt.Errorf("tdm: %w", err)
 			}
-			gi := len(p.groups)
-			group := configs[start:end]
-			p.groups = append(p.groups, group)
-			for _, cfg := range group {
-				cfg.Ones(func(u, v int) bool {
-					c := topology.Conn{Src: u, Dst: v}
-					p.groupsOf[c] = append(p.groupsOf[c], gi)
-					return true
-				})
+			for start := 0; start < len(configs); start += slots {
+				end := start + slots
+				if end > len(configs) {
+					end = len(configs)
+				}
+				gi := len(p.groups)
+				group := configs[start:end]
+				p.groups = append(p.groups, group)
+				p.indexGroup(gi, group)
 			}
 		}
 	}
@@ -85,6 +87,62 @@ func newPreloader(r *run, wl *traffic.Workload, slots int) (*preloader, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// indexGroup records group membership for every connection in the group. A
+// planned configuration can occupy several of the group's slot registers
+// (register shares), so the same matrix — and thus the same connection — may
+// repeat within a group; membership is recorded once per (connection, group)
+// so the pending accounting weighs each group by distinct waiting
+// connections, exactly as on the unplanned path.
+func (p *preloader) indexGroup(gi int, group []*bitmat.Matrix) {
+	for _, cfg := range group {
+		cfg.Ones(func(u, v int) bool {
+			c := topology.Conn{Src: u, Dst: v}
+			gs := p.groupsOf[c]
+			if len(gs) == 0 || gs[len(gs)-1] != gi {
+				p.groupsOf[c] = append(gs, gi)
+			}
+			return true
+		})
+	}
+}
+
+// planPhases builds the groups through the configured planner instead of the
+// hand-written decomposition: each static phase's demand (program bytes per
+// connection, restricted to the phase's working set) is planned into
+// configuration groups with register shares, charging group swaps at the
+// control plane's reconfiguration delay in slot units. Residual demand the
+// plan spilled is simply left out of the groups — it rides the dynamic slots
+// like any unpinned traffic.
+func (p *preloader) planPhases(wl *traffic.Workload) error {
+	cfg := p.r.cfg
+	demand := plan.FromWorkload(wl, cfg.PayloadBytes)
+	opts := plan.Options{
+		ReconfigSlots: float64(cfg.Link.ControlDelay()) / float64(cfg.SlotNs),
+		CoverAll:      cfg.Mode == Preload,
+		Decompose:     p.r.fab.Decompose,
+	}
+	if !p.r.fab.Rearrangeable() {
+		opts.CanRealize = p.r.fab.CanRealize
+	}
+	for _, phase := range wl.StaticPhases {
+		sched, err := cfg.Planner.Plan(demand.Restrict(phase), cfg.K, p.slots, opts)
+		if err != nil {
+			return fmt.Errorf("tdm: %s planner: %w", cfg.Planner.Name(), err)
+		}
+		for _, group := range sched.Configs() {
+			gi := len(p.groups)
+			p.groups = append(p.groups, group)
+			p.indexGroup(gi, group)
+		}
+		p.r.stats.PlanConfigs += uint64(sched.NumConfigs())
+		p.r.stats.PlanGroups += uint64(len(sched.Groups))
+		p.r.stats.PlanResidualConns += uint64(sched.Residual.Conns())
+		p.r.stats.PlanDrainSlots += uint64(math.Ceil(sched.DrainSlots))
+	}
+	p.r.stats.Planner = cfg.Planner.Name()
+	return nil
 }
 
 // load pins group gi into the managed slots; slots beyond the group's size

@@ -41,6 +41,7 @@ import (
 	"pmsnet/internal/link"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
+	"pmsnet/internal/plan"
 	"pmsnet/internal/predictor"
 	"pmsnet/internal/probe"
 	"pmsnet/internal/runner"
@@ -86,6 +87,15 @@ type Config struct {
 	// PreloadSlots is the number of pinned slots in Hybrid mode (the
 	// paper's k); ignored otherwise.
 	PreloadSlots int
+	// Planner, when non-nil, computes the preloaded slot schedule from the
+	// workload's demand instead of the hand-written static decomposition:
+	// per phase, the preloader derives an integer demand matrix (program
+	// bytes per connection, restricted to the phase's working set) and pins
+	// the planner's configuration groups, register shares included. The
+	// plan's residual demand rides the dynamic slots (Hybrid mode; pure
+	// Preload plans with CoverAll). Nil keeps today's static preload path
+	// bit for bit. Only meaningful in Preload and Hybrid modes.
+	Planner plan.Planner
 	// NewPredictor, when non-nil, enables request latching (core extension
 	// 3): connections survive their request dropping and are evicted by the
 	// predictor. When nil, a connection is released as soon as its request
@@ -224,10 +234,16 @@ func (c Config) Validate() error {
 	}
 	switch c.Mode {
 	case Dynamic:
+		if c.Planner != nil {
+			return fmt.Errorf("tdm: a preload planner has nothing to plan in dynamic mode")
+		}
 	case Preload:
 	case Hybrid:
 		if c.PreloadSlots < 0 || c.PreloadSlots > c.K {
 			return fmt.Errorf("tdm: hybrid preload slots %d outside [0,%d]", c.PreloadSlots, c.K)
+		}
+		if c.Planner != nil && c.PreloadSlots == 0 {
+			return fmt.Errorf("tdm: a preload planner needs at least one pinned slot")
 		}
 	default:
 		return fmt.Errorf("tdm: unknown mode %d", int(c.Mode))
@@ -265,6 +281,9 @@ func (n *Network) Name() string {
 	}
 	if n.cfg.Algorithm != core.AlgPaper {
 		name += "/" + n.cfg.Algorithm.String()
+	}
+	if n.cfg.Planner != nil {
+		name += "/plan=" + n.cfg.Planner.Name()
 	}
 	return name
 }

@@ -220,3 +220,43 @@ func Concat(name string, wls ...*Workload) *Workload {
 	}
 	return out
 }
+
+// Skewed builds a demand-skewed single-phase workload, the canonical planner
+// input: every processor p sends msgs messages of the given size to each
+// partner (p+shift) mod n, except the first shift, which receives factor×
+// msgs — a hot permutation riding over light background shifts. Sends are
+// interleaved round by round so hot and cold traffic contend throughout the
+// run. StaticPhases carries the full working set, so the workload is valid
+// for preload and hybrid modes; with len(shifts) above the TDM frame size K
+// the demand cannot be pinned in one group and planning decides what the
+// registers are spent on.
+func Skewed(name string, n, bytes, msgs, factor int, shifts []int) *Workload {
+	if n < 2 || bytes <= 0 || msgs <= 0 || factor < 1 || len(shifts) == 0 {
+		panic(fmt.Sprintf("traffic: invalid skewed workload n=%d bytes=%d msgs=%d factor=%d shifts=%v",
+			n, bytes, msgs, factor, shifts))
+	}
+	for _, s := range shifts {
+		if s%n == 0 {
+			panic(fmt.Sprintf("traffic: skewed shift %d is a self-loop at n=%d", s, n))
+		}
+	}
+	wl := &Workload{Name: name, N: n, Programs: make([]Program, n)}
+	for p := 0; p < n; p++ {
+		var ops []Op
+		for m := 0; m < msgs; m++ {
+			for i, s := range shifts {
+				dst := (p + s) % n
+				reps := 1
+				if i == 0 {
+					reps = factor
+				}
+				for r := 0; r < reps; r++ {
+					ops = append(ops, Send(dst, bytes))
+				}
+			}
+		}
+		wl.Programs[p] = Program{Ops: ops}
+	}
+	wl.StaticPhases = []*topology.WorkingSet{wl.ConnSet()}
+	return wl
+}

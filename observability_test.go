@@ -56,6 +56,27 @@ func TestEvictionParseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPlannerParseRoundTrip(t *testing.T) {
+	for _, p := range []Planner{PlannerStatic, PlannerSolstice, PlannerBvN} {
+		got, err := ParsePlanner(p.String())
+		if err != nil {
+			t.Fatalf("ParsePlanner(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("ParsePlanner(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParsePlanner("greedy"); err == nil {
+		t.Fatal("ParsePlanner should reject unknown names")
+	} else {
+		for _, name := range PlannerNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("error %q should list valid name %q", err, name)
+			}
+		}
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	base := Config{Switching: DynamicTDM, N: 16}
 	if err := base.Validate(); err != nil {
@@ -73,6 +94,10 @@ func TestConfigValidate(t *testing.T) {
 		{"preload slots above K", Config{Switching: HybridTDM, N: 16, K: 4, PreloadSlots: 5}, "PreloadSlots"},
 		{"negative preload slots", Config{Switching: HybridTDM, N: 16, PreloadSlots: -1}, "PreloadSlots"},
 		{"negative amplify", Config{Switching: DynamicTDM, N: 16, AmplifyBytes: -1}, "AmplifyBytes"},
+		{"unknown planner", Config{Switching: PreloadTDM, N: 16, Planner: Planner(42)}, "Planner"},
+		{"planner on wormhole", Config{Switching: Wormhole, N: 16, Planner: PlannerSolstice}, "Planner"},
+		{"planner on dynamic TDM", Config{Switching: DynamicTDM, N: 16, Planner: PlannerBvN}, "Planner"},
+		{"planner without pinned slots", Config{Switching: HybridTDM, N: 16, Planner: PlannerSolstice}, "Planner"},
 		{"negative parallelism", Config{Switching: DynamicTDM, N: 16, Parallelism: -2}, "Parallelism"},
 	}
 	for _, tc := range cases {

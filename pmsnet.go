@@ -46,6 +46,7 @@ import (
 	"pmsnet/internal/meshnet"
 	"pmsnet/internal/metrics"
 	"pmsnet/internal/netmodel"
+	"pmsnet/internal/plan"
 	"pmsnet/internal/predictor"
 	"pmsnet/internal/runner"
 	"pmsnet/internal/sim"
@@ -349,6 +350,80 @@ var schedulerAlgs = [...]core.Algorithm{
 	SchedulerWavefront: core.AlgWavefront,
 }
 
+// Planner selects the offline preload planner for PreloadTDM/HybridTDM: the
+// algorithm that turns each static phase's per-connection demand into the
+// configuration groups pinned into the preloaded slots. The reactive modes
+// and the baselines have no preloads to plan and reject a non-default value.
+type Planner int
+
+// Preload planners.
+const (
+	// PlannerStatic is the hand-written decomposition (the default): each
+	// phase's working set is edge-colored into conflict-free configurations
+	// and chunked into groups in order, one slot register each. It is
+	// demand-blind and bit-identical to the pre-planner behaviour.
+	PlannerStatic Planner = iota
+	// PlannerSolstice is the Solstice-style greedy hybrid planner: repeated
+	// heaviest-edge-first matchings cover the demand, registers are shared
+	// in proportion to per-configuration demand, reconfigurations are
+	// charged at the control plane's delay, and connections too light to
+	// pay for a pinned register spill to the dynamic slots (HybridTDM).
+	PlannerSolstice
+	// PlannerBvN is the Birkhoff–von-Neumann planner: the demand matrix is
+	// decomposed exactly into weighted partial permutations, so the planned
+	// slot budget per connection equals its demand — the natural input for
+	// the schedule-slack eviction signal.
+	PlannerBvN
+)
+
+// String implements fmt.Stringer with the cmd/pmsim -planner vocabulary.
+func (p Planner) String() string {
+	switch p {
+	case PlannerStatic:
+		return "static"
+	case PlannerSolstice:
+		return "solstice"
+	case PlannerBvN:
+		return "bvn"
+	default:
+		return fmt.Sprintf("Planner(%d)", int(p))
+	}
+}
+
+// plannerValues lists every valid planner, in flag-name order.
+var plannerValues = []Planner{PlannerStatic, PlannerSolstice, PlannerBvN}
+
+// PlannerNames returns the canonical names accepted by ParsePlanner, in a
+// stable order — the vocabulary of the cmd/pmsim -planner flag.
+func PlannerNames() []string {
+	out := make([]string, len(plannerValues))
+	for i, v := range plannerValues {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// ParsePlanner is the inverse of Planner.String: it maps a canonical planner
+// name ("static", "solstice", "bvn") back to its value. Unknown names produce
+// an error listing every valid name.
+func ParsePlanner(name string) (Planner, error) {
+	for _, v := range plannerValues {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("pmsnet: unknown planner %q (valid: %s)",
+		name, strings.Join(PlannerNames(), ", "))
+}
+
+// plannerKinds maps the public Planner vocabulary onto the internal planner
+// kinds, indexed by Planner value.
+var plannerKinds = [...]plan.Kind{
+	PlannerStatic:   plan.KindStatic,
+	PlannerSolstice: plan.KindSolstice,
+	PlannerBvN:      plan.KindBvN,
+}
+
 // Config selects and parameterizes a network.
 type Config struct {
 	// Switching selects the paradigm.
@@ -379,13 +454,13 @@ type Config struct {
 	// and preload controller adapt to the fabric's blocking constraints
 	// automatically; the baselines ignore the field.
 	Fabric Fabric
-	// OmegaFabric runs the TDM modes on the Omega fabric.
-	//
-	// Deprecated: set Fabric to FabricOmega instead. The flag survives for
-	// callers of the pre-Fabric API and is equivalent to Fabric ==
-	// FabricOmega; setting it alongside a different non-crossbar Fabric is
-	// a configuration error.
-	OmegaFabric bool
+	// Planner selects the offline preload planner for PreloadTDM and
+	// HybridTDM: the default hand-written decomposition (the zero value,
+	// bit-identical to the pre-planner behaviour), the Solstice-style greedy
+	// hybrid planner, or the Birkhoff–von-Neumann optimizer. A non-default
+	// planner on any other switching paradigm fails Validate — there are no
+	// preloads to plan. Parse flag vocabulary with ParsePlanner.
+	Planner Planner
 	// Scheduler selects the matching algorithm for the TDM modes: the
 	// paper-exact scheduling array (the zero value), iSLIP, or wavefront
 	// matching. Only the paper algorithm is bit-pinned by the golden
@@ -521,9 +596,29 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "Fabric", Value: int(c.Fabric),
 			Reason: fmt.Sprintf("unknown fabric (valid: %s)", strings.Join(FabricNames(), ", "))}
 	}
-	if c.OmegaFabric && c.Fabric != FabricCrossbar && c.Fabric != FabricOmega {
-		return &ConfigError{Field: "Fabric", Value: c.Fabric.String(),
-			Reason: "conflicts with the deprecated OmegaFabric flag"}
+	knownPlanner := false
+	for _, v := range plannerValues {
+		if c.Planner == v {
+			knownPlanner = true
+			break
+		}
+	}
+	if !knownPlanner {
+		return &ConfigError{Field: "Planner", Value: int(c.Planner),
+			Reason: fmt.Sprintf("unknown planner (valid: %s)", strings.Join(PlannerNames(), ", "))}
+	}
+	if c.Planner != PlannerStatic {
+		switch c.Switching {
+		case PreloadTDM:
+		case HybridTDM:
+			if c.PreloadSlots == 0 {
+				return &ConfigError{Field: "Planner", Value: c.Planner.String(),
+					Reason: "needs at least one preloaded slot (PreloadSlots) to plan for"}
+			}
+		default:
+			return &ConfigError{Field: "Planner", Value: c.Planner.String(),
+				Reason: fmt.Sprintf("preload planning needs preloaded slots; %s has none", c.Switching)}
+		}
 	}
 	knownSched := false
 	for _, v := range schedulerValues {
@@ -541,9 +636,9 @@ func (c Config) Validate() error {
 	}
 	switch c.Switching {
 	case DynamicTDM, PreloadTDM, HybridTDM:
-		be, err := fabric.NewBackend(fabricKinds[c.effectiveFabric()], c.N)
+		be, err := fabric.NewBackend(fabricKinds[c.Fabric], c.N)
 		if err != nil {
-			return &ConfigError{Field: "Fabric", Value: c.effectiveFabric().String(), Reason: err.Error()}
+			return &ConfigError{Field: "Fabric", Value: c.Fabric.String(), Reason: err.Error()}
 		}
 		// Sharding and warm starting are paper-scheduler features: both
 		// lean on the Tables 1–2 pass structure (leaf-aligned change cells,
@@ -555,7 +650,7 @@ func (c Config) Validate() error {
 		}
 		if c.SchedShards > 1 && be.Leaves() < 2 {
 			return &ConfigError{Field: "SchedShards", Value: c.SchedShards,
-				Reason: fmt.Sprintf("fabric %s has a single leaf, no seam to shard on", c.effectiveFabric())}
+				Reason: fmt.Sprintf("fabric %s has a single leaf, no seam to shard on", c.Fabric)}
 		}
 		if c.SchedWarmStart && c.Scheduler != SchedulerPaper {
 			return &ConfigError{Field: "SchedWarmStart", Value: c.Scheduler.String(),
@@ -582,15 +677,6 @@ func (c Config) withDefaults() Config {
 		c.EvictionThreshold = 8
 	}
 	return c
-}
-
-// effectiveFabric resolves Config.Fabric against the deprecated OmegaFabric
-// flag: an explicit Fabric wins, the flag maps to FabricOmega.
-func (c Config) effectiveFabric() Fabric {
-	if c.Fabric == FabricCrossbar && c.OmegaFabric {
-		return FabricOmega
-	}
-	return c.Fabric
 }
 
 func (c Config) predictorFactory() (func() predictor.Predictor, error) {
@@ -636,7 +722,7 @@ func (c Config) network() (netmodel.Network, error) {
 			return nil, err
 		}
 		cfg := tdm.Config{N: c.N, K: c.K, NewPredictor: pf, AmplifyBytes: c.AmplifyBytes, Faults: c.Faults, SchedCache: c.SchedCache, Probe: c.Probe}
-		cfg.Fabric = fabricKinds[c.effectiveFabric()]
+		cfg.Fabric = fabricKinds[c.Fabric]
 		cfg.Algorithm = schedulerAlgs[c.Scheduler]
 		cfg.Shards = c.SchedShards
 		cfg.WarmStart = c.SchedWarmStart
@@ -647,6 +733,9 @@ func (c Config) network() (netmodel.Network, error) {
 		case HybridTDM:
 			cfg.Mode = tdm.Hybrid
 			cfg.PreloadSlots = c.PreloadSlots
+		}
+		if c.Planner != PlannerStatic {
+			cfg.Planner = plan.New(plannerKinds[c.Planner])
 		}
 		return tdm.New(cfg)
 	default:
@@ -697,6 +786,9 @@ type Report struct {
 	HitRate float64
 	// Sched groups the scheduler-activity counters of the TDM modes.
 	Sched SchedReport
+	// Plan describes the preload planner's schedule when Config.Planner
+	// selected one; the zero value when no planner ran.
+	Plan PlanReport
 
 	// Faults carries the fault-injection and recovery accounting; nil when
 	// the run had no active fault plan.
@@ -730,6 +822,27 @@ type SchedReport struct {
 	WarmHits   uint64
 	WarmMisses uint64
 	DirtyRows  uint64
+}
+
+// PlanReport describes the preload planner's offline schedule: which planner
+// ran and the shape of what it produced. All fields are zero when the run had
+// no planner (Config.Planner == PlannerStatic leaves the hand-written preload
+// path untouched and unreported).
+type PlanReport struct {
+	// Planner is the planner's canonical name ("solstice", "bvn"); empty
+	// without a planner.
+	Planner string
+	// Configs counts planned slot configurations (register shares included)
+	// and Groups the configuration groups they were packed into, summed
+	// over the workload's static phases.
+	Configs uint64
+	Groups  uint64
+	// ResidualConns counts connections the plan spilled to the dynamic
+	// slots instead of pinning (HybridTDM residual traffic).
+	ResidualConns uint64
+	// DrainSlots is the planner's own drain estimate in TDM slots,
+	// reconfiguration charges included, rounded up and summed over phases.
+	DrainSlots uint64
 }
 
 // FaultReport is the fault-injection and recovery accounting of a run with
@@ -789,6 +902,13 @@ func toReport(r metrics.Result) Report {
 			WarmHits:    r.Stats.SchedWarmHits,
 			WarmMisses:  r.Stats.SchedWarmMisses,
 			DirtyRows:   r.Stats.SchedDirtyRows,
+		},
+		Plan: PlanReport{
+			Planner:       r.Stats.Planner,
+			Configs:       r.Stats.PlanConfigs,
+			Groups:        r.Stats.PlanGroups,
+			ResidualConns: r.Stats.PlanResidualConns,
+			DrainSlots:    r.Stats.PlanDrainSlots,
 		},
 		Faults: toFaultReport(r.Stats.Faults),
 	}

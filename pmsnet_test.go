@@ -238,18 +238,50 @@ func recolor(a, b Report) Report {
 	return b
 }
 
-func TestOmegaFabricBackCompat(t *testing.T) {
-	wl := ScatterWorkload(16, 64)
-	legacy, err := Run(Config{Switching: DynamicTDM, N: 16, K: 4, OmegaFabric: true}, wl)
+// TestPlannerStaticMatchesDefault pins the facade-level A/B contract: an
+// explicit PlannerStatic is the zero value, so it must run the exact same
+// simulation as a config that never mentions planners at all.
+func TestPlannerStaticMatchesDefault(t *testing.T) {
+	wl := TwoPhaseWorkload(16, 64, 3)
+	def, err := Run(Config{Switching: PreloadTDM, N: 16, K: 4}, wl)
 	if err != nil {
 		t.Fatal(err)
 	}
-	modern, err := Run(Config{Switching: DynamicTDM, N: 16, K: 4, Fabric: FabricOmega}, wl)
+	explicit, err := Run(Config{Switching: PreloadTDM, N: 16, K: 4, Planner: PlannerStatic}, wl)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if legacy != modern {
-		t.Fatalf("deprecated OmegaFabric flag diverges from Fabric: %+v vs %+v", legacy, modern)
+	if def != explicit {
+		t.Fatalf("explicit PlannerStatic diverges from the default: %+v vs %+v", def, explicit)
+	}
+	if def.Plan != (PlanReport{}) {
+		t.Fatalf("static preload path reported plan stats: %+v", def.Plan)
+	}
+}
+
+// TestPlannerThroughFacade runs the optimizing planners end to end through
+// the public API and checks the Report's Plan block is populated.
+func TestPlannerThroughFacade(t *testing.T) {
+	wl := TwoPhaseWorkload(16, 64, 3)
+	for _, p := range []Planner{PlannerSolstice, PlannerBvN} {
+		for _, cfg := range []Config{
+			{Switching: PreloadTDM, N: 16, K: 4, Planner: p},
+			{Switching: HybridTDM, N: 16, K: 4, PreloadSlots: 2, Planner: p},
+		} {
+			rep, err := Run(cfg, wl)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", cfg.Switching, p, err)
+			}
+			if rep.Messages != wl.Messages() {
+				t.Errorf("%v/%v: delivered %d of %d messages", cfg.Switching, p, rep.Messages, wl.Messages())
+			}
+			if rep.Plan.Planner != p.String() {
+				t.Errorf("%v/%v: plan reports planner %q", cfg.Switching, p, rep.Plan.Planner)
+			}
+			if rep.Plan.Configs == 0 || rep.Plan.Groups == 0 || rep.Plan.DrainSlots == 0 {
+				t.Errorf("%v/%v: plan stats empty: %+v", cfg.Switching, p, rep.Plan)
+			}
+		}
 	}
 }
 
@@ -270,8 +302,8 @@ func TestRunErrors(t *testing.T) {
 	if _, err := Run(Config{Switching: DynamicTDM, N: 8, Fabric: Fabric(42)}, wl); err == nil {
 		t.Error("unknown fabric should error")
 	}
-	if _, err := Run(Config{Switching: DynamicTDM, N: 8, Fabric: FabricClos, OmegaFabric: true}, wl); err == nil {
-		t.Error("OmegaFabric alongside a different fabric should error")
+	if _, err := Run(Config{Switching: DynamicTDM, N: 8, Planner: PlannerSolstice}, wl); err == nil {
+		t.Error("planner on a reactive paradigm should error")
 	}
 	if _, err := Run(Config{Switching: DynamicTDM, N: 12, Fabric: FabricOmega}, ScatterWorkload(12, 16)); err == nil {
 		t.Error("omega fabric with non-power-of-two N should error")
