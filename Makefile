@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race fuzz bench bench-compare trace-smoke service-smoke plan-smoke figures clean
+.PHONY: all build test check vet race fuzz bench bench-compare trace-smoke service-smoke plan-smoke workload-smoke figures clean
 
 all: build test
 
@@ -97,9 +97,17 @@ plan-smoke:
 		-o /tmp/pmsnet-plan-smoke.json > /dev/null
 	@test -s /tmp/pmsnet-plan-smoke.json
 
-# Short fuzzing passes over the text-format parsers, the scheduling-pass
-# cache, the sparse/dense bitmat parity, and the Clos spine router.
+# Workload-registry gate: every registered generator family runs under both
+# dynamic and hybrid TDM with the race detector on. New families cannot land
+# without passing this.
+workload-smoke:
+	$(GO) test -race -run TestWorkloadSmoke -count=1 .
+
+# Short fuzzing passes over the text-format parsers, the workload-spec
+# grammar, the scheduling-pass cache, the sparse/dense bitmat parity, and
+# the Clos spine router.
 fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzWorkloadSpec -fuzztime=30s ./internal/traffic/
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzPlan -fuzztime=30s ./internal/fault/
 	$(GO) test -run=NONE -fuzz=FuzzSchedCache -fuzztime=30s ./internal/core/

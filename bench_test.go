@@ -284,3 +284,37 @@ func BenchmarkAblationDecomposer(b *testing.B) {
 		b.ReportMetric(float64(r.GreedyConfigs), r.Workload+"-greedy")
 	}
 }
+
+// benchWorkloadFamily benchmarks one generator family end to end at the
+// published scale: build the N=128 workload from its registry spec, then run
+// it through dynamic TDM with the paper's time-out predictor. Construction
+// is inside the timed loop on purpose — generator cost (RNG draws, phase
+// annotation) is part of what these benches track across captures.
+func benchWorkloadFamily(b *testing.B, spec string) {
+	b.Helper()
+	var res Report
+	for i := 0; i < b.N; i++ {
+		wl, err := GenerateWorkload(spec, experiments.N, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = Run(Config{Switching: DynamicTDM, N: experiments.N}, wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Efficiency, "eff")
+	b.ReportMetric(float64(res.Messages), "msgs")
+}
+
+// One benchmark per post-seed workload family (same specs as the figures'
+// family sweep).
+func BenchmarkWorkloadAllReduceRing(b *testing.B) { benchWorkloadFamily(b, "all-reduce:algo=ring") }
+func BenchmarkWorkloadAllReduceTree(b *testing.B) { benchWorkloadFamily(b, "all-reduce:algo=tree") }
+func BenchmarkWorkloadBroadcast(b *testing.B)     { benchWorkloadFamily(b, "broadcast:msgs=8") }
+func BenchmarkWorkloadGather(b *testing.B)        { benchWorkloadFamily(b, "gather:msgs=8") }
+func BenchmarkWorkloadPhased(b *testing.B)        { benchWorkloadFamily(b, "phased") }
+func BenchmarkWorkloadTiles(b *testing.B)         { benchWorkloadFamily(b, "tiles") }
+func BenchmarkWorkloadBursty(b *testing.B)        { benchWorkloadFamily(b, "bursty") }
+func BenchmarkWorkloadPermChurn(b *testing.B)     { benchWorkloadFamily(b, "perm-churn") }
+func BenchmarkWorkloadIncast(b *testing.B)        { benchWorkloadFamily(b, "incast") }

@@ -12,6 +12,7 @@
 //	figures -table3    # only Table 3
 //	figures -ablations # only the ablations
 //	figures -faults    # only the fault-injection robustness sweep
+//	figures -workloads # only the workload-family studies (ROADMAP item 4)
 //	figures -quick     # reduced size sweep for a fast look
 //	figures -j 8       # run up to 8 simulations in parallel
 //	figures -timeline -net tdm-dynamic   # slot-utilization/backlog timeline
@@ -44,6 +45,7 @@ func main() {
 		table3    = flag.Bool("table3", false, "regenerate Table 3")
 		ablations = flag.Bool("ablations", false, "run the ablation studies")
 		faults    = flag.Bool("faults", false, "run the fault-injection robustness sweep")
+		workloads = flag.Bool("workloads", false, "run the workload-family studies (collectives, phased, adversarial)")
 		quick     = flag.Bool("quick", false, "reduced sweeps for a fast look")
 		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
 		seed      = flag.Int64("seed", 1, "workload random seed")
@@ -61,7 +63,7 @@ func main() {
 		}
 		return
 	}
-	all := !*fig4 && !*fig5 && !*table3 && !*ablations && !*faults
+	all := !*fig4 && !*fig5 && !*table3 && !*ablations && !*faults && !*workloads
 
 	ex := experiments.Exec{Parallelism: *jobs}
 	if *progress {
@@ -122,17 +124,48 @@ func main() {
 		if *quick {
 			levels = levels[:3]
 		}
-		rows, err := experiments.FaultSweepExec(ex, n, traffic.RandomMesh(n, 64, experiments.MeshMsgs, *seed), levels)
+		rows, err := experiments.FaultSweepExec(ex, n, traffic.MustGenerate("random-mesh", n, *seed), levels)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.FaultTable(rows))
 	}
+	if all || *workloads {
+		runWorkloadStudies(ex, *seed)
+	}
 }
 
+// runWorkloadStudies prints the ROADMAP item-4 workload-family studies: the
+// per-family regime sweep, the phased-program planner demonstration, and the
+// adversarial sched-cache study.
+func runWorkloadStudies(ex experiments.Exec, seed int64) {
+	n := experiments.N
+
+	fam, err := experiments.FamilySweepExec(ex, n, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AblationTable("Workload families: reactive dynamic TDM vs Solstice-planned hybrid", fam))
+
+	st, err := experiments.PhasedPlannerStudyExec(ex, n, "phased", seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.PhasedStudyTable(st))
+
+	adv, err := experiments.AdversarySweepExec(ex, n, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.AdversaryTable(n, adv))
+}
+
+// Ablation workloads are built through the generator registry (the same
+// vocabulary as pmsim -pattern); family defaults match the published
+// configuration, so only deviations appear in the specs.
 func runAblations(ex experiments.Exec, seed int64) {
 	n := experiments.N
-	mesh := traffic.RandomMesh(n, 64, experiments.MeshMsgs, seed)
+	mesh := traffic.MustGenerate("random-mesh", n, seed)
 
 	pred, err := experiments.PredictorAblationExec(ex, n, mesh)
 	if err != nil {
@@ -147,7 +180,7 @@ func runAblations(ex experiments.Exec, seed int64) {
 	fmt.Println(experiments.AblationTable("Ablation: multiplexing degree K (random mesh, 64B)", deg))
 
 	degSparse, err := experiments.DegreeSweepExec(ex, n, []int{1, 2, 3, 4, 8},
-		traffic.Mix(n, 64, experiments.Fig5Msgs, 1.0, experiments.Fig5Think, 7))
+		traffic.MustGenerate("mix:msgs=40,determinism=1", n, 7))
 	if err != nil {
 		fatal(err)
 	}
@@ -159,22 +192,22 @@ func runAblations(ex experiments.Exec, seed int64) {
 	}
 	fmt.Println(experiments.AblationTable("Ablation: priority rotation (random mesh, 64B)", rot))
 
-	skip, err := experiments.SkipEmptyAblationExec(ex, n, 8, traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4))
+	skip, err := experiments.SkipEmptyAblationExec(ex, n, 8, traffic.MustGenerate("ordered-mesh", n, seed))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Ablation: TDM-counter empty-slot skipping (ordered mesh, K=8)", skip))
 
-	sl, err := experiments.SLCopiesSweepExec(ex, n, []int{1, 2, 4}, traffic.AllToAll(n, 64))
+	sl, err := experiments.SLCopiesSweepExec(ex, n, []int{1, 2, 4}, traffic.MustGenerate("all-to-all", n, seed))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Ablation: scheduling-logic copies (all-to-all, 64B)", sl))
 
 	dec := experiments.DecomposerComparison([]*traffic.Workload{
-		traffic.OrderedMesh(n, 64, 1),
-		traffic.AllToAll(n, 64),
-		traffic.Mix(n, 64, 10, 0.8, 0, seed),
+		traffic.MustGenerate("ordered-mesh:rounds=1", n, seed),
+		traffic.MustGenerate("all-to-all", n, seed),
+		traffic.MustGenerate("mix:msgs=10,determinism=0.8,think=0s", n, seed),
 	})
 	fmt.Println("== Ablation: preload decomposer (exact edge coloring vs greedy first-fit) ==")
 	fmt.Printf("%-22s %-8s %-14s %-14s\n", "workload", "degree", "exact configs", "greedy configs")
@@ -183,7 +216,7 @@ func runAblations(ex experiments.Exec, seed int64) {
 	}
 	fmt.Println()
 
-	amp, err := experiments.AmplifyAblationExec(ex, n, traffic.Hotspot(n, 64, experiments.MeshMsgs, 2048, 50, seed))
+	amp, err := experiments.AmplifyAblationExec(ex, n, traffic.MustGenerate("hotspot", n, seed))
 	if err != nil {
 		fatal(err)
 	}
@@ -195,16 +228,16 @@ func runAblations(ex experiments.Exec, seed int64) {
 	}
 	fmt.Println(experiments.AblationTable("Prefetching predictor (cyclic traffic, 1.2us gaps)", pre))
 
-	pay, err := experiments.PayloadSweepExec(ex, n, []int{32, 48, 64, 72, 80}, traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4))
+	pay, err := experiments.PayloadSweepExec(ex, n, []int{32, 48, 64, 72, 80}, traffic.MustGenerate("ordered-mesh", n, seed))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(experiments.AblationTable("Slot payload (guard-band complement) sweep", pay))
 
 	fab, err := experiments.FabricComparisonExec(ex, n, []*traffic.Workload{
-		traffic.OrderedMesh(n, 64, 1),
-		traffic.AllToAll(n, 64),
-		traffic.RandomMesh(n, 64, 10, seed),
+		traffic.MustGenerate("ordered-mesh:rounds=1", n, seed),
+		traffic.MustGenerate("all-to-all", n, seed),
+		traffic.MustGenerate("random-mesh:msgs=10", n, seed),
 	})
 	if err != nil {
 		fatal(err)
@@ -212,8 +245,8 @@ func runAblations(ex experiments.Exec, seed int64) {
 	fmt.Println(experiments.FabricTable(fab))
 
 	omega, err := experiments.OmegaFabricStudyExec(ex, n, []*traffic.Workload{
-		traffic.Shift(n, 64, experiments.MeshMsgs, 1),
-		traffic.BitReverse(n, 64, experiments.MeshMsgs),
+		traffic.MustGenerate("shift", n, seed),
+		traffic.MustGenerate("bit-reverse", n, seed),
 	})
 	if err != nil {
 		fatal(err)
@@ -239,8 +272,8 @@ func runAblations(ex experiments.Exec, seed int64) {
 	fmt.Println(experiments.AblationTable("Preload planners vs reactive TDM (skewed/sparse demand)", planners))
 
 	for _, wl := range []*traffic.Workload{
-		traffic.RandomMesh(n, 64, experiments.MeshMsgs, seed),
-		traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4),
+		traffic.MustGenerate("random-mesh", n, seed),
+		traffic.MustGenerate("ordered-mesh", n, seed),
 	} {
 		mb, err := experiments.ModernBaselineExec(ex, n, wl)
 		if err != nil {
@@ -253,12 +286,12 @@ func runAblations(ex experiments.Exec, seed int64) {
 	// The transpose permutation needs a square grid; run it on 100 routers
 	// (10x10) next to the 128-processor ordered mesh.
 	mh, err := experiments.MultiHopStudyExec(ex, n, []*traffic.Workload{
-		traffic.OrderedMesh(n, 64, experiments.MeshMsgs/4),
+		traffic.MustGenerate("ordered-mesh", n, seed),
 	})
 	if err != nil {
 		fatal(err)
 	}
-	transpose := traffic.Transpose(100, 64, experiments.MeshMsgs)
+	transpose := traffic.MustGenerate("transpose", 100, seed)
 	mh2, err := experiments.MultiHopStudyExec(ex, 100, []*traffic.Workload{
 		transpose,
 		experiments.SparsePermutation(transpose, 2000),

@@ -4,13 +4,20 @@
 // Usage:
 //
 //	pmsim -net tdm-dynamic -pattern random-mesh -n 128 -size 64 -k 4
+//	pmsim -net tdm-hybrid -pattern all-reduce:algo=tree -planner solstice
 //	pmsim -net wormhole -workload workload.pms
-//	pmsim -net tdm-dynamic -pattern random-mesh -seeds 16 -parallel 8
+//	pmsim -net tdm-dynamic -pattern perm-churn:rounds=8 -seeds 16 -parallel 8
 //	pmsim -net tdm-dynamic -pattern random-mesh -trace run.trace.json
 //
 // Networks: wormhole, circuit, tdm-dynamic, tdm-preload, tdm-hybrid (and
 // more; `pmsim -net list` prints the full vocabulary).
-// Patterns: scatter, ordered-mesh, random-mesh, all-to-all, two-phase, mix.
+// Patterns come from the shared workload-generator registry: a spec is
+// `name[:key=value,...]`, and `pmsim -pattern list` prints every registered
+// family with its parameter schema, defaults and description — the one
+// authoritative catalog (this header deliberately does not duplicate it).
+// Parameters given in the spec win; the classic flags (-size, -msgs,
+// -rounds, -determinism, -think) fill in any parameter the spec leaves
+// unset, for families that have it.
 // Fabrics (TDM modes): crossbar, omega, clos, benes (`pmsim -fabric list`).
 // Planners (tdm-preload/tdm-hybrid): static, solstice, bvn
 // (`pmsim -planner list`) pick the offline preload planner.
@@ -35,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"pmsnet"
@@ -43,13 +51,13 @@ import (
 func main() {
 	var (
 		netName  = flag.String("net", "tdm-dynamic", "network: wormhole|circuit|voq-islip|tdm-dynamic|tdm-preload|tdm-hybrid|mesh-wormhole|mesh-tdm")
-		pattern  = flag.String("pattern", "random-mesh", "workload: scatter|ordered-mesh|random-mesh|all-to-all|two-phase|mix|transpose|bit-reverse|hotspot")
+		pattern  = flag.String("pattern", "random-mesh", "workload generator spec name[:key=value,...] ('list' prints the full catalog)")
 		workload = flag.String("workload", "", "run a PMSTRACE command file instead of a built-in pattern")
 		tracePth = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file")
 		n        = flag.Int("n", 128, "processor count")
-		size     = flag.Int("size", 64, "message size in bytes")
-		msgs     = flag.Int("msgs", 50, "messages per processor (random-mesh, mix)")
-		rounds   = flag.Int("rounds", 12, "rounds (ordered-mesh)")
+		size     = flag.Int("size", 64, "message size in bytes (generators with a bytes parameter)")
+		msgs     = flag.Int("msgs", 50, "messages per processor (generators with a msgs parameter)")
+		rounds   = flag.Int("rounds", 12, "rounds (generators with a rounds parameter)")
 		k        = flag.Int("k", 4, "TDM multiplexing degree")
 		preload  = flag.Int("preload-slots", 1, "pinned slots (tdm-hybrid)")
 		det      = flag.Float64("determinism", 0.85, "statically-known traffic fraction (mix)")
@@ -70,9 +78,10 @@ func main() {
 	)
 	flag.Parse()
 
-	// `-net list` / `-fabric list` / `-sched list` print the canonical
-	// vocabulary, one name per line, and exit — the machine-readable form
-	// for scripts.
+	// `-net list` / `-fabric list` / `-sched list` / `-planner list` print
+	// the canonical vocabulary, one name per line, and exit — the
+	// machine-readable form for scripts. `-pattern list` prints the generator
+	// catalog with schemas; its first column is the bare vocabulary.
 	if *netName == "list" {
 		for _, name := range pmsnet.SwitchingNames() {
 			fmt.Println(name)
@@ -97,8 +106,22 @@ func main() {
 		}
 		return
 	}
+	if *pattern == "list" {
+		for _, line := range pmsnet.WorkloadUsage() {
+			fmt.Println(line)
+		}
+		return
+	}
 
-	wl, err := buildWorkload(*pattern, *workload, *n, *size, *msgs, *rounds, *det, *think, *seed)
+	var spec *pmsnet.WorkloadSpec
+	if *workload == "" {
+		var err error
+		if spec, err = parsePatternSpec(*pattern, *size, *msgs, *rounds, *det, *think); err != nil {
+			fatal(err)
+		}
+	}
+
+	wl, err := buildWorkload(spec, *workload, *n, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -134,7 +157,7 @@ func main() {
 		if *tracePth != "" {
 			fatal(fmt.Errorf("-trace observes a single run and cannot be combined with -seeds"))
 		}
-		if err := runSeeds(cfg, *pattern, *n, *size, *msgs, *rounds, *det, *think, *seed, *seeds); err != nil {
+		if err := runSeeds(cfg, spec, *n, *seed, *seeds); err != nil {
 			fatal(err)
 		}
 		return
@@ -167,6 +190,9 @@ func main() {
 	fmt.Printf("network:     %s\n", rep.Network)
 	fmt.Printf("workload:    %s (%d processors, %d messages, %d bytes)\n",
 		rep.Workload, wl.Processors(), rep.Messages, rep.Bytes)
+	if s := wl.Spec(); s != "" {
+		fmt.Printf("spec:        %s\n", s)
+	}
 	fmt.Printf("makespan:    %v\n", rep.Makespan)
 	fmt.Printf("efficiency:  %.3f\n", rep.Efficiency)
 	fmt.Printf("latency:     mean %v  p50 %v  p95 %v  max %v\n",
@@ -197,13 +223,46 @@ func main() {
 	}
 }
 
+// parsePatternSpec parses the -pattern spec and folds the classic workload
+// flags in under it: spec parameters win, flags the user actually passed
+// fill unset parameters, and everything else takes the family's schema
+// defaults. Flags without a matching parameter in the family's schema are
+// simply inert, so `-msgs 40` is safe on every pattern.
+func parsePatternSpec(pattern string, size, msgs, rounds int, det float64, think time.Duration) (*pmsnet.WorkloadSpec, error) {
+	spec, err := pmsnet.ParseWorkloadSpec(pattern)
+	if err != nil {
+		return nil, err
+	}
+	overlay := map[string]string{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "size":
+			overlay["bytes"] = strconv.Itoa(size)
+		case "msgs":
+			overlay["msgs"] = strconv.Itoa(msgs)
+		case "rounds":
+			overlay["rounds"] = strconv.Itoa(rounds)
+		case "determinism":
+			overlay["determinism"] = strconv.FormatFloat(det, 'g', -1, 64)
+		case "think":
+			overlay["think"] = think.String()
+		}
+	})
+	for key, value := range overlay {
+		if err := spec.Default(key, value); err != nil {
+			return nil, err
+		}
+	}
+	return spec, nil
+}
+
 // runSeeds is the multi-run mode: the same configuration and pattern at
 // `count` consecutive seeds, fanned out through pmsnet.RunMany, with a
 // per-seed summary line and the aggregate efficiency statistics.
-func runSeeds(cfg pmsnet.Config, pattern string, n, size, msgs, rounds int, det float64, think time.Duration, seed int64, count int) error {
+func runSeeds(cfg pmsnet.Config, spec *pmsnet.WorkloadSpec, n int, seed int64, count int) error {
 	wls := make([]*pmsnet.Workload, count)
 	for i := range wls {
-		wl, err := buildWorkload(pattern, "", n, size, msgs, rounds, det, think, seed+int64(i))
+		wl, err := spec.Generate(n, seed+int64(i))
 		if err != nil {
 			return err
 		}
@@ -217,7 +276,7 @@ func runSeeds(cfg pmsnet.Config, pattern string, n, size, msgs, rounds int, det 
 	wall := time.Since(start)
 
 	fmt.Printf("network:     %s\n", reps[0].Network)
-	fmt.Printf("workload:    %s x %d seeds (%d..%d)\n", pattern, count, seed, seed+int64(count)-1)
+	fmt.Printf("workload:    %s x %d seeds (%d..%d)\n", spec, count, seed, seed+int64(count)-1)
 	minEff, maxEff, sumEff := reps[0].Efficiency, reps[0].Efficiency, 0.0
 	var sumMakespan time.Duration
 	for i, rep := range reps {
@@ -238,7 +297,7 @@ func runSeeds(cfg pmsnet.Config, pattern string, n, size, msgs, rounds int, det 
 	return nil
 }
 
-func buildWorkload(pattern, tracePath string, n, size, msgs, rounds int, det float64, think time.Duration, seed int64) (*pmsnet.Workload, error) {
+func buildWorkload(spec *pmsnet.WorkloadSpec, tracePath string, n int, seed int64) (*pmsnet.Workload, error) {
 	if tracePath != "" {
 		f, err := os.Open(tracePath)
 		if err != nil {
@@ -247,22 +306,7 @@ func buildWorkload(pattern, tracePath string, n, size, msgs, rounds int, det flo
 		defer f.Close()
 		return pmsnet.ReadTrace(f)
 	}
-	switch pattern {
-	case "scatter":
-		return pmsnet.ScatterWorkload(n, size), nil
-	case "ordered-mesh":
-		return pmsnet.OrderedMesh(n, size, rounds), nil
-	case "random-mesh":
-		return pmsnet.RandomMesh(n, size, msgs, seed), nil
-	case "all-to-all":
-		return pmsnet.AllToAll(n, size), nil
-	case "two-phase":
-		return pmsnet.TwoPhaseWorkload(n, size, seed), nil
-	case "mix":
-		return pmsnet.MixWorkload(n, size, msgs, det, think, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown pattern %q", pattern)
-	}
+	return spec.Generate(n, seed)
 }
 
 func buildConfig(netName, eviction string, n, k, preload int, timeout time.Duration) (pmsnet.Config, error) {

@@ -5,9 +5,12 @@
 //
 // Demand comes from one of three sources:
 //
-//	pmsopt -pattern skewed -n 16                demand of a built-in workload
+//	pmsopt -pattern skewed -n 16                demand of a registered generator
 //	pmsopt -workload trace.pms                  demand of a PMSTRACE program
 //	pmsopt -demand matrix.csv                   an explicit NxN slot matrix
+//
+// -pattern takes a workload-generator spec `name[:key=value,...]` from the
+// same registry as cmd/pmsim; `pmsopt -pattern list` prints the catalog.
 //
 // With a workload source, planning is per static phase (falling back to the
 // compiler's phase analysis via -analyze when the workload carries no
@@ -42,14 +45,14 @@ import (
 func main() {
 	var (
 		planName = flag.String("planner", "solstice", "preload planner: static|solstice|bvn ('list' prints the vocabulary)")
-		pattern  = flag.String("pattern", "", "built-in workload: scatter|ordered-mesh|random-mesh|all-to-all|two-phase|skewed")
+		pattern  = flag.String("pattern", "", "workload generator spec name[:key=value,...] ('list' prints the full catalog)")
 		wlPath   = flag.String("workload", "", "plan a PMSTRACE command file")
 		dmPath   = flag.String("demand", "", "plan an explicit demand matrix (CSV, one row per source, slots per connection)")
 		outPath  = flag.String("o", "", "write the planned schedule as JSON to this file")
 		n        = flag.Int("n", 16, "processor count (built-in patterns)")
-		size     = flag.Int("size", 64, "message size in bytes (built-in patterns)")
-		msgs     = flag.Int("msgs", 4, "messages per connection (random-mesh, skewed)")
-		rounds   = flag.Int("rounds", 12, "rounds (ordered-mesh)")
+		size     = flag.Int("size", 64, "message size in bytes (generators with a bytes parameter)")
+		msgs     = flag.Int("msgs", 4, "messages per connection (generators with a msgs parameter)")
+		rounds   = flag.Int("rounds", 12, "rounds (generators with a rounds parameter)")
 		factor   = flag.Int("factor", 8, "hot-shift demand multiplier (skewed)")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		k        = flag.Int("k", 4, "TDM multiplexing degree")
@@ -65,6 +68,12 @@ func main() {
 	if *planName == "list" {
 		for _, name := range plan.Names() {
 			fmt.Println(name)
+		}
+		return
+	}
+	if *pattern == "list" {
+		for _, g := range traffic.Generators() {
+			fmt.Printf("%-14s %-42s %s\n", g.Name, g.Schema(), g.Doc)
 		}
 		return
 	}
@@ -310,6 +319,10 @@ func writeSchedules(path string, scheds []*plan.Schedule) {
 	fmt.Fprintf(os.Stderr, "wrote %d planned phase(s) to %s\n", len(out), path)
 }
 
+// buildWorkload resolves the demand workload: a PMSTRACE file, or a
+// generator spec from the shared registry. Spec parameters win; the classic
+// flags (-size, -msgs, -rounds, -factor) fill parameters the spec leaves
+// unset, when the user passed them and the family has them.
 func buildWorkload(pattern, tracePath string, n, size, msgs, rounds, factor int, seed int64) (*traffic.Workload, error) {
 	if tracePath != "" {
 		f, err := os.Open(tracePath)
@@ -319,24 +332,32 @@ func buildWorkload(pattern, tracePath string, n, size, msgs, rounds, factor int,
 		defer f.Close()
 		return trace.Read(f)
 	}
-	switch pattern {
-	case "scatter":
-		return traffic.Scatter(n, size), nil
-	case "ordered-mesh":
-		return traffic.OrderedMesh(n, size, rounds), nil
-	case "random-mesh":
-		return traffic.RandomMesh(n, size, msgs, seed), nil
-	case "all-to-all":
-		return traffic.AllToAll(n, size), nil
-	case "two-phase":
-		return traffic.TwoPhase(n, size, seed), nil
-	case "skewed":
-		return traffic.Skewed("skewed", n, size, msgs, factor, []int{1, 2, 3, 4, 5, 6, 7, 8}), nil
-	case "":
+	if pattern == "" {
 		return nil, fmt.Errorf("pick a demand source: -pattern, -workload or -demand")
-	default:
-		return nil, fmt.Errorf("unknown pattern %q", pattern)
 	}
+	spec, err := traffic.ParseSpec(pattern)
+	if err != nil {
+		return nil, err
+	}
+	overlay := map[string]string{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "size":
+			overlay["bytes"] = strconv.Itoa(size)
+		case "msgs":
+			overlay["msgs"] = strconv.Itoa(msgs)
+		case "rounds":
+			overlay["rounds"] = strconv.Itoa(rounds)
+		case "factor":
+			overlay["factor"] = strconv.Itoa(factor)
+		}
+	})
+	for key, value := range overlay {
+		if err := spec.Default(key, value); err != nil {
+			return nil, err
+		}
+	}
+	return spec.Generate(n, seed)
 }
 
 // readDemandCSV parses an NxN comma-separated integer matrix.

@@ -29,30 +29,59 @@ func goldenWorkloads(t *testing.T) map[string]*Workload {
 		}
 		return an
 	}
-	return map[string]*Workload{
+	m := map[string]*Workload{
 		"scatter":      ScatterWorkload(16, 256),
 		"ordered-mesh": OrderedMesh(16, 128, 3),
 		"random-mesh":  RandomMesh(16, 128, 6, 2),
 		"all-to-all":   AllToAll(16, 64),
 		"two-phase":    analyzed(TwoPhaseWorkload(16, 64, 3)),
 	}
+	// The post-seed workload families, pinned through the generator registry
+	// at small parameters so the full switching matrix stays fast. Their spec
+	// strings ride in the canonical serialization, so these pins also freeze
+	// each family's generated program AND its spec vocabulary.
+	for key, spec := range goldenFamilySpecs {
+		wl, err := GenerateWorkload(spec, 16, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m[key] = wl
+	}
+	return m
 }
 
-// TestGoldenReportBitIdentity locks every pre-existing Switching mode to the
-// Report it produced at the seed commit of the refactor. Any drift in event
-// ordering, RNG draws or accounting shows up as a field-level diff here.
-//
-// These pins double as the Report-level sparse-vs-dense identity check: the
-// golden files were captured on the dense request path, and the default
-// execution path is now the sparse one, so any sparse-path divergence
-// surfaces here field by field. (The tdm-level identity suite additionally
-// toggles the Sparse knob directly.)
-func TestGoldenReportBitIdentity(t *testing.T) {
-	wls := goldenWorkloads(t)
-	wlOrder := []string{"scatter", "ordered-mesh", "random-mesh", "all-to-all", "two-phase"}
+var goldenFamilySpecs = map[string]string{
+	"all-reduce-ring": "all-reduce",
+	"all-reduce-tree": "all-reduce:algo=tree",
+	"broadcast":       "broadcast:msgs=2",
+	"gather":          "gather:msgs=2",
+	"phased":          "phased:phases=2,msgs=4",
+	"tiles":           "tiles",
+	"bursty":          "bursty:msgs=10",
+	"perm-churn":      "perm-churn:rounds=4,msgs=2",
+	"incast":          "incast:msgs=8,background=4",
+}
+
+// legacyOrder lists the five seed workloads whose 40 pins predate the
+// registry; testdata/golden_reports.json must never change, byte for byte.
+var legacyOrder = []string{"scatter", "ordered-mesh", "random-mesh", "all-to-all", "two-phase"}
+
+// familyOrder lists the registry-built families pinned separately in
+// testdata/golden_family_reports.json.
+var familyOrder = []string{
+	"all-reduce-ring", "all-reduce-tree", "broadcast", "gather",
+	"phased", "tiles", "bursty", "perm-churn", "incast",
+}
+
+// goldenOrder is every pinned workload, seed pins first.
+var goldenOrder = append(append([]string{}, legacyOrder...), familyOrder...)
+
+// runGoldenMatrix produces one Report per (switching mode, workload) pair.
+func runGoldenMatrix(t *testing.T, wls map[string]*Workload, order []string) map[string]Report {
+	t.Helper()
 	got := make(map[string]Report)
 	for _, sw := range switchingValues {
-		for _, wname := range wlOrder {
+		for _, wname := range order {
 			wl := wls[wname]
 			if sw == PreloadTDM || sw == HybridTDM {
 				an, _, err := AnalyzeWorkload(wl)
@@ -69,8 +98,13 @@ func TestGoldenReportBitIdentity(t *testing.T) {
 			got[fmt.Sprintf("%s/%s", sw, wname)] = rep
 		}
 	}
+	return got
+}
 
-	path := filepath.Join("testdata", "golden_reports.json")
+// checkGolden compares a run matrix against a golden file, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, path string, got map[string]Report) {
+	t.Helper()
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -85,7 +119,6 @@ func TestGoldenReportBitIdentity(t *testing.T) {
 		t.Logf("wrote %s (%d cases)", path, len(got))
 		return
 	}
-
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden file (run `go test -run GoldenReport -update`): %v", err)
@@ -109,23 +142,50 @@ func TestGoldenReportBitIdentity(t *testing.T) {
 	}
 }
 
+// TestGoldenReportBitIdentity locks every pre-existing Switching mode to the
+// Report it produced at the seed commit of the refactor. Any drift in event
+// ordering, RNG draws or accounting shows up as a field-level diff here.
+//
+// These pins double as the Report-level sparse-vs-dense identity check: the
+// golden files were captured on the dense request path, and the default
+// execution path is now the sparse one, so any sparse-path divergence
+// surfaces here field by field. (The tdm-level identity suite additionally
+// toggles the Sparse knob directly.)
+func TestGoldenReportBitIdentity(t *testing.T) {
+	got := runGoldenMatrix(t, goldenWorkloads(t), legacyOrder)
+	checkGolden(t, filepath.Join("testdata", "golden_reports.json"), got)
+}
+
+// TestGoldenFamilyReportBitIdentity pins the registry-built workload
+// families over the same full switching matrix, in their own golden file so
+// the seed pins above stay byte-identical forever.
+func TestGoldenFamilyReportBitIdentity(t *testing.T) {
+	got := runGoldenMatrix(t, goldenWorkloads(t), familyOrder)
+	checkGolden(t, filepath.Join("testdata", "golden_family_reports.json"), got)
+}
+
 // TestGoldenWarmStartReportBitIdentity extends the 40 golden pins to
 // warm-started scheduling: with SchedWarmStart on, every TDM case must still
 // reproduce the seed Report byte for byte once the warm telemetry counters —
 // the only fields allowed to move — are zeroed. Run with -race in CI.
 func TestGoldenWarmStartReportBitIdentity(t *testing.T) {
-	data, err := os.ReadFile(filepath.Join("testdata", "golden_reports.json"))
-	if err != nil {
-		t.Fatalf("missing golden file (run `go test -run GoldenReport -update`): %v", err)
-	}
-	var want map[string]Report
-	if err := json.Unmarshal(data, &want); err != nil {
-		t.Fatal(err)
+	want := make(map[string]Report)
+	for _, file := range []string{"golden_reports.json", "golden_family_reports.json"} {
+		data, err := os.ReadFile(filepath.Join("testdata", file))
+		if err != nil {
+			t.Fatalf("missing golden file (run `go test -run GoldenReport -update`): %v", err)
+		}
+		var part map[string]Report
+		if err := json.Unmarshal(data, &part); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range part {
+			want[k] = v
+		}
 	}
 	wls := goldenWorkloads(t)
-	wlOrder := []string{"scatter", "ordered-mesh", "random-mesh", "all-to-all", "two-phase"}
 	for _, sw := range []Switching{DynamicTDM, PreloadTDM, HybridTDM} {
-		for _, wname := range wlOrder {
+		for _, wname := range goldenOrder {
 			wl := wls[wname]
 			if sw == PreloadTDM || sw == HybridTDM {
 				an, _, err := AnalyzeWorkload(wl)

@@ -193,3 +193,43 @@ func TestWorkloadHash(t *testing.T) {
 		t.Fatal("nil workload must not hash")
 	}
 }
+
+// TestWorkloadHashFoldsSpec: a registry-generated workload carries its spec
+// in the canonical serialization, so it hashes differently from the same
+// program built through a constructor (which has no spec) — and the spec
+// survives as part of the identity the hash fingerprints.
+func TestWorkloadHashFoldsSpec(t *testing.T) {
+	gen, err := GenerateWorkload("random-mesh:msgs=10", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Spec() != "random-mesh:msgs=10" {
+		t.Fatalf("spec = %q", gen.Spec())
+	}
+	genHash, err := gen.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctor := RandomMesh(16, 64, 10, 1)
+	if ctor.Spec() != "" {
+		t.Fatalf("constructor workload has spec %q", ctor.Spec())
+	}
+	ctorHash, err := ctor.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genHash == ctorHash {
+		t.Fatal("spec-carrying workload hashes equal to its spec-less twin")
+	}
+	gen2, err := GenerateWorkload("random-mesh:msgs=10", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := gen2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != genHash {
+		t.Fatal("identical generated workloads hash differently")
+	}
+}

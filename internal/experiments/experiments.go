@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"pmsnet/internal/circuit"
 	"pmsnet/internal/metrics"
@@ -84,21 +85,25 @@ const (
 // Panels lists Figure 4's panels in paper order.
 func Panels() []Panel { return []Panel{Scatter, RandomMesh, OrderedMesh, TwoPhase} }
 
-// Workload builds the panel's workload for one message size.
+// Workload builds the panel's workload for one message size through the
+// generator registry — panel names are registry family names, so Figure 4
+// shares the CLIs' pattern vocabulary.
 func (p Panel) Workload(n, bytes int, seed int64) (*traffic.Workload, error) {
-	switch p {
-	case Scatter:
-		return traffic.Scatter(n, bytes), nil
-	case RandomMesh:
-		return traffic.RandomMesh(n, bytes, MeshMsgs, seed), nil
-	case OrderedMesh:
-		// ~MeshMsgs messages per interior node (4 per round).
-		return traffic.OrderedMesh(n, bytes, MeshMsgs/4), nil
-	case TwoPhase:
-		return traffic.TwoPhase(n, bytes, seed), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown panel %q", p)
+	spec, err := traffic.ParseSpec(string(p))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: unknown panel %q: %w", p, err)
 	}
+	if err := spec.Default("bytes", strconv.Itoa(bytes)); err != nil {
+		return nil, err
+	}
+	if err := spec.Default("msgs", strconv.Itoa(MeshMsgs)); err != nil {
+		return nil, err
+	}
+	// ~MeshMsgs messages per interior node (4 per round).
+	if err := spec.Default("rounds", strconv.Itoa(MeshMsgs/4)); err != nil {
+		return nil, err
+	}
+	return spec.Generate(n, seed)
 }
 
 // fig4Builders returns one constructor per Figure-4 network, in legend

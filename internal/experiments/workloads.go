@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmsnet/internal/compiler"
+	"pmsnet/internal/metrics"
+	"pmsnet/internal/plan"
+	"pmsnet/internal/predictor"
+	"pmsnet/internal/tdm"
+	"pmsnet/internal/traffic"
+)
+
+// The workload-family studies: sweeps over the post-paper generator
+// families (collectives, phased programs, arrival-process and adversarial
+// patterns) that ROADMAP item 4 calls for. Three harnesses:
+//
+//   - FamilySweep runs every new family under reactive dynamic TDM and a
+//     planned hybrid, so each family's predictor hit rate and planner
+//     makespan land in one table.
+//   - PhasedPlannerStudy demonstrates the compiled-communication path end
+//     to end: the phased family's program is stripped, re-discovered by the
+//     compiler analysis, and its per-phase demand matrices drive the
+//     Solstice planner.
+//   - AdversarySweep pits the scheduler's memoized-pass cache and
+//     warm-started incremental scheduling against the permutation-churn
+//     adversary, with a stable permutation as the control.
+
+// FamilySpecs lists the post-paper workload families the family sweep
+// covers, as generator specs in the shared registry vocabulary.
+func FamilySpecs() []string {
+	return []string{
+		"all-reduce:algo=ring",
+		"all-reduce:algo=tree",
+		"broadcast:msgs=8",
+		"gather:msgs=8",
+		"phased",
+		"tiles",
+		"bursty",
+		"perm-churn",
+		"incast",
+	}
+}
+
+// FamilySweep is the serial reference for FamilySweepExec.
+func FamilySweep(n int, seed int64) ([]NamedResult, error) {
+	return FamilySweepExec(Serial, n, seed)
+}
+
+// FamilySweepExec runs every FamilySpecs workload under two TDM regimes —
+// reactive dynamic TDM with the paper's time-out predictor, and a hybrid
+// with half the slots pinned by the Solstice planner — one sweep point per
+// (family, regime) pair. The table answers, per family: what hit rate does
+// the predictor reach, and what makespan does the planned hybrid deliver?
+func FamilySweepExec(ex Exec, n int, seed int64) ([]NamedResult, error) {
+	specs := FamilySpecs()
+	cases := []tdmCase{
+		{"dynamic/timeout", tdm.Config{N: n, K: Fig4K,
+			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) }}},
+		{"hybrid/solstice", tdm.Config{N: n, K: Fig4K, Mode: tdm.Hybrid, PreloadSlots: Fig4K / 2,
+			Planner:      plan.Solstice{},
+			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) }}},
+	}
+	return sweep(ex, len(specs)*len(cases), func(i int) (NamedResult, error) {
+		spec, c := specs[i/len(cases)], cases[i%len(cases)]
+		wl, err := traffic.Generate(spec, n, seed)
+		if err != nil {
+			return NamedResult{}, fmt.Errorf("experiments: %w", err)
+		}
+		nw, err := newTDM(c.cfg)
+		if err != nil {
+			return NamedResult{}, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return NamedResult{}, fmt.Errorf("experiments: %s on %s: %w", c.label, spec, err)
+		}
+		return NamedResult{Label: fmt.Sprintf("%s: %s", spec, c.label), Result: res}, nil
+	})
+}
+
+// PhasedStudy is the outcome of the phased-family planner demonstration.
+type PhasedStudy struct {
+	// Spec is the generator spec the study analyzed.
+	Spec string
+	// PhaseCount is the number of phases the compiler analysis discovered
+	// in the stripped program.
+	PhaseCount int
+	// PhaseDemands holds the total demand (TDM slots) of each discovered
+	// phase — the matrices handed to the planner, summarized.
+	PhaseDemands []int64
+	// Rows compares static preload, Solstice-planned preload, and the
+	// reactive dynamic baseline on the analyzed workload.
+	Rows []NamedResult
+}
+
+// PhasedPlannerStudy is the serial reference for PhasedPlannerStudyExec.
+func PhasedPlannerStudy(n int, spec string, seed int64) (PhasedStudy, error) {
+	return PhasedPlannerStudyExec(Serial, n, spec, seed)
+}
+
+// PhasedPlannerStudyExec is the compiled-communication demonstration for
+// the phase-alternating families: generate the workload, strip its own
+// annotations, let compiler.Analyze re-discover the phase structure and
+// emit per-phase demand matrices, then run the re-annotated program under
+// static preload, Solstice-planned preload, and reactive dynamic TDM. The
+// planner consumes exactly the analysis's demand — the full paper §3 path
+// (compile, plan, preload) on traffic the compiler has never seen.
+func PhasedPlannerStudyExec(ex Exec, n int, spec string, seed int64) (PhasedStudy, error) {
+	wl, err := traffic.Generate(spec, n, seed)
+	if err != nil {
+		return PhasedStudy{}, fmt.Errorf("experiments: %w", err)
+	}
+	// Strip happens inside Analyze; InsertDirectives re-annotates at the
+	// discovered boundaries, and PayloadBytes converts traffic to slots.
+	analyzed, an, err := compiler.Analyze(wl, compiler.Options{InsertDirectives: true, PayloadBytes: 64})
+	if err != nil {
+		return PhasedStudy{}, fmt.Errorf("experiments: analyzing %s: %w", spec, err)
+	}
+	study := PhasedStudy{Spec: spec, PhaseCount: an.PhaseCount()}
+	for _, d := range an.Demands {
+		study.PhaseDemands = append(study.PhaseDemands, d.Total())
+	}
+	cases := []tdmCase{
+		{"preload/static", tdm.Config{N: n, K: Fig4K, Mode: tdm.Preload}},
+		{"preload/solstice", tdm.Config{N: n, K: Fig4K, Mode: tdm.Preload, Planner: plan.Solstice{}}},
+		{"dynamic/reactive", tdm.Config{N: n, K: Fig4K,
+			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) }}},
+	}
+	rows, err := runTDMCases(ex, analyzed, cases)
+	if err != nil {
+		return PhasedStudy{}, err
+	}
+	study.Rows = rows
+	return study, nil
+}
+
+// PhasedStudyTable renders the study: the discovered phase structure, then
+// the comparison rows.
+func PhasedStudyTable(s PhasedStudy) *metrics.Table {
+	t := AblationTable(fmt.Sprintf("Phased families through the compiler: %s (%d phases discovered, demand %v slots)",
+		s.Spec, s.PhaseCount, s.PhaseDemands), s.Rows)
+	return t
+}
+
+// AdversaryPair holds the sched-cache/warm-start telemetry of one
+// adversary-sweep run.
+type AdversaryPair struct {
+	Label  string
+	Result metrics.Result
+}
+
+// AdversarySweep is the serial reference for AdversarySweepExec.
+func AdversarySweep(n int, seed int64) ([]AdversaryPair, error) {
+	return AdversarySweepExec(Serial, n, seed)
+}
+
+// AdversarySweepExec runs dynamic TDM — memoized-pass cache on, warm-started
+// incremental scheduling on — over a stable permutation (shift, the control)
+// and the permutation-churn adversary. The stable workload repeats one
+// request matrix, so passes replay from the cache and warm passes touch few
+// rows; the churn workload presents a fresh permutation every round, so the
+// cache misses and nearly every row re-evaluates. The Sched telemetry gap
+// between the two rows is the cost of losing predictability.
+//
+// Priority rotation is disabled: the pass cache keys on the full scheduler
+// state including the rotation cursor, so with rotation on no key can recur
+// until N passes have elapsed and short runs at large N would show zero
+// hits for every workload — including perfectly stable ones. A permutation
+// needs no fairness rotation (one requester per output), so turning it off
+// isolates the variable under study.
+func AdversarySweepExec(ex Exec, n int, seed int64) ([]AdversaryPair, error) {
+	// Equal per-connection message counts, so the runs differ only in how
+	// the working set moves: one fixed permutation vs a fresh one per round.
+	specs := []string{
+		"shift:msgs=64",
+		"perm-churn:rounds=16,msgs=4",
+	}
+	norot := false
+	results, err := sweep(ex, len(specs), func(i int) (AdversaryPair, error) {
+		wl, err := traffic.Generate(specs[i], n, seed)
+		if err != nil {
+			return AdversaryPair{}, fmt.Errorf("experiments: %w", err)
+		}
+		cfg := tdm.Config{N: n, K: Fig4K, WarmStart: true, RotatePriority: &norot,
+			NewPredictor: func() predictor.Predictor { return predictor.NewTimeout(Fig4Timeout) }}
+		nw, err := newTDM(cfg)
+		if err != nil {
+			return AdversaryPair{}, err
+		}
+		res, err := nw.Run(wl)
+		if err != nil {
+			return AdversaryPair{}, fmt.Errorf("experiments: adversary %s: %w", specs[i], err)
+		}
+		return AdversaryPair{Label: specs[i], Result: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// CacheHitRatio returns the memoized-pass cache hit ratio of a run's
+// scheduler telemetry (0 when the run scheduled nothing).
+func CacheHitRatio(r metrics.Result) float64 {
+	total := r.Stats.SchedCacheHits + r.Stats.SchedCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Stats.SchedCacheHits) / float64(total)
+}
+
+// WarmRowFraction returns the mean fraction of rows re-evaluated per
+// warm-started pass, normalized by the port count (1.0 = every warm pass
+// re-evaluated every row; 0 = warm passes repaired nothing).
+func WarmRowFraction(r metrics.Result, n int) float64 {
+	if r.Stats.SchedWarmHits == 0 {
+		return 0
+	}
+	return float64(r.Stats.SchedDirtyRows) / float64(r.Stats.SchedWarmHits*uint64(n))
+}
+
+// AdversaryTable renders the adversary sweep with the scheduler-economy
+// columns the ablation table flattens away.
+func AdversaryTable(n int, rows []AdversaryPair) *metrics.Table {
+	t := metrics.NewTable("Adversarial traffic vs the scheduler caches (dynamic TDM, warm start on)",
+		"workload", "makespan", "efficiency", "cache hit", "warm dirty-row frac", "evictions")
+	for _, r := range rows {
+		t.AddRowf(r.Label, r.Result.Makespan.String(), r.Result.Efficiency,
+			CacheHitRatio(r.Result), WarmRowFraction(r.Result, n), r.Result.Stats.Evictions)
+	}
+	return t
+}

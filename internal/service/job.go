@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -59,9 +60,14 @@ type ConfigSpec struct {
 	SchedWarmStart bool `json:"sched_warm_start,omitempty"`
 }
 
-// WorkloadSpec selects a built-in traffic pattern (the cmd/pmsim
-// vocabulary) or carries an inline PMSTRACE program. Seeds > 1 fans the
-// pattern out over consecutive seeds inside one job.
+// WorkloadSpec selects a workload from the shared generator registry (the
+// cmd/pmsim -pattern vocabulary) or carries an inline PMSTRACE program.
+// Pattern is a generator spec `name[:key=value,...]`; spec parameters win,
+// and the flat JSON fields (size, msgs, rounds, distance, determinism,
+// think_ns) fill in any matching parameter the spec leaves unset. Unknown
+// pattern names are rejected at admission with a 400 naming the full
+// vocabulary. Seeds > 1 fans the pattern out over consecutive seeds inside
+// one job.
 type WorkloadSpec struct {
 	Pattern     string  `json:"pattern"`
 	N           int     `json:"n,omitempty"` // defaults to Config.N
@@ -320,22 +326,6 @@ func buildWorkloadList(cfg pmsnet.Config, spec WorkloadSpec) ([]*pmsnet.Workload
 	if n == 0 {
 		n = cfg.N
 	}
-	size := spec.Size
-	if size == 0 {
-		size = 64
-	}
-	msgs := spec.Msgs
-	if msgs == 0 {
-		msgs = 50
-	}
-	rounds := spec.Rounds
-	if rounds == 0 {
-		rounds = 12
-	}
-	det := spec.Determinism
-	if det == 0 {
-		det = 0.85
-	}
 	seed := spec.Seed
 	if seed == 0 {
 		seed = 1
@@ -349,26 +339,7 @@ func buildWorkloadList(cfg pmsnet.Config, spec WorkloadSpec) ([]*pmsnet.Workload
 	}
 
 	one := func(seed int64) (*pmsnet.Workload, error) {
-		switch spec.Pattern {
-		case "scatter":
-			return pmsnet.ScatterWorkload(n, size), nil
-		case "ordered-mesh":
-			return pmsnet.OrderedMesh(n, size, rounds), nil
-		case "random-mesh":
-			return pmsnet.RandomMesh(n, size, msgs, seed), nil
-		case "all-to-all":
-			return pmsnet.AllToAll(n, size), nil
-		case "two-phase":
-			return pmsnet.TwoPhaseWorkload(n, size, seed), nil
-		case "mix":
-			return pmsnet.MixWorkload(n, size, msgs, det, time.Duration(spec.ThinkNS), seed), nil
-		case "transpose":
-			return pmsnet.TransposeWorkload(n, size, msgs), nil
-		case "bit-reverse":
-			return pmsnet.BitReverseWorkload(n, size, msgs), nil
-		case "shift":
-			return pmsnet.ShiftWorkload(n, size, msgs, spec.Distance), nil
-		case "trace":
+		if spec.Pattern == "trace" {
 			if spec.Trace == "" {
 				return nil, &AdmissionError{Field: "workload.trace", Reason: "pattern \"trace\" needs an inline PMSTRACE program"}
 			}
@@ -377,9 +348,35 @@ func buildWorkloadList(cfg pmsnet.Config, spec WorkloadSpec) ([]*pmsnet.Workload
 				return nil, &AdmissionError{Field: "workload.trace", Reason: err.Error()}
 			}
 			return wl, nil
-		default:
-			return nil, &AdmissionError{Field: "workload.pattern", Reason: fmt.Sprintf("unknown pattern %q", spec.Pattern)}
 		}
+		ws, err := pmsnet.ParseWorkloadSpec(spec.Pattern)
+		if err != nil {
+			// The parse error names the whole registered vocabulary, so a
+			// typo'd pattern 400 tells the client what is valid.
+			return nil, &AdmissionError{Field: "workload.pattern", Reason: err.Error()}
+		}
+		// Fold the flat JSON fields in under the spec: only fields the client
+		// set (non-zero), only parameters the family has, spec values win.
+		for _, o := range []struct{ key, value, field string }{
+			{"bytes", strconv.Itoa(spec.Size), "size"},
+			{"msgs", strconv.Itoa(spec.Msgs), "msgs"},
+			{"rounds", strconv.Itoa(spec.Rounds), "rounds"},
+			{"distance", strconv.Itoa(spec.Distance), "distance"},
+			{"determinism", strconv.FormatFloat(spec.Determinism, 'g', -1, 64), "determinism"},
+			{"think", time.Duration(spec.ThinkNS).String(), "think_ns"},
+		} {
+			if o.value == "0" || o.value == "0s" {
+				continue
+			}
+			if err := ws.Default(o.key, o.value); err != nil {
+				return nil, &AdmissionError{Field: "workload." + o.field, Reason: err.Error()}
+			}
+		}
+		wl, err := ws.Generate(n, seed)
+		if err != nil {
+			return nil, &AdmissionError{Field: "workload", Reason: err.Error()}
+		}
+		return wl, nil
 	}
 
 	wls := make([]*pmsnet.Workload, seeds)

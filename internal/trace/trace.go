@@ -10,6 +10,7 @@
 //
 //	PMSTRACE v1
 //	NAME two-phase/128B
+//	SPEC two-phase:bytes=128   # generator spec, when registry-built (optional)
 //	N 128
 //	PHASE                 # static phase 0 (optional, repeatable)
 //	CONN 0 1
@@ -50,6 +51,9 @@ func Write(w io.Writer, wl *traffic.Workload) error {
 	fmt.Fprintln(bw, header)
 	if wl.Name != "" {
 		fmt.Fprintf(bw, "NAME %s\n", wl.Name)
+	}
+	if wl.Spec != "" {
+		fmt.Fprintf(bw, "SPEC %s\n", wl.Spec)
 	}
 	fmt.Fprintf(bw, "N %d\n", wl.N)
 	for _, ph := range wl.StaticPhases {
@@ -147,6 +151,11 @@ func Read(r io.Reader) (*traffic.Workload, error) {
 				return nil, errf("NAME takes one token")
 			}
 			wl.Name = args[0]
+		case "SPEC":
+			if len(args) != 1 {
+				return nil, errf("SPEC takes one token")
+			}
+			wl.Spec = args[0]
 		case "N":
 			if len(args) != 1 {
 				return nil, errf("N takes one integer")

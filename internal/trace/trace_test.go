@@ -186,3 +186,25 @@ func TestQuickRoundTripRandomMix(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRoundTripPreservesSpec: the SPEC line carries the generator spec of
+// every registry-built workload through the trace format (and with it
+// Workload.Hash, which fingerprints the serialization).
+func TestRoundTripPreservesSpec(t *testing.T) {
+	for _, name := range traffic.Names() {
+		t.Run(name, func(t *testing.T) {
+			wl, err := traffic.Generate(name, 16, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wl.Spec == "" {
+				t.Fatal("registry-built workload has no spec")
+			}
+			got := roundTrip(t, wl)
+			if got.Spec != wl.Spec {
+				t.Fatalf("spec %q round-tripped as %q", wl.Spec, got.Spec)
+			}
+			assertEqualWorkloads(t, wl, got)
+		})
+	}
+}

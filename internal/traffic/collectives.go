@@ -1,0 +1,130 @@
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pmsnet/internal/topology"
+)
+
+// MPI-style collectives. The PMS paper's case for predictive switching rests
+// on exactly this kind of traffic: the communication structure is fully
+// known before the first message moves, so a compiler can hand the preload
+// controller the complete working set. Each collective here attaches its
+// static phases accordingly.
+
+// AllReduceRing builds the bandwidth-optimal ring all-reduce: 2(n-1) steps
+// in which every processor sends one chunk of `bytes` bytes to its ring
+// successor (reduce-scatter followed by all-gather). The working set is a
+// single permutation — degree 1, the preload controller's best case.
+func AllReduceRing(n, bytes int) *Workload {
+	checkSize(n, bytes)
+	w := &Workload{Name: fmt.Sprintf("all-reduce/ring/%dB", bytes), N: n, Programs: make([]Program, n)}
+	phase := topology.NewWorkingSet(n)
+	for p := 0; p < n; p++ {
+		succ := (p + 1) % n
+		phase.Add(topology.Conn{Src: p, Dst: succ})
+		ops := make([]Op, 0, 2*(n-1))
+		for step := 0; step < 2*(n-1); step++ {
+			ops = append(ops, Send(succ, bytes))
+		}
+		w.Programs[p] = Program{Ops: ops}
+	}
+	w.StaticPhases = []*topology.WorkingSet{phase}
+	return w
+}
+
+// AllReduceTree builds the binomial-tree all-reduce: a reduce phase in which
+// every non-root processor sends its vector up to parent p - lowbit(p),
+// then a compiler flush and a broadcast phase in which the tree edges run
+// in reverse. Two static phases with disjoint edge directions — the
+// smallest program whose working set genuinely changes mid-run.
+func AllReduceTree(n, bytes int) *Workload {
+	checkSize(n, bytes)
+	w := &Workload{Name: fmt.Sprintf("all-reduce/tree/%dB", bytes), N: n, Programs: make([]Program, n)}
+	up := topology.NewWorkingSet(n)
+	down := topology.NewWorkingSet(n)
+	for p := 0; p < n; p++ {
+		ops := []Op{Phase(0)}
+		if p != 0 {
+			parent := p - (p & -p)
+			ops = append(ops, Send(parent, bytes))
+			up.Add(topology.Conn{Src: p, Dst: parent})
+		}
+		ops = append(ops, Flush(), Phase(1))
+		for _, child := range binomialChildren(n, p) {
+			ops = append(ops, Send(child, bytes))
+			down.Add(topology.Conn{Src: p, Dst: child})
+		}
+		w.Programs[p] = Program{Ops: ops}
+	}
+	w.StaticPhases = []*topology.WorkingSet{up, down}
+	return w
+}
+
+// binomialChildren returns processor p's children in the binomial broadcast
+// tree rooted at 0: p + 2^k for every k with 2^k > p and p + 2^k < n.
+func binomialChildren(n, p int) []int {
+	var children []int
+	start := 0
+	if p > 0 {
+		start = bits.Len(uint(p)) // first k with 2^k > p
+	}
+	for k := start; p+(1<<k) < n; k++ {
+		children = append(children, p+(1<<k))
+	}
+	return children
+}
+
+// Broadcast builds the binomial-tree broadcast from processor 0, repeated
+// `msgs` times: in round k, every processor p < 2^k with the data forwards
+// it to p + 2^k. The tree edges are the single static phase.
+func Broadcast(n, bytes, msgs int) *Workload {
+	checkSize(n, bytes)
+	if msgs <= 0 {
+		panic(fmt.Sprintf("traffic: msgs %d must be positive", msgs))
+	}
+	w := &Workload{Name: fmt.Sprintf("broadcast/%dB", bytes), N: n, Programs: make([]Program, n)}
+	phase := topology.NewWorkingSet(n)
+	for p := 0; p < n; p++ {
+		children := binomialChildren(n, p)
+		if len(children) == 0 {
+			continue
+		}
+		for _, c := range children {
+			phase.Add(topology.Conn{Src: p, Dst: c})
+		}
+		ops := make([]Op, 0, msgs*len(children))
+		for m := 0; m < msgs; m++ {
+			for _, c := range children {
+				ops = append(ops, Send(c, bytes))
+			}
+		}
+		w.Programs[p] = Program{Ops: ops}
+	}
+	w.StaticPhases = []*topology.WorkingSet{phase}
+	return w
+}
+
+// Gather builds the pure incast collective: every processor except the root
+// sends `msgs` messages of `bytes` bytes to processor 0. All demand
+// converges on one output port — the single-sink stressor in its
+// statically-known form.
+func Gather(n, bytes, msgs int) *Workload {
+	checkSize(n, bytes)
+	if msgs <= 0 {
+		panic(fmt.Sprintf("traffic: msgs %d must be positive", msgs))
+	}
+	w := &Workload{Name: fmt.Sprintf("gather/%dB", bytes), N: n, Programs: make([]Program, n)}
+	phase := topology.NewWorkingSet(n)
+	for p := 1; p < n; p++ {
+		phase.Add(topology.Conn{Src: p, Dst: 0})
+		ops := make([]Op, 0, msgs)
+		for m := 0; m < msgs; m++ {
+			ops = append(ops, Send(0, bytes))
+		}
+		w.Programs[p] = Program{Ops: ops}
+	}
+	w.StaticPhases = []*topology.WorkingSet{phase}
+	return w
+}

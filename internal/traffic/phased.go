@@ -1,0 +1,95 @@
+package traffic
+
+import (
+	"fmt"
+
+	"pmsnet/internal/topology"
+)
+
+// Phase-alternating programs. NAS-style parallel codes iterate between a
+// local stencil regime (degree ~4 neighbor working set) and a global
+// exchange regime (degree ~n working set); the paper's §3.3 directives exist
+// precisely so the network can be reconfigured proactively at those
+// boundaries. Both families here are built through Concat, so every
+// processor's program carries the FLUSH + PHASEHINT directives and the
+// workload carries one static working set per phase — what a real compiler
+// would emit, and what compiler.Analyze should recover from the stripped
+// program.
+
+// Phased builds an NAS-style phase-alternating program: even phases are a
+// deterministic nearest-neighbor stencil (each processor cycles msgs
+// messages over its mesh neighbors), odd phases a staged global exchange
+// (each processor sends to partners p+1 .. p+min(msgs, n-1)). The working
+// set flips between degree ~4 and degree ~msgs at every boundary.
+func Phased(n, bytes, msgs, phases int) *Workload {
+	checkSize(n, bytes)
+	if msgs <= 0 {
+		panic(fmt.Sprintf("traffic: msgs %d must be positive", msgs))
+	}
+	if phases < 2 {
+		panic(fmt.Sprintf("traffic: phased needs at least 2 phases, got %d", phases))
+	}
+	mesh := topology.MeshFor(n, false)
+	parts := make([]*Workload, phases)
+	for i := range parts {
+		part := &Workload{Name: fmt.Sprintf("phase%d", i), N: n, Programs: make([]Program, n)}
+		for p := 0; p < n; p++ {
+			var ops []Op
+			if i%2 == 0 {
+				nbs := mesh.Neighbors(p)
+				for m := 0; m < msgs; m++ {
+					ops = append(ops, Send(nbs[m%len(nbs)], bytes))
+				}
+			} else {
+				steps := msgs
+				if steps > n-1 {
+					steps = n - 1
+				}
+				for step := 1; step <= steps; step++ {
+					ops = append(ops, Send((p+step)%n, bytes))
+				}
+			}
+			part.Programs[p] = Program{Ops: ops}
+		}
+		parts[i] = part
+	}
+	return Concat(fmt.Sprintf("phased/p%d/%dB", phases, bytes), parts...)
+}
+
+// Tiles builds the SDM-NoC-style layer-wise tile dataflow: the processors
+// split into `layers` contiguous tile groups, and phase l streams the
+// activations of layer l into layer l+1 — every tile of group l sends
+// `msgs` messages of `bytes` bytes to every tile of group l+1, then the
+// program flushes and advances. The per-phase working sets are dense
+// bipartite blocks that shift across the fabric as the "network layers"
+// execute in sequence.
+func Tiles(n, bytes, msgs, layers int) *Workload {
+	checkSize(n, bytes)
+	if msgs <= 0 {
+		panic(fmt.Sprintf("traffic: msgs %d must be positive", msgs))
+	}
+	if layers < 2 || layers > n {
+		panic(fmt.Sprintf("traffic: tiles needs 2 <= layers <= n, got layers=%d n=%d", layers, n))
+	}
+	group := func(l int) (lo, hi int) { return l * n / layers, (l + 1) * n / layers }
+	parts := make([]*Workload, layers-1)
+	for l := 0; l < layers-1; l++ {
+		part := &Workload{Name: fmt.Sprintf("layer%d", l), N: n, Programs: make([]Program, n)}
+		slo, shi := group(l)
+		dlo, dhi := group(l + 1)
+		for src := slo; src < shi; src++ {
+			var ops []Op
+			for m := 0; m < msgs; m++ {
+				for dst := dlo; dst < dhi; dst++ {
+					if dst == src {
+						continue
+					}
+					ops = append(ops, Send(dst, bytes))
+				}
+			}
+			part.Programs[src] = Program{Ops: ops}
+		}
+		parts[l] = part
+	}
+	return Concat(fmt.Sprintf("tiles/l%d/%dB", layers, bytes), parts...)
+}

@@ -13,6 +13,7 @@ package traffic
 
 import (
 	"fmt"
+	"strings"
 
 	"pmsnet/internal/sim"
 	"pmsnet/internal/topology"
@@ -89,6 +90,12 @@ type Program struct {
 type Workload struct {
 	// Name labels the workload in results.
 	Name string
+	// Spec is the canonical generator spec that built the workload (see
+	// ParseSpec), empty for workloads assembled by hand or read from traces
+	// that omit it. It rides along in the PMSTRACE serialization, so
+	// Workload hashes distinguish same-shape traffic from different
+	// generator invocations.
+	Spec string
 	// N is the processor count.
 	N int
 	// Programs holds one program per processor (len N).
@@ -109,6 +116,9 @@ func (w *Workload) Validate() error {
 	}
 	if len(w.Programs) != w.N {
 		return fmt.Errorf("traffic: workload %q has %d programs for %d processors", w.Name, len(w.Programs), w.N)
+	}
+	if strings.ContainsAny(w.Spec, " \t\n") {
+		return fmt.Errorf("traffic: workload %q spec %q contains whitespace", w.Name, w.Spec)
 	}
 	for p, prog := range w.Programs {
 		for i, op := range prog.Ops {

@@ -753,6 +753,11 @@ type Workload struct {
 // Name returns the workload label.
 func (w *Workload) Name() string { return w.w.Name }
 
+// Spec returns the canonical generator spec that built the workload (see
+// ParseWorkloadSpec), or "" for workloads built by constructor or read from
+// traces that omit it.
+func (w *Workload) Spec() string { return w.w.Spec }
+
 // Processors returns the processor count.
 func (w *Workload) Processors() int { return w.w.N }
 
@@ -997,6 +1002,92 @@ func RunMany(cfg Config, wls []*Workload) ([]Report, error) {
 		}
 		return toReport(res), nil
 	})
+}
+
+// --- the workload-generator registry ---
+
+// WorkloadSpec is a parsed workload-generator invocation: a registered
+// traffic family plus explicitly set parameters. Specs are strings of the
+// form "name[:key=value,...]", e.g. "random-mesh", "all-reduce:algo=tree",
+// "perm-churn:rounds=4,msgs=2" — the single pattern vocabulary shared by
+// cmd/pmsim, cmd/pmsopt, cmd/pmsd and cmd/figures. WorkloadNames lists the
+// registered families.
+type WorkloadSpec struct {
+	s *traffic.Spec
+}
+
+// ParseWorkloadSpec parses a generator spec, validating the family name and
+// every parameter against the family's schema. Unknown names produce an
+// error listing every valid name.
+func ParseWorkloadSpec(spec string) (*WorkloadSpec, error) {
+	s, err := traffic.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &WorkloadSpec{s: s}, nil
+}
+
+// Name returns the generator family name.
+func (s *WorkloadSpec) Name() string { return s.s.Name() }
+
+// String renders the canonical spec form: parameters in schema order with
+// canonical encodings, defaults elided. ParseWorkloadSpec(s.String())
+// reproduces s.
+func (s *WorkloadSpec) String() string { return s.s.String() }
+
+// Default sets a parameter only when the spec did not set it explicitly —
+// the overlay the CLIs use to fold flag values (e.g. -size, -msgs) under an
+// explicit spec. Keys the family's schema does not have are ignored;
+// invalid values for known keys error.
+func (s *WorkloadSpec) Default(key, value string) error { return s.s.Default(key, value) }
+
+// Generate builds the spec's workload for n processors at the given seed.
+// Family contract violations (non-square N for transpose, ...) come back as
+// errors. The workload carries the canonical spec (Workload.Spec), which
+// the PMSTRACE serialization — and therefore Workload.Hash — folds in.
+func (s *WorkloadSpec) Generate(n int, seed int64) (*Workload, error) {
+	wl, err := s.s.Generate(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{w: wl}, nil
+}
+
+// GenerateWorkload parses a generator spec and builds its workload in one
+// step.
+func GenerateWorkload(spec string, n int, seed int64) (*Workload, error) {
+	s, err := ParseWorkloadSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Generate(n, seed)
+}
+
+// WorkloadNames returns the registered generator-family names in their
+// canonical order — the vocabulary of the cmd/pmsim -pattern flag.
+func WorkloadNames() []string { return traffic.Names() }
+
+// WorkloadUsage renders the generator catalog as aligned usage lines — one
+// per family: the name, its parameter schema with defaults, and a one-line
+// description. The first whitespace-separated token of each line is the
+// bare family name, so `pmsim -pattern list | awk '{print $1}'` yields the
+// machine-readable vocabulary.
+func WorkloadUsage() []string {
+	gens := traffic.Generators()
+	nameW, schemaW := 0, 0
+	for _, g := range gens {
+		if len(g.Name) > nameW {
+			nameW = len(g.Name)
+		}
+		if len(g.Schema()) > schemaW {
+			schemaW = len(g.Schema())
+		}
+	}
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = fmt.Sprintf("%-*s  %-*s  %s", nameW, g.Name, schemaW, g.Schema(), g.Doc)
+	}
+	return out
 }
 
 // --- workload constructors (paper §5 patterns) ---
